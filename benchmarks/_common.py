@@ -1,0 +1,13 @@
+"""Scaling knob shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+#: Multiplier for corpus and workload sizes (env XREFINE_BENCH_SCALE).
+SCALE = float(os.environ.get("XREFINE_BENCH_SCALE", "1"))
+
+
+def scaled(value):
+    """Scale a workload/corpus size knob by XREFINE_BENCH_SCALE."""
+    return max(1, round(value * SCALE))

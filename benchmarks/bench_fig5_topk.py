@@ -1,0 +1,97 @@
+"""Fig. 5 — effect of K on Top-K refinement time, DBLP and Baseball.
+
+The paper sweeps K in [1, 6] over 40 random refinable queries (DBLP)
+and 20 (Baseball), reporting the average per-query time for Partition
+vs SLE.  Expected shape: Partition grows slowly with K; SLE grows
+faster beyond K=3 on DBLP (its step 2 recomputes SLCAs per kept
+candidate); both near-flat on the small Baseball corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import scaled
+from repro.core import partition_refine, short_list_eager
+from repro.eval import Stopwatch, format_table, print_report
+
+K_VALUES = (1, 2, 3, 4, 5, 6)
+
+
+def _query_batch(workload, miner, count):
+    batch = []
+    for _ in range(count):
+        pool_query = workload.refinable_query()
+        batch.append((pool_query.query, miner.mine(pool_query.query)))
+    return batch
+
+
+def _average_time(index, batch, algorithm, k):
+    total = 0.0
+    for query, rules in batch:
+        with Stopwatch() as stopwatch:
+            algorithm(index, query, rules, None, k)
+        total += stopwatch.elapsed
+    return total / len(batch)
+
+
+def _sweep(index, batch):
+    rows = []
+    partition_times = []
+    sle_times = []
+    for k in K_VALUES:
+        partition_avg = _average_time(index, batch, partition_refine, k)
+        sle_avg = _average_time(index, batch, short_list_eager, k)
+        partition_times.append(partition_avg)
+        sle_times.append(sle_avg)
+        rows.append([k, partition_avg * 1000, sle_avg * 1000])
+    return rows, partition_times, sle_times
+
+
+def test_fig5a_dblp(dblp_index, dblp_miner, dblp_workload):
+    batch = _query_batch(dblp_workload, dblp_miner, scaled(20))
+    rows, partition_times, sle_times = _sweep(dblp_index, batch)
+    print_report(
+        format_table(
+            ["K", "Partition ms", "SLE ms"],
+            rows,
+            title="Fig. 5(a) - Top-K refinement time vs K (DBLP)",
+        )
+    )
+    # Shape: Partition's growth from K=1 to K=6 is modest relative to
+    # SLE's (the paper: SLE "increases much faster when K>3").
+    partition_growth = partition_times[-1] / max(partition_times[0], 1e-9)
+    sle_growth = sle_times[-1] / max(sle_times[0], 1e-9)
+    assert sle_growth >= partition_growth * 0.8
+
+
+def test_fig5b_baseball(baseball_index, baseball_workload):
+    from repro.lexicon import RuleMiner
+
+    miner = RuleMiner(baseball_index.inverted.keywords())
+    batch = _query_batch(baseball_workload, miner, scaled(10))
+    rows, partition_times, sle_times = _sweep(baseball_index, batch)
+    print_report(
+        format_table(
+            ["K", "Partition ms", "SLE ms"],
+            rows,
+            title="Fig. 5(b) - Top-K refinement time vs K (Baseball)",
+        )
+    )
+    # Shape: both scale well on the small corpus (bounded growth).
+    assert partition_times[-1] <= partition_times[0] * 6 + 0.05
+    assert sle_times[-1] <= sle_times[0] * 8 + 0.05
+
+
+@pytest.mark.parametrize("k", [1, 3, 6])
+def test_fig5_benchmark_partition(
+    benchmark, dblp_index, dblp_miner, dblp_workload, k
+):
+    pool_query = dblp_workload.refinable_query()
+    rules = dblp_miner.mine(pool_query.query)
+    benchmark.pedantic(
+        lambda: partition_refine(dblp_index, pool_query.query, rules, None, k),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,76 @@
+"""Fig. 6 — Top-3 refinement time vs data size (20%–100% of DBLP).
+
+The paper slices DBLP into 20%..100% subsets and measures Top-3
+refinement time for Partition and SLE over a fixed 40-query batch.
+Expected shape: both grow roughly linearly with corpus size; SLE's
+curve is steeper somewhere past the middle (the paper highlights a
+jump between the 60% and 80% points, where later-detected Top-K
+candidates force more random accesses).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import scaled
+from repro import XRefine
+from repro.core import partition_refine, short_list_eager
+from repro.datasets import scaled_series
+from repro.eval import Stopwatch, format_table, print_report
+from repro.index import build_document_index
+from repro.lexicon import RuleMiner
+from repro.workload import WorkloadGenerator
+
+
+def test_fig6_report(dblp_tree):
+    rows = []
+    partition_times = []
+    sle_times = []
+    for fraction, tree in scaled_series(dblp_tree):
+        index = build_document_index(tree)
+        miner = RuleMiner(index.inverted.keywords())
+        workload = WorkloadGenerator(index, seed=23)
+        batch = []
+        for _ in range(scaled(12)):
+            pool_query = workload.refinable_query()
+            batch.append((pool_query.query, miner.mine(pool_query.query)))
+
+        def run(algorithm):
+            total = 0.0
+            for query, rules in batch:
+                with Stopwatch() as stopwatch:
+                    algorithm(index, query, rules, None, 3)
+                total += stopwatch.elapsed
+            return total / len(batch)
+
+        # Warm cache once, then measure.
+        run(partition_refine)
+        partition_avg = run(partition_refine)
+        sle_avg = run(short_list_eager)
+        partition_times.append(partition_avg)
+        sle_times.append(sle_avg)
+        rows.append(
+            [f"{int(fraction * 100)}%", partition_avg * 1000, sle_avg * 1000]
+        )
+    print_report(
+        format_table(
+            ["data size", "Partition ms", "SLE ms"],
+            rows,
+            title="Fig. 6 - Top-3 refinement time vs DBLP size",
+        )
+    )
+    # Shape: both algorithms scale with data size (bigger corpora are
+    # not cheaper), and neither blows up super-linearly beyond 10x.
+    assert partition_times[-1] >= partition_times[0] * 0.8
+    assert sle_times[-1] >= sle_times[0] * 0.8
+    assert partition_times[-1] <= partition_times[0] * 10 + 0.2
+    assert sle_times[-1] <= sle_times[0] * 10 + 0.2
+
+
+def test_fig6_index_build_benchmark(benchmark, dblp_tree):
+    """Index construction cost at the 20% slice (one-pass builder)."""
+    from repro.datasets import scaled_subtree
+
+    small = scaled_subtree(dblp_tree, 0.2)
+    index = benchmark.pedantic(
+        lambda: build_document_index(small), rounds=3, iterations=1
+    )
+    assert index.inverted.vocabulary_size() > 0

@@ -1,0 +1,62 @@
+"""Specialization experiment — the Section-IX future work, measured.
+
+Not a paper table (the paper only names the problem).  For a batch of
+over-broad queries the bench reports how many suggestions narrow the
+result set, by how much, and at what cost; asserts the suggestions are
+genuine strict narrowings with non-empty results.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import scaled
+from repro.core import specialize_query
+from repro.eval import Stopwatch, format_table, print_report
+
+
+def _broad_terms(index, count):
+    """The most frequent value terms — natural over-broad queries."""
+    lengths = sorted(
+        (
+            (index.inverted.list_length(keyword), keyword)
+            for keyword in index.inverted.keywords()
+            if len(keyword) > 3
+        ),
+        reverse=True,
+    )
+    return [keyword for _, keyword in lengths[:count]]
+
+
+def test_specialization_report(dblp_index):
+    rows = []
+    total_suggestions = 0
+    for term in _broad_terms(dblp_index, scaled(6)):
+        with Stopwatch() as stopwatch:
+            response = specialize_query(
+                dblp_index, term, k=3, broad_threshold=10
+            )
+        if not response.is_broad:
+            continue
+        original = len(response.original_results)
+        for suggestion in response.suggestions:
+            total_suggestions += 1
+            assert 1 <= suggestion.result_count < original
+            rows.append(
+                [
+                    term,
+                    original,
+                    f"+{suggestion.expansion}",
+                    suggestion.result_count,
+                    f"{suggestion.result_count / original:.0%}",
+                    stopwatch.elapsed * 1000,
+                ]
+            )
+    print_report(
+        format_table(
+            ["broad query", "results", "suggestion", "narrowed",
+             "coverage", "ms (per query)"],
+            rows,
+            title="Specialization - narrowing over-broad queries "
+                  "(Section IX future work)",
+        )
+    )
+    assert total_suggestions >= 3

@@ -1,0 +1,93 @@
+"""Substrate micro-benchmarks (pytest-benchmark).
+
+Not paper tables; these keep the building blocks honest so regressions
+in the substrate do not masquerade as algorithmic effects in the
+figure benches: B+ tree throughput, XML parsing, index construction,
+and the four SLCA baselines on identical inputs (the stack-slca /
+scan-slca baselines of Fig. 4 plus the two the paper cites).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.slca import (
+    indexed_lookup_slca,
+    multiway_slca,
+    scan_eager_slca,
+    stack_slca,
+)
+from repro.storage import BPlusTree
+from repro.xmltree import parse, serialize
+
+
+@pytest.fixture(scope="module")
+def dblp_xml(dblp_tree):
+    return serialize(dblp_tree)
+
+
+@pytest.fixture(scope="module")
+def slca_lists(dblp_index):
+    terms = ["database", "query", "2005"]
+    return [
+        [posting.dewey for posting in dblp_index.inverted_list(term)]
+        for term in terms
+    ]
+
+
+def test_btree_inserts(benchmark):
+    keys = [f"{i:08d}".encode() for i in range(5000)]
+
+    def build():
+        tree = BPlusTree(order=64)
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(tree) == 5000
+
+
+def test_btree_lookups(benchmark):
+    tree = BPlusTree(order=64)
+    keys = [f"{i:08d}".encode() for i in range(5000)]
+    for key in keys:
+        tree.insert(key, key)
+
+    def lookup_all():
+        return sum(1 for key in keys if tree.get(key) is not None)
+
+    assert benchmark.pedantic(lookup_all, rounds=3, iterations=1) == 5000
+
+
+def test_xml_parse(benchmark, dblp_xml):
+    tree = benchmark.pedantic(
+        lambda: parse(dblp_xml), rounds=3, iterations=1
+    )
+    assert tree.root.tag == "bib"
+
+
+def test_index_build(benchmark, dblp_tree):
+    from repro.index import build_document_index
+
+    index = benchmark.pedantic(
+        lambda: build_document_index(dblp_tree), rounds=3, iterations=1
+    )
+    assert index.inverted.vocabulary_size() > 0
+
+
+@pytest.mark.parametrize(
+    "name, algorithm",
+    [
+        ("stack", stack_slca),
+        ("scan_eager", scan_eager_slca),
+        ("indexed_lookup", indexed_lookup_slca),
+        ("multiway", multiway_slca),
+    ],
+)
+def test_slca_baselines(benchmark, slca_lists, name, algorithm):
+    reference = stack_slca(slca_lists)
+    result = benchmark.pedantic(
+        lambda: algorithm(slca_lists), rounds=5, iterations=1
+    )
+    assert result == reference

@@ -1,0 +1,51 @@
+"""Table X — CG@1..4 under different (alpha, beta) weightings.
+
+The paper varies Formula 10's weights to separate the similarity score
+from the dependence score.  Expected shape:
+
+* [1,1] (both scores) beats [1,0] overall — the dependence score does
+  improve effectiveness;
+* the similarity score matters more than the dependence score for
+  CG@1 ([1,0] >= [0,1] at cutoff 1).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import scaled
+from repro.core import RankingModel
+from repro.eval import average_cg, format_table, print_report
+
+from .bench_table9_guidelines import CUTOFFS, collect_gains
+
+WEIGHTS = [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (2.0, 1.0), (1.0, 2.0)]
+
+
+def test_table10_report(dblp_index, dblp_miner, dblp_workload):
+    models = {
+        f"[{alpha:g},{beta:g}]": RankingModel(alpha=alpha, beta=beta)
+        for alpha, beta in WEIGHTS
+    }
+    gains = collect_gains(
+        dblp_index, dblp_miner, dblp_workload, models, scaled(25)
+    )
+    rows = []
+    table = {}
+    for name in models:
+        row = [name]
+        for cutoff in CUTOFFS:
+            value = average_cg(gains[name], cutoff)
+            table[(name, cutoff)] = value
+            row.append(value)
+        rows.append(row)
+    print_report(
+        format_table(
+            ["alpha,beta", "CG[1]", "CG[2]", "CG[3]", "CG[4]"],
+            rows,
+            title="Table X - CG@K by Formula-10 weighting",
+        )
+    )
+    # Shape 1: adding the dependence score does not hurt the combined
+    # model ([1,1] within noise of, or better than, [1,0] at CG@4).
+    assert table[("[1,1]", 4)] >= table[("[1,0]", 4)] * 0.9
+    # Shape 2: similarity alone beats dependence alone at CG@1.
+    assert table[("[1,0]", 1)] >= table[("[0,1]", 1)] * 0.9

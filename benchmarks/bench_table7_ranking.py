@@ -1,0 +1,51 @@
+"""Table VII — Top-4 refined queries with result counts (full model).
+
+The paper shows, for sample queries (including the mixed QX1–QX4),
+the Top-4 RQs produced by the complete ranking model (alpha=beta=1)
+with each RQ's matching-result count; its judges unanimously found the
+rank-1 RQ the most appropriate refinement.  Here the ground-truth
+intent plays the judges' role: the bench asserts that the rank-1 RQ
+is the intent itself for a clear majority of queries.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import scaled
+from repro.eval import format_table, print_report
+from repro.workload import MERGE, OVERCONSTRAIN, SPLIT, TYPO
+
+
+def test_table7_report(dblp_engine, dblp_workload):
+    kinds_cycle = [[TYPO], [SPLIT], [MERGE], [OVERCONSTRAIN], [TYPO, SPLIT]]
+    rows = []
+    rank1_is_intent = 0
+    total = 0
+    for index in range(scaled(8)):
+        kinds = kinds_cycle[index % len(kinds_cycle)]
+        pool_query = dblp_workload.refinable_query(kinds=kinds)
+        response = dblp_engine.search(pool_query.query, k=4)
+        cells = [f"Q{index + 1}", " ".join(pool_query.query)[:28]]
+        for refinement in response.refinements[:4]:
+            cells.append(
+                f"{' '.join(refinement.rq.keywords)[:24]},"
+                f"{refinement.result_count}"
+            )
+        while len(cells) < 6:
+            cells.append("-")
+        rows.append(cells)
+        total += 1
+        if (
+            response.refinements
+            and response.refinements[0].rq.key == frozenset(pool_query.intent)
+        ):
+            rank1_is_intent += 1
+    print_report(
+        format_table(
+            ["id", "query", "RQ1,size", "RQ2,size", "RQ3,size", "RQ4,size"],
+            rows,
+            title="Table VII - Top-4 RQs by the full ranking model",
+        )
+    )
+    # The paper's judges unanimously preferred RQ1; with ground truth
+    # available, RQ1 should equal the intent for a clear majority.
+    assert rank1_is_intent >= total * 0.5, (rank1_is_intent, total)

@@ -1,0 +1,45 @@
+"""Table VIII — query-pool statistics.
+
+The paper's pool: 219 empty-result queries (average length 3.92) from
+a live demo log plus 100 queries with results.  This bench regenerates
+a pool with the same composition from the simulated workload, prints
+its statistics, and asserts the headline invariants: every "refinable"
+entry truly has no meaningful result and every "clean" entry does.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import scaled
+from repro.eval import format_table, print_report
+from repro.workload import pool_statistics
+
+
+def test_table8_report(dblp_engine, dblp_workload):
+    refinable_count = scaled(36)
+    clean_count = scaled(16)
+    pool = dblp_workload.pool(refinable=refinable_count, clean=clean_count)
+    stats = pool_statistics(pool)
+    rows = [
+        ["pool size", stats["total"]],
+        ["queries needing refinement", stats["refinable"]],
+        ["queries with results", stats["clean"]],
+        ["average query length", round(stats["avg_length"], 2)],
+    ]
+    for kind, count in stats["kind_counts"].items():
+        rows.append([f"  corruption: {kind}", count])
+    print_report(
+        format_table(
+            ["statistic", "value"],
+            rows,
+            title="Table VIII - query pool statistics "
+                  "(paper: 219 refinable + 100 clean, avg length 3.92)",
+        )
+    )
+    assert stats["refinable"] == refinable_count
+    assert stats["clean"] == clean_count
+    assert 2.0 <= stats["avg_length"] <= 5.0
+
+    # Pool purity spot-check on a sample (full check is O(pool)).
+    for pool_query in pool[: scaled(10)]:
+        response = dblp_engine.search(pool_query.query, k=1)
+        assert response.needs_refinement == pool_query.refinable, pool_query

@@ -1,0 +1,72 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*.py`` module regenerates one table or figure from the
+paper's Section VIII.  Corpora are synthetic (see DESIGN.md for the
+substitution rationale) and sized so the full harness finishes in a
+few minutes on a laptop; scale them up with the ``XREFINE_BENCH_SCALE``
+environment variable (1 = default, 2 = double corpus and workload...).
+
+Absolute milliseconds will not match a 2009 Java/Berkeley-DB testbed —
+the *shapes* (who wins, how curves grow) are the reproduction target
+and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import XRefine
+from repro.datasets import generate_baseball, generate_dblp
+from repro.index import build_document_index
+from repro.lexicon import RuleMiner
+from repro.workload import WorkloadGenerator
+
+from benchmarks._common import scaled
+
+
+@pytest.fixture(scope="session")
+def dblp_tree():
+    """The benchmark DBLP corpus (about 20k nodes at scale 1)."""
+    return generate_dblp(num_authors=scaled(800), seed=7)
+
+
+@pytest.fixture(scope="session")
+def dblp_index(dblp_tree):
+    return build_document_index(dblp_tree)
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp_index):
+    return XRefine(dblp_index)
+
+
+@pytest.fixture(scope="session")
+def dblp_miner(dblp_index):
+    return RuleMiner(dblp_index.inverted.keywords())
+
+
+@pytest.fixture(scope="session")
+def dblp_workload(dblp_index):
+    return WorkloadGenerator(dblp_index, seed=23)
+
+
+@pytest.fixture(scope="session")
+def baseball_tree():
+    return generate_baseball(
+        teams_per_division=scaled(4), players_per_team=scaled(14), seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def baseball_index(baseball_tree):
+    return build_document_index(baseball_tree)
+
+
+@pytest.fixture(scope="session")
+def baseball_engine(baseball_index):
+    return XRefine(baseball_index)
+
+
+@pytest.fixture(scope="session")
+def baseball_workload(baseball_index):
+    return WorkloadGenerator(baseball_index, seed=29)

@@ -1,0 +1,124 @@
+"""Index lifecycle: persist to disk, reopen, and update incrementally.
+
+Shows the operational side of the engine: build once, save the full
+index (inverted lists + statistics in the embedded B+-tree stores),
+reopen it in a fresh process without re-parsing, absorb new entities
+and retire old ones without a rebuild, and verify queries pick the
+changes up immediately.
+
+Run with::
+
+    python examples/index_maintenance.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import XRefine
+from repro.datasets import generate_dblp
+from repro.index import (
+    append_partition,
+    build_document_index,
+    load_index,
+    remove_partition,
+    save_index,
+)
+
+
+def show_query(engine, query):
+    response = engine.search(query, k=1)
+    if response.needs_refinement:
+        best = response.best
+        if best is None:
+            print(f"  {query!r}: no refinement exists")
+        else:
+            print(
+                f"  {query!r}: refined to {{{' '.join(best.rq.keywords)}}} "
+                f"({best.result_count} results)"
+            )
+    else:
+        print(f"  {query!r}: {len(response.original_results)} direct results")
+
+
+def main():
+    print("building corpus + index...")
+    tree = generate_dblp(num_authors=250, seed=7)
+    started = time.perf_counter()
+    index = build_document_index(tree)
+    build_seconds = time.perf_counter() - started
+    print(
+        f"  {len(tree)} nodes, {index.inverted.vocabulary_size()} keywords "
+        f"in {build_seconds:.2f}s"
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        target = Path(workdir) / "corpus.idx"
+
+        print(f"\nsaving index to {target.name}/ ...")
+        save_index(index, target)
+        for path in sorted(target.iterdir()):
+            print(f"  {path.name:<16} {path.stat().st_size:>9} bytes")
+
+        print("\nreopening without re-parsing...")
+        started = time.perf_counter()
+        reopened = load_index(target)
+        print(f"  loaded in {time.perf_counter() - started:.2f}s")
+        engine = XRefine(reopened)
+        show_query(engine, "database query")
+        show_query(engine, "tardigrade genomics")  # not in corpus yet
+
+        print("\nappending a new author (no rebuild)...")
+        append_partition(
+            reopened,
+            (
+                "author",
+                None,
+                [
+                    ("name", "grace hopper"),
+                    (
+                        "publications",
+                        None,
+                        [
+                            (
+                                "inproceedings",
+                                None,
+                                [
+                                    ("title", "tardigrade genomics database"),
+                                    ("booktitle", "sigmod"),
+                                    ("year", "2007"),
+                                ],
+                            )
+                        ],
+                    ),
+                ],
+            ),
+        )
+        engine = XRefine(reopened)  # refresh the rule miner's vocabulary
+        show_query(engine, "tardigrade genomics")
+        show_query(engine, "tardigrade genomic")  # stemming refinement
+
+        print("\nremoving the first author...")
+        first = reopened.tree.partitions()[0]
+        removed_name = next(
+            (c.text for c in first.children if c.tag == "name"), "?"
+        )
+        remove_partition(reopened, first.dewey)
+        print(f"  removed author {removed_name!r}")
+        engine = XRefine(reopened)
+        show_query(engine, removed_name.split()[0])
+
+        print("\npersisting the updated index...")
+        save_index(reopened, target)
+        final = load_index(target)
+        print(
+            f"  reloaded: {len(final.tree)} nodes, "
+            f"{final.inverted.vocabulary_size()} keywords"
+        )
+        assert final.has_keyword("tardigrade")
+
+
+if __name__ == "__main__":
+    main()

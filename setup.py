@@ -1,0 +1,9 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments that lack
+the ``wheel`` package required by PEP 660 editable installs; all
+project metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,281 @@
+"""Command-line interface for XRefine.
+
+Usage (``python -m repro <command> ...``)::
+
+    repro generate dblp -o corpus.xml --authors 300 --seed 7
+    repro index corpus.xml -o corpus.idx
+    repro search corpus.idx online databse -k 3 --algorithm partition
+    repro slca corpus.idx database 2003 --algorithm scan
+    repro specialize corpus.idx query -k 3
+    repro stats corpus.idx
+
+``search``/``slca``/``specialize``/``stats`` accept either a saved
+index directory (from ``repro index``) or a raw ``.xml`` file (indexed
+on the fly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import __version__
+from .core.engine import ALGORITHMS, SLCA_ALGORITHMS, XRefine
+from .core.specialize import specialize_query
+from .datasets import generate_baseball, generate_dblp
+from .index.builder import build_document_index
+from .index.persist import load_index, save_index
+from .xmltree.parser import parse_file
+from .xmltree.serialize import write_file
+
+
+def _load_engine(source):
+    """Engine from a saved-index directory or a raw XML file."""
+    if os.path.isdir(source):
+        return XRefine(load_index(source))
+    return XRefine(build_document_index(parse_file(source)))
+
+
+def _cmd_generate(args, out):
+    if args.dataset == "dblp":
+        tree = generate_dblp(num_authors=args.authors, seed=args.seed)
+    else:
+        tree = generate_baseball(seed=args.seed)
+    write_file(tree, args.output)
+    print(f"wrote {args.output}: {len(tree)} nodes", file=out)
+    return 0
+
+
+def _cmd_index(args, out):
+    tree = parse_file(args.document)
+    index = build_document_index(tree)
+    save_index(index, args.output)
+    print(
+        f"indexed {args.document}: {len(tree)} nodes, "
+        f"{index.inverted.vocabulary_size()} keywords -> {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_search(args, out):
+    engine = _load_engine(args.source)
+    response = engine.search(args.keywords, k=args.k, algorithm=args.algorithm)
+    if not response.needs_refinement:
+        print(
+            f"direct hit: {len(response.original_results)} meaningful "
+            "result(s); no refinement needed",
+            file=out,
+        )
+        for dewey in response.original_results[: args.k]:
+            node = engine.node(dewey)
+            print(f"  {node.label()}  {node.subtree_text()[:64]}", file=out)
+        return 0
+    if not response.refinements:
+        print("no refinement with a meaningful result exists", file=out)
+        return 1
+    print("query needs refinement; suggestions:", file=out)
+    for rank, refinement in enumerate(response.refinements, start=1):
+        print(
+            f"  #{rank} {{{' '.join(refinement.rq.keywords)}}} "
+            f"dSim={refinement.rq.dissimilarity} "
+            f"results={refinement.result_count} "
+            f"rank={refinement.rank_score:.3f}",
+            file=out,
+        )
+        for dewey in refinement.slcas[:2]:
+            node = engine.node(dewey)
+            print(f"      {node.label()}  {node.subtree_text()[:56]}", file=out)
+    return 0
+
+
+def _cmd_slca(args, out):
+    engine = _load_engine(args.source)
+    labels = engine.slca_search(args.keywords, algorithm=args.algorithm)
+    print(f"{len(labels)} SLCA result(s)", file=out)
+    for dewey in labels:
+        node = engine.node(dewey)
+        print(f"  {node.label()}  {node.subtree_text()[:64]}", file=out)
+    return 0
+
+
+def _cmd_specialize(args, out):
+    engine = _load_engine(args.source)
+    response = specialize_query(
+        engine.index, args.keywords, k=args.k,
+        broad_threshold=args.threshold,
+    )
+    if not response.is_broad:
+        print(
+            f"query is focused ({len(response.original_results)} results); "
+            "nothing to narrow",
+            file=out,
+        )
+        return 0
+    print(
+        f"query is broad ({len(response.original_results)} results); "
+        "narrowing suggestions:",
+        file=out,
+    )
+    for suggestion in response.suggestions:
+        print(
+            f"  + {suggestion.expansion!r} -> "
+            f"{{{' '.join(suggestion.keywords)}}} "
+            f"({suggestion.result_count} results)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_repl(args, out, lines=None):
+    """Interactive search loop; ``lines`` injects input for tests."""
+    engine = _load_engine(args.source)
+    from .core.presentation import present
+
+    print(
+        "XRefine interactive search — enter keywords, or :quit to exit",
+        file=out,
+    )
+
+    def input_lines():
+        if lines is not None:
+            yield from lines
+            return
+        while True:
+            try:
+                yield input("query> ")
+            except EOFError:
+                return
+
+    for line in input_lines():
+        line = line.strip()
+        if not line:
+            continue
+        if line in (":q", ":quit", ":exit"):
+            break
+        try:
+            response = engine.search(line, k=args.k)
+        except Exception as exc:  # surface, keep the loop alive
+            print(f"error: {exc}", file=out)
+            continue
+        if response.needs_refinement and not response.refinements:
+            print("no results and no viable refinement", file=out)
+            continue
+        if response.needs_refinement:
+            print("did you mean:", file=out)
+        for label, snippets in present(engine.index, response, max_results=3):
+            print(f"[{label}]", file=out)
+            for snippet_ in snippets:
+                for rendered in snippet_.render().splitlines():
+                    print(f"  {rendered}", file=out)
+    return 0
+
+
+def _cmd_stats(args, out):
+    engine = _load_engine(args.source)
+    index = engine.index
+    print(f"nodes              : {len(index.tree)}", file=out)
+    print(f"partitions         : {len(index.tree.partitions())}", file=out)
+    print(
+        f"vocabulary         : {index.inverted.vocabulary_size()}", file=out
+    )
+    print(f"node types         : {len(index.statistics)}", file=out)
+    longest = sorted(
+        (
+            (index.inverted.list_length(keyword), keyword)
+            for keyword in index.inverted.keywords()
+        ),
+        reverse=True,
+    )[:5]
+    print("longest inverted lists:", file=out)
+    for length, keyword in longest:
+        print(f"  {keyword:<20} {length}", file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XRefine: automatic XML keyword query refinement",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic corpus as XML"
+    )
+    generate.add_argument("dataset", choices=("dblp", "baseball"))
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--authors", type=int, default=200)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(handler=_cmd_generate)
+
+    index = commands.add_parser(
+        "index", help="build and save the full index for a document"
+    )
+    index.add_argument("document")
+    index.add_argument("-o", "--output", required=True)
+    index.set_defaults(handler=_cmd_index)
+
+    search = commands.add_parser(
+        "search", help="refinement search (the full XRefine loop)"
+    )
+    search.add_argument("source", help="saved index dir or .xml file")
+    search.add_argument("keywords", nargs="+")
+    search.add_argument("-k", type=int, default=3)
+    search.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="partition"
+    )
+    search.set_defaults(handler=_cmd_search)
+
+    slca = commands.add_parser("slca", help="plain SLCA baseline search")
+    slca.add_argument("source")
+    slca.add_argument("keywords", nargs="+")
+    slca.add_argument(
+        "--algorithm", choices=sorted(SLCA_ALGORITHMS), default="scan"
+    )
+    slca.set_defaults(handler=_cmd_slca)
+
+    specialize = commands.add_parser(
+        "specialize", help="narrow an over-broad query (future work)"
+    )
+    specialize.add_argument("source")
+    specialize.add_argument("keywords", nargs="+")
+    specialize.add_argument("-k", type=int, default=3)
+    specialize.add_argument("--threshold", type=int, default=20)
+    specialize.set_defaults(handler=_cmd_specialize)
+
+    stats = commands.add_parser("stats", help="corpus/index statistics")
+    stats.add_argument("source")
+    stats.set_defaults(handler=_cmd_stats)
+
+    repl = commands.add_parser("repl", help="interactive search loop")
+    repl.add_argument("source")
+    repl.add_argument("-k", type=int, default=3)
+    repl.set_defaults(handler=_cmd_repl)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; treat
+        # as success like standard unix tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""XRefine — the keyword search engine prototype (Section I-VIII).
+
+:class:`XRefine` wires the whole stack together:
+
+* parse/accept an XML document and build the Section-VII indexes;
+* mine the pertinent refinement rule set for each query (the role the
+  paper's human annotators played);
+* run one of the three refinement algorithms, returning the original
+  query's meaningful SLCAs when no refinement is needed and the ranked
+  Top-K refined queries (with their results) when it is;
+* expose plain SLCA search over the same index for baselining.
+
+Typical use::
+
+    from repro import XRefine
+
+    engine = XRefine.from_xml(open("bib.xml").read())
+    response = engine.search("on line data base", k=3)
+    if response.needs_refinement:
+        for refinement in response.refinements:
+            print(refinement.keywords, refinement.result_count)
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..index.builder import build_document_index
+from ..index.tokenize_text import query_terms
+from ..lexicon.mining import RuleMiner
+from ..slca.elca import elca
+from ..slca.indexed_lookup import indexed_lookup_slca
+from ..slca.multiway import multiway_slca
+from ..slca.scan_eager import scan_eager_slca
+from ..slca.stack import stack_slca
+from ..xmltree.parser import parse
+from .partition_refine import partition_refine
+from .ranking.model import full_model
+from .result import RefinementResponse
+from .short_list_eager import short_list_eager
+from .stack_refine import stack_refine
+
+#: Refinement algorithm registry.
+ALGORITHMS = ("partition", "sle", "stack")
+#: Plain-SLCA algorithm registry.
+SLCA_ALGORITHMS = {
+    "stack": stack_slca,
+    "scan": scan_eager_slca,
+    "indexed": indexed_lookup_slca,
+    "multiway": multiway_slca,
+    # ELCA is a different (larger) conjunctive answer set, exposed for
+    # comparison; see repro.slca.elca.
+    "elca": elca,
+}
+
+
+class XRefine:
+    """The automatic XML keyword query refinement engine.
+
+    Parameters
+    ----------
+    index:
+        A prebuilt :class:`~repro.index.builder.DocumentIndex`.
+    model:
+        Ranking model (Formula 10); the full RS0 model by default.
+    miner:
+        Rule miner; constructed over the corpus vocabulary by default.
+    """
+
+    def __init__(self, index, model=None, miner=None):
+        self.index = index
+        self.model = model if model is not None else full_model()
+        if miner is None:
+            miner = RuleMiner(index.inverted.keywords())
+        self.miner = miner
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree, model=None, miner=None):
+        """Build the engine (and all indexes) from a parsed tree."""
+        return cls(build_document_index(tree), model=model, miner=miner)
+
+    @classmethod
+    def from_xml(cls, text, model=None, miner=None):
+        """Build the engine from an XML document string."""
+        return cls.from_tree(parse(text), model=model, miner=miner)
+
+    @classmethod
+    def from_file(cls, path, model=None, miner=None):
+        """Build the engine from an XML file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_xml(handle.read(), model=model, miner=miner)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def mine_rules(self, query):
+        """The pertinent rule set for a query (terms are normalized)."""
+        return self.miner.mine(query_terms(query))
+
+    def search(self, query, k=1, algorithm="partition", rules=None,
+               rank_results=False):
+        """Automatic refinement search (Issues 1–4 of the introduction).
+
+        Parameters
+        ----------
+        query:
+            Keyword string or sequence.
+        k:
+            Number of ranked refined queries wanted when refinement is
+            needed.
+        algorithm:
+            ``"partition"`` (Algorithm 2, default), ``"sle"``
+            (Algorithm 3) or ``"stack"`` (Algorithm 1; Top-1 only).
+        rules:
+            Pre-mined :class:`~repro.lexicon.rules.RuleSet`; mined on
+            the fly when omitted.
+        rank_results:
+            When True, each result list is reordered by the XML TF*IDF
+            result ranking of [6] instead of document order.
+
+        Returns
+        -------
+        RefinementResponse
+        """
+        terms = query_terms(query)
+        if not terms:
+            raise QueryError("the keyword query is empty")
+        if rules is None:
+            rules = self.mine_rules(terms)
+        if algorithm == "partition":
+            response = partition_refine(
+                self.index, terms, rules=rules, model=self.model, k=k
+            )
+        elif algorithm == "sle":
+            response = short_list_eager(
+                self.index, terms, rules=rules, model=self.model, k=k
+            )
+        elif algorithm == "stack":
+            response = stack_refine(
+                self.index, terms, rules=rules, model=self.model
+            )
+        else:
+            raise QueryError(
+                f"unknown refinement algorithm {algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if rank_results:
+            from .ranking.results import rank_response_results
+
+            rank_response_results(self.index, response)
+        return response
+
+    def slca_search(self, query, algorithm="scan"):
+        """Plain SLCA search of the original query (no refinement).
+
+        The baseline the paper calls ``stack-slca`` / ``scan-slca`` in
+        Fig. 4.  Returns the SLCA labels in document order.
+        """
+        terms = query_terms(query)
+        if not terms:
+            raise QueryError("the keyword query is empty")
+        try:
+            implementation = SLCA_ALGORITHMS[algorithm]
+        except KeyError:
+            raise QueryError(
+                f"unknown SLCA algorithm {algorithm!r}; "
+                f"expected one of {sorted(SLCA_ALGORITHMS)}"
+            ) from None
+        label_lists = [
+            [posting.dewey for posting in self.index.inverted_list(term)]
+            for term in terms
+        ]
+        return implementation(label_lists)
+
+    def node(self, dewey):
+        """Fetch the tree node for a result label."""
+        return self.index.tree.node(dewey)
+
+    def __repr__(self):
+        return f"XRefine({self.index!r})"

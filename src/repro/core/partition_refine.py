@@ -1,0 +1,189 @@
+"""Algorithm 2 — partition-based Top-K query refinement (Section VI-B).
+
+The document is processed as the ordered list of its partitions
+(Definition 6.1: the subtrees rooted at the children of the document
+root).  Within each partition the keyword sublists are sliced off the
+global inverted lists by Dewey-prefix (one forward fast-forward per
+cursor — the single scan of Theorem 2), the set ``T`` of locally
+present keywords feeds one ``getTopOptimalRQs`` call, and qualifying
+candidates are admitted to the Top-2K :class:`RQSortedList`; their
+SLCA results are computed *inside the partition* by any existing SLCA
+method (scan-eager here — the orthogonality of Lemma 3).
+
+The three optimizations the paper credits the approach with are all
+implemented and observable in :class:`~repro.core.result.ScanStats`:
+
+1. computations whose SLCA would be the (meaningless) document root
+   never happen — partitions never produce the root;
+2. a partition whose best local candidate cannot beat the current
+   2K-th dissimilarity skips both the DP beam *and* the SLCA
+   computation (``partitions_skipped``);
+3. within a partition, one DP call covers every RQ candidate no matter
+   how many matches it has there (``dp_invocations``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..lexicon.rules import RuleSet
+from ..slca.scan_eager import scan_eager_slca
+from ..xmltree.dewey import Dewey
+from .candidates import RQSortedList
+from .common import QueryContext, rank_candidates
+from .dp import get_top_optimal_rqs
+from .result import RefinementResponse, ScanStats
+
+
+def partition_refine(index, query, rules=None, model=None, k=1,
+                     skip_optimization=True):
+    """Run Algorithm 2; returns the Top-``k`` refined queries.
+
+    Parameters as :func:`~repro.core.stack_refine.stack_refine`, plus
+    ``k`` — the number of ranked refined queries wanted.  The working
+    candidate list holds ``2k`` entries, as in the paper.
+    ``skip_optimization=False`` disables the partition-pruning bound
+    (optimization 2 of Section VI-B) for the ablation benchmark.
+    """
+    from .ranking.model import full_model
+
+    rules = rules if rules is not None else RuleSet()
+    model = model if model is not None else full_model()
+    started = time.perf_counter()
+
+    context = QueryContext(index, query, rules)
+    stats = ScanStats()
+    stats.lists_opened = len(context.keyword_space)
+    query_key = context.query_key()
+    query_set = set(context.query)
+
+    cursors = {
+        keyword: context.lists[keyword].cursor()
+        for keyword in context.keyword_space
+    }
+
+    sorted_list = RQSortedList(capacity=max(2 * k, 2))
+    candidate_map = {}  # rq key -> (RefinedQuery, [Dewey])
+    needs_refine = True
+    original_results = []
+
+    while True:
+        # getSmallestNode over the cursor heads.
+        smallest = None
+        for cursor in cursors.values():
+            head = cursor.peek()
+            if head is None:
+                continue
+            if smallest is None or head.dewey.components < smallest.components:
+                smallest = head.dewey
+        if smallest is None:
+            break
+        partition_id = smallest.partition_id()
+        if partition_id is None:
+            # A match on the document root itself can never yield a
+            # meaningful result; consume it and continue.
+            for cursor in cursors.values():
+                head = cursor.peek()
+                if head is not None and head.dewey == smallest:
+                    cursor.advance()
+                    stats.postings_scanned += 1
+            continue
+        stats.partitions_visited += 1
+
+        # getKLPartition: slice each list's postings under partition_id
+        # by fast-forwarding its cursor (line 7-8; forward-only).
+        sublists = {}
+        for keyword, cursor in cursors.items():
+            collected = []
+            while True:
+                head = cursor.peek()
+                if head is None:
+                    break
+                if not partition_id.is_ancestor_or_self_of(head.dewey):
+                    break
+                collected.append(head.dewey)
+                cursor.advance()
+                stats.postings_scanned += 1
+            if collected:
+                sublists[keyword] = collected
+
+        present = set(sublists)
+
+        # Original-query check: Q has all keywords in this partition.
+        if query_set and query_set <= present:
+            stats.slca_invocations += 1
+            slcas = scan_eager_slca(
+                [sublists[keyword] for keyword in context.query]
+            )
+            meaningful = context.meaningful_only(slcas)
+            if meaningful:
+                needs_refine = False
+                original_results.extend(meaningful)
+
+        if not needs_refine:
+            continue
+        if not present:
+            continue
+
+        # Optimization 2: if even the best possible candidate here
+        # cannot enter the Top-2K list, skip DP + SLCA entirely.  The
+        # cheap bound is a 1-beam DP; when the full list's threshold is
+        # infinite the bound can never prune, so run the beam directly.
+        threshold = sorted_list.max_dissimilarity()
+        if skip_optimization and sorted_list.is_full:
+            stats.dp_invocations += 1
+            probe = get_top_optimal_rqs(context.query, present, rules, 1)
+            if not probe or probe[0].dissimilarity >= threshold:
+                stats.partitions_skipped += 1
+                continue
+
+        stats.dp_invocations += 1
+        local_candidates = get_top_optimal_rqs(
+            context.query, present, rules, sorted_list.capacity
+        )
+        for rq in local_candidates:
+            if rq.key == query_key:
+                continue
+            already_kept = sorted_list.has_key(rq.key)
+            if not already_kept and rq.dissimilarity >= sorted_list.max_dissimilarity():
+                continue
+            # Compute this RQ's SLCAs within the partition first: only
+            # candidates with a *meaningful* match may enter the list.
+            stats.slca_invocations += 1
+            slcas = scan_eager_slca(
+                [sublists[keyword] for keyword in rq.keywords]
+            )
+            meaningful = context.meaningful_only(slcas)
+            if not meaningful:
+                continue
+            if sorted_list.insert(rq) or already_kept:
+                record = candidate_map.setdefault(rq.key, (rq, []))
+                record[1].extend(meaningful)
+
+    # Keep only candidates that survived in the Top-2K list, then apply
+    # the full ranking model (line 19).  Pair each key's accumulated
+    # results with the *sorted list's* RefinedQuery object: a beam
+    # restricted to one partition's keywords can report a higher
+    # dissimilarity for the same keyword set than another partition's,
+    # and the sorted list holds the minimum seen.
+    surviving = {
+        rq.key: (rq, candidate_map[rq.key][1])
+        for rq in sorted_list.queries()
+        if rq.key in candidate_map
+    }
+    ranked = (
+        rank_candidates(context, model, surviving) if needs_refine else []
+    )
+    if not needs_refine:
+        original_results.sort()
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return RefinementResponse(
+        query=context.query,
+        needs_refinement=needs_refine,
+        original_results=original_results if not needs_refine else [],
+        refinements=ranked[:k],
+        candidates=ranked,
+        search_for=context.search_for,
+        stats=stats,
+    )

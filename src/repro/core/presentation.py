@@ -1,0 +1,161 @@
+"""Result presentation: return-node inference and snippets.
+
+SLCA semantics say *where* a match is; they do not say *what to show*.
+XSeek [5] (cited in the paper's related work) infers the *return node*
+— the entity a user actually wants rendered — from match patterns and
+entity structure.  This module provides that presentation layer for
+XRefine results:
+
+* :func:`return_node` — lift an SLCA label to the closest
+  self-or-ancestor node of a search-for type (the inferred entity), so
+  a match deep inside a publication renders the publication, not a
+  bare ``year`` element;
+* :func:`snippet` — a compact rendition of the entity: its name-ish
+  fields first, keyword-bearing text fragments highlighted;
+* :func:`present` — apply both to a whole
+  :class:`~repro.core.result.RefinementResponse`.
+
+Only presentation happens here; result *sets* are untouched.
+"""
+
+from __future__ import annotations
+
+from ..index.tokenize_text import extract_terms
+
+#: Tags commonly holding an entity's display name, tried in order.
+NAME_TAGS = ("title", "name", "surname", "headline", "label")
+
+#: Maximum characters of highlighted context per fragment.
+FRAGMENT_WIDTH = 60
+
+
+class Snippet:
+    """A display-ready result: entity node + highlighted fragments."""
+
+    __slots__ = ("entity", "match", "heading", "fragments")
+
+    def __init__(self, entity, match, heading, fragments):
+        self.entity = entity
+        self.match = match
+        self.heading = heading
+        self.fragments = list(fragments)
+
+    def render(self):
+        """Single-string rendition (used by the CLI and examples)."""
+        lines = [f"{self.entity.label()}  {self.heading}"]
+        lines.extend(f"    {fragment}" for fragment in self.fragments)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Snippet({self.entity.label()}, {self.heading!r})"
+
+
+def return_node(index, dewey, search_for_types):
+    """The entity node to display for one SLCA result label.
+
+    Walks from the SLCA toward the root until a node whose type is one
+    of the search-for candidates is found; the SLCA itself is returned
+    when nothing matches (e.g. no search-for could be inferred).
+    """
+    node = index.tree.get(dewey)
+    if node is None:
+        return None
+    candidates = [tuple(t) for t in search_for_types]
+    current = node
+    while current is not None:
+        if current.node_type in candidates:
+            return current
+        parent_dewey = current.dewey.parent
+        current = (
+            index.tree.get(parent_dewey) if parent_dewey is not None else None
+        )
+    return node
+
+
+def _heading(entity):
+    """Best-effort display name for an entity node."""
+    for tag in NAME_TAGS:
+        for child in entity.children:
+            if child.tag == tag and child.text:
+                return child.text[:FRAGMENT_WIDTH]
+    if entity.text:
+        return entity.text[:FRAGMENT_WIDTH]
+    return entity.tag
+
+
+def _highlight(text, keywords):
+    """Uppercase query keywords inside one text fragment."""
+    pieces = []
+    for word in text.split():
+        normalized = "".join(ch for ch in word.lower() if ch.isalnum())
+        pieces.append(word.upper() if normalized in keywords else word)
+    return " ".join(pieces)
+
+
+def snippet(index, dewey, keywords, search_for_types):
+    """Build a :class:`Snippet` for one result label."""
+    keywords = {k.lower() for k in keywords}
+    entity = return_node(index, dewey, search_for_types)
+    if entity is None:
+        return None
+    fragments = []
+    for node in index.tree.iter_subtree(entity.dewey):
+        if not node.text:
+            continue
+        terms = set(extract_terms(node.text))
+        if node.tag.lower() in keywords or terms & keywords:
+            fragment = _highlight(node.text[: FRAGMENT_WIDTH * 2], keywords)
+            fragments.append(f"{node.tag}: {fragment}")
+        if len(fragments) >= 4:
+            break
+    return Snippet(entity, dewey, _heading(entity), fragments)
+
+
+def present(index, response, max_results=5):
+    """Snippets for a refinement response.
+
+    Returns ``[(label, [Snippet, ...]), ...]`` — one group for the
+    original query when it answered directly, or one per refined query
+    otherwise.  Duplicate entities within a group are collapsed.
+    """
+    types = [c.node_type for c in response.search_for]
+    groups = []
+    if not response.needs_refinement:
+        groups.append(
+            (
+                " ".join(response.query),
+                _snippets_for(
+                    index, response.original_results, response.query,
+                    types, max_results,
+                ),
+            )
+        )
+        return groups
+    for refinement in response.refinements:
+        groups.append(
+            (
+                " ".join(refinement.rq.keywords),
+                _snippets_for(
+                    index,
+                    refinement.slcas,
+                    refinement.rq.keywords,
+                    types,
+                    max_results,
+                ),
+            )
+        )
+    return groups
+
+
+def _snippets_for(index, labels, keywords, types, max_results):
+    snippets = []
+    seen_entities = set()
+    for dewey in labels:
+        built = snippet(index, dewey, keywords, types)
+        if built is None or built.entity.dewey in seen_entities:
+            continue
+        seen_entities.add(built.entity.dewey)
+        snippets.append(built)
+        if len(snippets) >= max_results:
+            break
+    return snippets

@@ -1,0 +1,46 @@
+"""The query ranking model of Section IV.
+
+Similarity (Guidelines 1–4, Formulas 2–6) + dependence (Guideline 5,
+Formulas 7–9), combined by Formula 10, with every ablation knob Table
+IX and Table X exercise.
+"""
+
+from .dependence import dependence, dependence_for_type, pair_confidence
+from .model import RankingModel, full_model, variant_without_guideline
+from .results import rank_response_results, rank_results, score_result
+from .search_for import (
+    DEFAULT_COMPARABLE_FRACTION,
+    DEFAULT_REDUCTION,
+    SearchForCandidate,
+    confidence,
+    infer_search_for,
+)
+from .similarity import (
+    DEFAULT_DECAY,
+    importance,
+    keyword_importance,
+    similarity,
+    similarity_for_type,
+)
+
+__all__ = [
+    "RankingModel",
+    "full_model",
+    "variant_without_guideline",
+    "similarity",
+    "similarity_for_type",
+    "importance",
+    "keyword_importance",
+    "DEFAULT_DECAY",
+    "dependence",
+    "dependence_for_type",
+    "pair_confidence",
+    "rank_results",
+    "rank_response_results",
+    "score_result",
+    "SearchForCandidate",
+    "confidence",
+    "infer_search_for",
+    "DEFAULT_REDUCTION",
+    "DEFAULT_COMPARABLE_FRACTION",
+]

@@ -1,0 +1,76 @@
+"""Within-query result ranking — XML TF*IDF in the style of [6].
+
+The paper ranks *refined queries*; the authors' companion work [6]
+(cited in Sections II and III-A) ranks the *results* of a query with an
+XML-aware TF*IDF.  This module provides that layer so the engine can
+order the meaningful SLCAs of each refined query rather than emit them
+in document order:
+
+    score(r, Q) = sum_k  tf(k, r) / |r|  *  ln(1 + N_T / (1 + f_k^T))
+
+where ``tf(k, r)`` counts k's occurrences in the result subtree,
+``|r|`` is the subtree's term volume (length normalization), ``T`` is
+the result's entity type and ``f_k^T`` / ``N_T`` come straight from the
+frequent table — i.e. the IDF part reuses Formula 3's statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ...index.tokenize_text import node_keywords
+from .similarity import keyword_importance
+
+
+def result_term_counts(index, dewey):
+    """Term frequency of every keyword inside one result subtree."""
+    counts = Counter()
+    for node in index.tree.iter_subtree(dewey):
+        counts.update(node_keywords(node))
+    return counts
+
+
+def score_result(index, dewey, keywords, node_type=None):
+    """XML TF*IDF score of one result subtree for a keyword set."""
+    node = index.tree.get(dewey)
+    if node is None:
+        return 0.0
+    if node_type is None:
+        node_type = node.node_type
+    counts = result_term_counts(index, dewey)
+    volume = sum(counts.values())
+    if volume == 0:
+        return 0.0
+    score = 0.0
+    for keyword in keywords:
+        tf = counts.get(keyword, 0)
+        if not tf:
+            continue
+        score += (tf / volume) * keyword_importance(index, keyword, node_type)
+    return score
+
+
+def rank_results(index, labels, keywords):
+    """Sort result labels by descending XML TF*IDF score.
+
+    Ties break by document order, keeping the output deterministic.
+    """
+    scored = [
+        (score_result(index, dewey, keywords), dewey) for dewey in labels
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1].components))
+    return [dewey for _, dewey in scored]
+
+
+def rank_response_results(index, response):
+    """Reorder every result list of a refinement response in place."""
+    if not response.needs_refinement:
+        response.original_results[:] = rank_results(
+            index, response.original_results, response.query
+        )
+        return response
+    for refinement in response.refinements:
+        refinement.slcas[:] = rank_results(
+            index, refinement.slcas, refinement.rq.keywords
+        )
+    return response

@@ -1,0 +1,24 @@
+"""Search-for node inference, re-exported for the ranking layer.
+
+Formula 1 lives with the SLCA semantics in
+:mod:`repro.slca.meaningful` (it is needed before any ranking — the
+meaningful-SLCA test uses it); the ranking model consumes the same
+confidences for Guideline 3, so this module re-exports the API at the
+layer the ranking code imports from.
+"""
+
+from ...slca.meaningful import (
+    DEFAULT_COMPARABLE_FRACTION,
+    DEFAULT_REDUCTION,
+    SearchForCandidate,
+    confidence,
+    infer_search_for,
+)
+
+__all__ = [
+    "SearchForCandidate",
+    "confidence",
+    "infer_search_for",
+    "DEFAULT_REDUCTION",
+    "DEFAULT_COMPARABLE_FRACTION",
+]

@@ -1,0 +1,143 @@
+"""Result objects shared by the three refinement algorithms.
+
+Every algorithm — stack-refine, Partition, SLE — answers a query with a
+:class:`RefinementResponse`: whether the original query needed
+refinement (Definition 3.4), the original query's meaningful SLCAs when
+it did not, the ranked refined queries with *their* results when it
+did, the inferred search-for candidates, and scan accounting that the
+tests use to assert the one-scan guarantees of Theorems 1 and 2.
+"""
+
+from __future__ import annotations
+
+
+class ScanStats:
+    """Inverted-list access accounting for one query evaluation."""
+
+    __slots__ = (
+        "postings_scanned",
+        "probes",
+        "dp_invocations",
+        "slca_invocations",
+        "partitions_visited",
+        "partitions_skipped",
+        "lists_opened",
+        "elapsed_seconds",
+    )
+
+    def __init__(self):
+        self.postings_scanned = 0
+        self.probes = 0
+        self.dp_invocations = 0
+        self.slca_invocations = 0
+        self.partitions_visited = 0
+        self.partitions_skipped = 0
+        self.lists_opened = 0
+        self.elapsed_seconds = 0.0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (
+            f"ScanStats(scanned={self.postings_scanned}, probes={self.probes}, "
+            f"dp={self.dp_invocations}, slca={self.slca_invocations})"
+        )
+
+
+class RankedRefinement:
+    """One refined query with its results and ranking breakdown."""
+
+    __slots__ = (
+        "rq",
+        "slcas",
+        "rank_score",
+        "similarity_score",
+        "dependence_score",
+    )
+
+    def __init__(
+        self,
+        rq,
+        slcas,
+        rank_score=0.0,
+        similarity_score=0.0,
+        dependence_score=0.0,
+    ):
+        self.rq = rq
+        self.slcas = list(slcas)
+        self.rank_score = rank_score
+        self.similarity_score = similarity_score
+        self.dependence_score = dependence_score
+
+    @property
+    def keywords(self):
+        return self.rq.keywords
+
+    @property
+    def dissimilarity(self):
+        return self.rq.dissimilarity
+
+    @property
+    def result_count(self):
+        return len(self.slcas)
+
+    def __repr__(self):
+        return (
+            f"RankedRefinement({{{', '.join(self.rq.keywords)}}}, "
+            f"dSim={self.rq.dissimilarity}, results={len(self.slcas)}, "
+            f"rank={self.rank_score:.4f})"
+        )
+
+
+class RefinementResponse:
+    """Complete answer for one keyword query."""
+
+    __slots__ = (
+        "query",
+        "needs_refinement",
+        "original_results",
+        "refinements",
+        "candidates",
+        "search_for",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        query,
+        needs_refinement,
+        original_results,
+        refinements,
+        search_for,
+        stats,
+        candidates=None,
+    ):
+        self.query = tuple(query)
+        self.needs_refinement = needs_refinement
+        self.original_results = list(original_results)
+        self.refinements = list(refinements)
+        #: The full ranked candidate list before Top-K truncation (the
+        #: paper's 2K working set); equals ``refinements`` for Top-1
+        #: algorithms.
+        self.candidates = (
+            list(candidates) if candidates is not None else list(refinements)
+        )
+        self.search_for = list(search_for)
+        self.stats = stats
+
+    def top(self, k=1):
+        """The best ``k`` refined queries (best first)."""
+        return self.refinements[:k]
+
+    @property
+    def best(self):
+        """The best refined query, or ``None``."""
+        return self.refinements[0] if self.refinements else None
+
+    def __repr__(self):
+        status = "needs refinement" if self.needs_refinement else "direct hit"
+        return (
+            f"RefinementResponse({{{', '.join(self.query)}}}: {status}, "
+            f"{len(self.refinements)} refinements)"
+        )

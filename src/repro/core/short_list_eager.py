@@ -1,0 +1,226 @@
+"""Algorithm 3 — short-list eager (SLE) Top-K refinement (Section VI-C).
+
+Keyword frequencies vary wildly in practice, so SLE explores candidate
+refined queries starting from the keyword with the **shortest**
+inverted list: every partition containing that keyword is examined
+(the other lists are only *probed* by random access — binary searches
+that never move a cursor backwards), the local DP proposes candidates,
+and the processed list is then retired.  After each iteration the
+*potential* minimum dissimilarity ``C_potential`` of any refined query
+over the remaining keywords is computed; once the candidate list is
+full and ``C_potential`` exceeds its worst kept dissimilarity, no
+unexplored candidate can qualify and exploration stops — often without
+ever touching the long lists (step 1, lines 4–16).
+
+Step 2 then computes SLCA results only for the kept candidates, using
+any existing SLCA method (scan-eager here; the orthogonality of the
+paper's discussion holds).  This back-loaded SLCA work is exactly why
+SLE degrades faster than Partition as K grows (Fig. 5a).
+
+The per-iteration keyword choice implements the paper's "smarter
+choice": prefer keywords that need no refinement (they appear both in
+``Q`` and the data) or that rules generate (RHS keywords), breaking
+ties by shortest list.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..lexicon.rules import RuleSet
+from ..slca.scan_eager import scan_eager_slca
+from .candidates import RQSortedList
+from .common import QueryContext, rank_candidates
+from .dp import get_top_optimal_rqs
+from .result import RefinementResponse, ScanStats
+
+
+def _partitions_of(inverted_list):
+    """Ordered distinct partition ids among a list's postings."""
+    seen = []
+    last = None
+    for posting in inverted_list:
+        pid = posting.dewey.partition_id()
+        if pid is None or pid == last:
+            continue
+        seen.append(pid)
+        last = pid
+    return seen
+
+
+def short_list_eager(index, query, rules=None, model=None, k=1,
+                     smart_choice=True):
+    """Run Algorithm 3; returns the Top-``k`` refined queries.
+
+    ``smart_choice=False`` falls back to the plain shortest-list
+    ordering (no preference for refinement-free / rule-generated
+    keywords), for the ablation benchmark of the Section VI-C
+    discussion.
+    """
+    from .ranking.model import full_model
+
+    rules = rules if rules is not None else RuleSet()
+    model = model if model is not None else full_model()
+    started = time.perf_counter()
+
+    context = QueryContext(index, query, rules)
+    stats = ScanStats()
+    stats.lists_opened = len(context.keyword_space)
+    query_key = context.query_key()
+    query_set = set(context.query)
+
+    cursors = {
+        keyword: context.lists[keyword].cursor()
+        for keyword in context.keyword_space
+    }
+    remaining = {
+        keyword
+        for keyword in context.keyword_space
+        if len(context.lists[keyword]) > 0
+    }
+
+    sorted_list = RQSortedList(capacity=max(2 * k, 2))
+    found = {}  # rq key -> RefinedQuery
+    visited_partitions = set()
+    needs_refine = True
+    original_results = []
+
+    rhs_keywords = rules.generated_keywords()
+    lhs_keywords = set()
+    for rule in rules:
+        lhs_keywords.update(rule.lhs)
+
+    def choose_keyword():
+        """The paper's smart choice of the next keyword to anchor on.
+
+        Prefer a keyword that "either appears in the RHS of refinement
+        rules related to Q or never appears in the LHS of any rule
+        related to Q (i.e. does not need any refinement)", breaking
+        ties by shortest inverted list.  With ``smart_choice`` off,
+        pure shortest-list order is used.
+        """
+        def sort_key(keyword):
+            preferred = (
+                keyword in rhs_keywords or keyword not in lhs_keywords
+            )
+            rank = 0 if (preferred or not smart_choice) else 1
+            return (rank, len(context.lists[keyword]), keyword)
+
+        return min(remaining, key=sort_key)
+
+    # ------------------------------------------------------------------
+    # Step 1: explore Top-2K candidates.
+    # ------------------------------------------------------------------
+    while remaining:
+        anchor_keyword = choose_keyword()
+        anchor_cursor = cursors[anchor_keyword]
+
+        for partition_id in _partitions_of(context.lists[anchor_keyword]):
+            anchor_cursor.skip_to(partition_id)
+            if partition_id in visited_partitions:
+                continue
+            visited_partitions.add(partition_id)
+            stats.partitions_visited += 1
+
+            # Random-access probes of every other keyword list.
+            sublists = {}
+            for keyword in context.keyword_space:
+                if keyword == anchor_keyword:
+                    postings = context.lists[keyword].sublist(partition_id)
+                else:
+                    postings = cursors[keyword].probe_partition(partition_id)
+                    stats.probes += 1
+                if postings:
+                    sublists[keyword] = [p.dewey for p in postings]
+            present = set(sublists)
+
+            if query_set and query_set <= present:
+                stats.slca_invocations += 1
+                slcas = scan_eager_slca(
+                    [sublists[keyword] for keyword in context.query]
+                )
+                meaningful = context.meaningful_only(slcas)
+                if meaningful:
+                    needs_refine = False
+                    original_results.extend(meaningful)
+            if not needs_refine:
+                continue
+
+            stats.dp_invocations += 1
+            for rq in get_top_optimal_rqs(
+                context.query, present, rules, sorted_list.capacity
+            ):
+                if rq.key == query_key:
+                    continue
+                already_kept = sorted_list.has_key(rq.key)
+                if (
+                    not already_kept
+                    and rq.dissimilarity >= sorted_list.max_dissimilarity()
+                ):
+                    continue
+                if not already_kept:
+                    # Issue 2: a candidate may only occupy a Top-2K slot
+                    # when it is assured a *meaningful* match; a cheap
+                    # partition-local SLCA check (over the already
+                    # probed sublists) prevents meaningless candidates
+                    # from evicting real ones.  Full result sets are
+                    # still deferred to step 2.
+                    stats.slca_invocations += 1
+                    local = scan_eager_slca(
+                        [sublists[keyword] for keyword in rq.keywords]
+                    )
+                    if not context.meaningful_only(local):
+                        continue
+                if sorted_list.insert(rq):
+                    found[rq.key] = rq
+
+        remaining.discard(anchor_keyword)
+        if not needs_refine:
+            # Q's SLCAs may still exist in partitions only reachable
+            # through other keywords; keep iterating only over lists of
+            # Q's own keywords to complete the original results.
+            remaining.intersection_update(query_set)
+            continue
+
+        # Stop condition: C_potential over the remaining keywords.
+        if sorted_list.is_full and remaining:
+            stats.dp_invocations += 1
+            potential = get_top_optimal_rqs(
+                context.query, remaining, rules, 1
+            )
+            c_potential = (
+                potential[0].dissimilarity if potential else float("inf")
+            )
+            if c_potential > sorted_list.max_dissimilarity():
+                break
+
+    # ------------------------------------------------------------------
+    # Step 2: SLCA computation for the kept candidates only.
+    # ------------------------------------------------------------------
+    ranked = []
+    if needs_refine:
+        candidate_map = {}
+        for rq in sorted_list.queries():
+            label_lists = [
+                [p.dewey for p in context.index.inverted_list(keyword)]
+                for keyword in rq.keywords
+            ]
+            stats.slca_invocations += 1
+            slcas = scan_eager_slca(label_lists)
+            meaningful = context.meaningful_only(slcas)
+            if meaningful:
+                candidate_map[rq.key] = (rq, meaningful)
+        ranked = rank_candidates(context, model, candidate_map)
+    else:
+        original_results = sorted(set(original_results))
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return RefinementResponse(
+        query=context.query,
+        needs_refinement=needs_refine,
+        original_results=original_results if not needs_refine else [],
+        refinements=ranked[:k],
+        candidates=ranked,
+        search_for=context.search_for,
+        stats=stats,
+    )

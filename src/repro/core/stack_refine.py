@@ -1,0 +1,219 @@
+"""Algorithm 1 — stack-based query refinement (Section VI-A).
+
+Extends the stack-based SLCA algorithm of [3] over the *extended*
+keyword set ``KS = getNewKeywords(Q) + Q``: every stack entry carries a
+witness bitmask over KS, and whenever an entry is popped (its subtree
+is complete) the algorithm
+
+1. checks whether the popped node is a meaningful SLCA of the original
+   query ``Q`` — if so, ``Q`` needs no refinement (Definition 3.4);
+2. otherwise invokes ``getOptimalRQ`` on the witnessed keyword subset
+   to maintain the refined query with minimum ``dSim(Q, RQ)`` whose
+   match is meaningful, resetting the witness bits unique to an emitted
+   RQ so ancestors do not re-derive the same result (the "pass the rest
+   witness to the parent" rule of lines 18–19).
+
+The scan is the paper's single merged pass over the KS inverted lists
+(Theorem 1).  Because the witness-reset rule is a heuristic about
+*where* an RQ's matches end, the final result sets for the winning
+RQ(s) are completed with one exact SLCA computation over the already
+decoded lists — the candidate discovery itself remains one-scan, and
+the chosen optimal RQ is identical either way (the tests assert it
+against Algorithm 2).
+
+This is deliberately the paper's *basic* solution: one DP invocation
+per popped witness-bearing node makes it the slowest of the three
+(Fig. 4's expected shape).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..lexicon.rules import RuleSet
+from ..slca.scan_eager import scan_eager_slca
+from .candidates import RefinedQuery
+from .common import QueryContext, rank_candidates
+from .dp import get_optimal_rq
+from .result import RefinementResponse, ScanStats
+
+
+class _Entry:
+    __slots__ = ("component", "mask", "blocked_q")
+
+    def __init__(self, component):
+        self.component = component
+        self.mask = 0
+        self.blocked_q = False
+
+
+def stack_refine(index, query, rules=None, model=None):
+    """Run Algorithm 1; returns a :class:`RefinementResponse` (Top-1).
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.index.builder.DocumentIndex`.
+    query:
+        Keyword sequence or string.
+    rules:
+        The pertinent :class:`~repro.lexicon.rules.RuleSet`; an empty
+        set (deletion only) when omitted.
+    model:
+        Ranking model used to order tied optimal candidates; the
+        engine supplies one, standalone callers may omit it.
+    """
+    from .ranking.model import full_model
+
+    rules = rules if rules is not None else RuleSet()
+    model = model if model is not None else full_model()
+    started = time.perf_counter()
+
+    context = QueryContext(index, query, rules)
+    stats = ScanStats()
+    stats.lists_opened = len(context.keyword_space)
+
+    keyword_bit = {
+        keyword: 1 << position
+        for position, keyword in enumerate(context.keyword_space)
+    }
+    query_mask = 0
+    for keyword in context.query:
+        query_mask |= keyword_bit.get(keyword, 0)
+    query_key = context.query_key()
+
+    cursors = [
+        context.lists[keyword].cursor()
+        for keyword in context.keyword_space
+    ]
+    bit_of_cursor = [
+        keyword_bit[cursor.keyword] for cursor in cursors
+    ]
+
+    needs_refine = True
+    original_results = []
+    min_dissimilarity = float("inf")
+    best = {}  # rq key -> (RefinedQuery, [Dewey])
+
+    stack = []
+
+    def pop_entry(path_components):
+        nonlocal needs_refine, min_dissimilarity
+        entry = stack.pop()
+        dewey_components = tuple(path_components) + (entry.component,)
+        propagate = entry.mask
+        if entry.blocked_q:
+            if stack:
+                stack[-1].blocked_q = True
+        elif entry.mask & query_mask == query_mask and query_mask:
+            # Popped node is an SLCA of the original query.
+            from ..xmltree.dewey import Dewey
+
+            dewey = Dewey(dewey_components)
+            if context.is_meaningful_node(dewey):
+                needs_refine = False
+                original_results.append(dewey)
+            if stack:
+                stack[-1].blocked_q = True
+            propagate = 0  # line 12: reset all witness entries
+        elif needs_refine and entry.mask:
+            witnessed = {
+                keyword
+                for keyword, bit in keyword_bit.items()
+                if entry.mask & bit
+            }
+            stats.dp_invocations += 1
+            optimal = get_optimal_rq(context.query, witnessed, rules)
+            if (
+                optimal is not None
+                and optimal.key != query_key
+                and optimal.dissimilarity <= min_dissimilarity
+            ):
+                from ..xmltree.dewey import Dewey
+
+                dewey = Dewey(dewey_components)
+                if context.is_meaningful_node(dewey):
+                    if optimal.dissimilarity < min_dissimilarity:
+                        min_dissimilarity = optimal.dissimilarity
+                        best.clear()
+                    record = best.setdefault(
+                        optimal.key, (optimal, [])
+                    )
+                    record[1].append(dewey)
+                    # Deviation from the paper's lines 18-19: the
+                    # witness bits are NOT reset.  Resetting the bits
+                    # "unique to this RQ" can consume a witness that
+                    # would have combined into a strictly better RQ at
+                    # an ancestor (e.g. a lone acronym match emitted as
+                    # a one-keyword RQ steals its bit from the
+                    # inproceedings node above it), breaking Theorem
+                    # 1's optimality.  Duplicate ancestor derivations
+                    # the reset was meant to avoid are harmless here
+                    # because the final result sets are completed by an
+                    # exact SLCA pass below.
+        if stack:
+            stack[-1].mask |= propagate
+            stack[-1].blocked_q = stack[-1].blocked_q or entry.blocked_q
+
+    # ------------------------------------------------------------------
+    # Merged single scan (getSmallestNode over all KS cursors).
+    # ------------------------------------------------------------------
+    while True:
+        smallest = None
+        for cursor_index, cursor in enumerate(cursors):
+            head = cursor.peek()
+            if head is None:
+                continue
+            if smallest is None or head.dewey.components < smallest[0]:
+                smallest = (head.dewey.components, cursor_index)
+        if smallest is None:
+            break
+        components, cursor_index = smallest
+        cursors[cursor_index].advance()
+        stats.postings_scanned += 1
+
+        shared = 0
+        for entry, component in zip(stack, components):
+            if entry.component != component:
+                break
+            shared += 1
+        while len(stack) > shared:
+            pop_entry([e.component for e in stack[:-1]])
+        for component in components[shared:]:
+            stack.append(_Entry(component))
+        stack[-1].mask |= bit_of_cursor[cursor_index]
+
+    while stack:
+        pop_entry([e.component for e in stack[:-1]])
+
+    # ------------------------------------------------------------------
+    # Finalize: complete exact result sets for the winning RQs.
+    # ------------------------------------------------------------------
+    refinements = []
+    if needs_refine and best:
+        candidate_map = {}
+        for key, (rq, _witness_deweys) in best.items():
+            label_lists = [
+                list(context.index.inverted_list(k))
+                for k in rq.keywords
+            ]
+            stats.slca_invocations += 1
+            slcas = scan_eager_slca(
+                [[p.dewey for p in postings] for postings in label_lists]
+            )
+            meaningful = context.meaningful_only(slcas)
+            if meaningful:
+                candidate_map[key] = (rq, meaningful)
+        refinements = rank_candidates(context, model, candidate_map)
+    if not needs_refine:
+        original_results.sort()
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return RefinementResponse(
+        query=context.query,
+        needs_refinement=needs_refine,
+        original_results=original_results if not needs_refine else [],
+        refinements=refinements,
+        search_for=context.search_for,
+        stats=stats,
+    )

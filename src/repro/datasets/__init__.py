@@ -1,0 +1,25 @@
+"""Synthetic corpora standing in for the paper's DBLP and Baseball data.
+
+Both generators are deterministic given a seed and produce
+:class:`~repro.xmltree.tree.XMLTree` objects directly (no text
+round-trip needed); :mod:`repro.datasets.scaling` slices them for the
+data-size sweep of Fig. 6.
+"""
+
+from .baseball import BaseballConfig, generate_baseball
+from .dblp import DBLPConfig, generate_dblp
+from .scaling import DEFAULT_FRACTIONS, scaled_series, scaled_subtree
+from .vocabulary import AREAS, all_title_terms, area_terms
+
+__all__ = [
+    "DBLPConfig",
+    "generate_dblp",
+    "BaseballConfig",
+    "generate_baseball",
+    "scaled_subtree",
+    "scaled_series",
+    "DEFAULT_FRACTIONS",
+    "AREAS",
+    "area_terms",
+    "all_title_terms",
+]

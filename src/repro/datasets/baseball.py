@@ -1,0 +1,121 @@
+"""Synthetic Baseball dataset generator.
+
+Stands in for the classic ``baseball.xml`` sample the paper uses as its
+second (small, deeply structured) corpus.  The structure follows the
+original file::
+
+    <season>
+      <year>1998</year>
+      <league>
+        <name>american</name>
+        <division>
+          <name>east</name>
+          <team>
+            <name>...</name> <city>...</city>
+            <player>
+              <surname>...</surname> <given>...</given>
+              <position>...</position>
+              <statistics>
+                <games>..</games> <hits>..</hits> <runs>..</runs>
+                <average>..</average>
+              </statistics>
+            </player>*
+          </team>*
+        </division>*
+      </league>*
+    </season>
+
+Unlike DBLP (one partition per author), the Baseball root has only a
+handful of children — the paper's Fig. 5(b) uses it precisely because
+its shape stresses the algorithms differently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import DatasetError
+from ..xmltree.build import build_tree
+from . import vocabulary
+
+
+class BaseballConfig:
+    """Knobs for the Baseball generator."""
+
+    def __init__(
+        self,
+        teams_per_division=3,
+        players_per_team=10,
+        season_year=1998,
+        seed=11,
+    ):
+        if teams_per_division < 1 or players_per_team < 1:
+            raise DatasetError("team/player counts must be >= 1")
+        self.teams_per_division = teams_per_division
+        self.players_per_team = players_per_team
+        self.season_year = season_year
+        self.seed = seed
+
+
+def _player(rng):
+    return (
+        "player",
+        None,
+        [
+            ("surname", rng.choice(vocabulary.LAST_NAMES)),
+            ("given", rng.choice(vocabulary.FIRST_NAMES)),
+            ("position", rng.choice(vocabulary.POSITIONS)),
+            (
+                "statistics",
+                None,
+                [
+                    ("games", str(rng.randint(20, 162))),
+                    ("hits", str(rng.randint(0, 220))),
+                    ("runs", str(rng.randint(0, 130))),
+                    ("average", f"0 {rng.randint(180, 360)}"),
+                ],
+            ),
+        ],
+    )
+
+
+def _team(rng, config, used_names):
+    available = [n for n in vocabulary.TEAM_NICKNAMES if n not in used_names]
+    if not available:
+        available = vocabulary.TEAM_NICKNAMES
+    name = rng.choice(available)
+    used_names.add(name)
+    return (
+        "team",
+        None,
+        [
+            ("name", name),
+            ("city", rng.choice(vocabulary.TEAM_CITIES)),
+        ]
+        + [_player(rng) for _ in range(config.players_per_team)],
+    )
+
+
+def generate_baseball(config=None, **overrides):
+    """Generate a synthetic Baseball season document tree."""
+    if config is None:
+        config = BaseballConfig(**overrides)
+    elif overrides:
+        raise DatasetError("pass either a config object or overrides")
+    rng = random.Random(config.seed)
+    used_names = set()
+    leagues = []
+    for league_name in vocabulary.LEAGUES:
+        divisions = []
+        for division_name in vocabulary.DIVISIONS:
+            teams = [
+                _team(rng, config, used_names)
+                for _ in range(config.teams_per_division)
+            ]
+            divisions.append(
+                ("division", None, [("name", division_name)] + teams)
+            )
+        leagues.append(("league", None, [("name", league_name)] + divisions))
+    return build_tree(
+        ("season", None, [("year", str(config.season_year))] + leagues)
+    )

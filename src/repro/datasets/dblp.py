@@ -1,0 +1,165 @@
+"""Synthetic DBLP-style bibliography generator.
+
+Stands in for the paper's 420MB DBLP snapshot [25].  The generated
+document mirrors the structure of the paper's Figure 1::
+
+    <bib>
+      <author>
+        <name>...</name>
+        <affiliation>...</affiliation>?
+        <publications>
+          <inproceedings>
+            <title>...</title> <booktitle>...</booktitle> <year>...</year>
+          </inproceedings>*
+          <article>
+            <title>...</title> <journal>...</journal> <year>...</year>
+          </article>*
+          <book> <title>...</title> <publisher>...</publisher> <year/> </book>?
+        </publications>
+        <hobby>...</hobby>?
+      </author>*
+    </bib>
+
+Properties engineered to match what the refinement algorithms are
+sensitive to on real DBLP:
+
+* **partition fanout** — one partition per author (Definition 6.1), so
+  Algorithm 2 gets realistic partition counts;
+* **skewed list lengths** — each author draws a primary research area and
+  titles sample that area's terms with a few cross-area terms, so some
+  keywords (``query``, ``search``) are frequent while others
+  (``skyline``, ``dewey``) are rare — the skew SLE exploits;
+* **keyword dependence** — area co-occurrence gives the dependence
+  score signal;
+* determinism — everything derives from the ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import DatasetError
+from ..xmltree.build import build_tree
+from . import vocabulary
+
+
+class DBLPConfig:
+    """Knobs for the DBLP generator."""
+
+    def __init__(
+        self,
+        num_authors=200,
+        min_pubs=1,
+        max_pubs=8,
+        min_title_terms=3,
+        max_title_terms=7,
+        year_range=(1990, 2007),
+        hobby_probability=0.25,
+        affiliation_probability=0.4,
+        book_probability=0.08,
+        article_probability=0.35,
+        cross_area_probability=0.15,
+        seed=7,
+    ):
+        if num_authors < 1:
+            raise DatasetError("num_authors must be >= 1")
+        if min_pubs < 1 or max_pubs < min_pubs:
+            raise DatasetError("invalid publication count range")
+        self.num_authors = num_authors
+        self.min_pubs = min_pubs
+        self.max_pubs = max_pubs
+        self.min_title_terms = min_title_terms
+        self.max_title_terms = max_title_terms
+        self.year_range = year_range
+        self.hobby_probability = hobby_probability
+        self.affiliation_probability = affiliation_probability
+        self.book_probability = book_probability
+        self.article_probability = article_probability
+        self.cross_area_probability = cross_area_probability
+        self.seed = seed
+
+
+def _title(rng, area, config):
+    terms = vocabulary.area_terms(area)
+    count = rng.randint(config.min_title_terms, config.max_title_terms)
+    words = []
+    for _ in range(count):
+        if rng.random() < config.cross_area_probability:
+            other = rng.choice(sorted(vocabulary.AREAS))
+            words.append(rng.choice(vocabulary.area_terms(other)))
+        else:
+            words.append(rng.choice(terms))
+    return " ".join(words)
+
+
+def _publication(rng, area, config):
+    year = str(rng.randint(*config.year_range))
+    title = _title(rng, area, config)
+    roll = rng.random()
+    if roll < config.book_probability:
+        return (
+            "book",
+            None,
+            [
+                ("title", title),
+                ("publisher", rng.choice(vocabulary.AFFILIATIONS)),
+                ("year", year),
+            ],
+        )
+    if roll < config.book_probability + config.article_probability:
+        return (
+            "article",
+            None,
+            [
+                ("title", title),
+                ("journal", rng.choice(vocabulary.JOURNALS)),
+                ("year", year),
+            ],
+        )
+    return (
+        "inproceedings",
+        None,
+        [
+            ("title", title),
+            ("booktitle", rng.choice(vocabulary.CONFERENCES)),
+            ("year", year),
+        ],
+    )
+
+
+def _author(rng, config):
+    name = f"{rng.choice(vocabulary.FIRST_NAMES)} {rng.choice(vocabulary.LAST_NAMES)}"
+    area = rng.choice(sorted(vocabulary.AREAS))
+    children = [("name", name)]
+    if rng.random() < config.affiliation_probability:
+        children.append(
+            (
+                "affiliation",
+                " ".join(
+                    rng.sample(vocabulary.AFFILIATIONS, rng.randint(1, 3))
+                ),
+            )
+        )
+    pubs = [
+        _publication(rng, area, config)
+        for _ in range(rng.randint(config.min_pubs, config.max_pubs))
+    ]
+    children.append(("publications", None, pubs))
+    if rng.random() < config.hobby_probability:
+        children.append(("hobby", rng.choice(vocabulary.HOBBIES)))
+    return ("author", None, children)
+
+
+def generate_dblp(config=None, **overrides):
+    """Generate a synthetic DBLP document tree.
+
+    Accepts either a :class:`DBLPConfig` or keyword overrides, e.g.
+    ``generate_dblp(num_authors=500, seed=3)``.
+    """
+    if config is None:
+        config = DBLPConfig(**overrides)
+    elif overrides:
+        raise DatasetError("pass either a config object or overrides")
+    rng = random.Random(config.seed)
+    authors = [_author(rng, config) for _ in range(config.num_authors)]
+    return build_tree(("bib", None, authors))

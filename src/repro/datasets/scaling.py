@@ -1,0 +1,44 @@
+"""Scaled corpus slices for the data-size experiment (Fig. 6).
+
+The paper measures Top-3 refinement time over DBLP subsets of 20%-100%
+of the full size.  :func:`scaled_subtree` produces the same kind of
+prefix slice: the first ``fraction`` of the root's children (document
+partitions), relabeled into a fresh, dense tree so every slice is a
+well-formed document of its own.
+"""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from ..xmltree.build import build_tree
+
+#: The fractions Fig. 6 sweeps.
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _spec_of(node):
+    """Recursively convert a subtree back into a build spec."""
+    return (
+        node.tag,
+        node.text or None,
+        [_spec_of(child) for child in node.children],
+    )
+
+
+def scaled_subtree(tree, fraction):
+    """A fresh tree containing the first ``fraction`` of partitions."""
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError(f"fraction must lie in (0, 1], got {fraction}")
+    children = tree.root.children
+    keep = max(1, round(len(children) * fraction))
+    spec = (
+        tree.root.tag,
+        tree.root.text or None,
+        [_spec_of(child) for child in children[:keep]],
+    )
+    return build_tree(spec)
+
+
+def scaled_series(tree, fractions=DEFAULT_FRACTIONS):
+    """``[(fraction, tree), ...]`` for a sweep of corpus sizes."""
+    return [(fraction, scaled_subtree(tree, fraction)) for fraction in fractions]

@@ -1,0 +1,50 @@
+"""Evaluation harness: cumulated gain, simulated judges, timing, tables.
+
+Implements the paper's Section VIII methodology — CG-based graded
+effectiveness [27] judged by a (simulated) 6-person panel, and
+hot-cache response-time measurement.
+"""
+
+from .cg import (
+    average_cg,
+    cg_at,
+    cumulated_gain,
+    discounted_cumulated_gain,
+    ideal_gain_vector,
+    normalized_dcg,
+)
+from .ir_metrics import (
+    average_precision,
+    f_measure,
+    mean_reciprocal_rank,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+from .judges import Judge, JudgePanel, base_grade
+from .reporting import format_series, format_table, print_report
+from .timing import Stopwatch, TimingResult, time_call
+
+__all__ = [
+    "cumulated_gain",
+    "cg_at",
+    "average_cg",
+    "discounted_cumulated_gain",
+    "normalized_dcg",
+    "ideal_gain_vector",
+    "Judge",
+    "precision_at",
+    "recall_at",
+    "f_measure",
+    "reciprocal_rank",
+    "mean_reciprocal_rank",
+    "average_precision",
+    "JudgePanel",
+    "base_grade",
+    "time_call",
+    "TimingResult",
+    "Stopwatch",
+    "format_table",
+    "format_series",
+    "print_report",
+]

@@ -1,0 +1,76 @@
+"""Cumulated Gain evaluation (Järvelin & Kekäläinen [27]).
+
+The paper evaluates ranking effectiveness with CG because binary
+precision/recall cannot express graded relevance: given a ranked list
+of refined queries whose judged gains are ``G[1..n]`` (0–3 scale),
+
+    CG[i] = G[1]                   if i = 1
+    CG[i] = CG[i-1] + G[i]         otherwise
+
+Discounted variants (DCG/nDCG) are included for completeness and used
+by the extended ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import EvaluationError
+
+
+def cumulated_gain(gains):
+    """The CG vector for a gain vector, as defined in [27]."""
+    result = []
+    total = 0.0
+    for gain in gains:
+        total += gain
+        result.append(total)
+    return result
+
+
+def cg_at(gains, position):
+    """``CG[position]`` (1-based); raises on an out-of-range position."""
+    if position < 1:
+        raise EvaluationError(f"CG position must be >= 1, got {position}")
+    if position > len(gains):
+        # The convention of [27]: a shorter result list contributes its
+        # full gain at deeper cutoffs (the list simply ends).
+        return sum(gains)
+    return sum(gains[:position])
+
+
+def discounted_cumulated_gain(gains, base=2.0):
+    """DCG with log-``base`` discounting from rank ``base`` onwards."""
+    result = []
+    total = 0.0
+    for rank, gain in enumerate(gains, start=1):
+        if rank < base:
+            total += gain
+        else:
+            total += gain / math.log(rank, base)
+        result.append(total)
+    return result
+
+
+def ideal_gain_vector(gains):
+    """Gains reordered descending: the ideal ranking's gain vector."""
+    return sorted(gains, reverse=True)
+
+
+def normalized_dcg(gains, base=2.0):
+    """nDCG vector: DCG divided pointwise by the ideal DCG."""
+    actual = discounted_cumulated_gain(gains, base)
+    ideal = discounted_cumulated_gain(ideal_gain_vector(gains), base)
+    return [
+        a / i if i > 0 else 0.0
+        for a, i in zip(actual, ideal)
+    ]
+
+
+def average_cg(gain_vectors, position):
+    """Mean ``CG[position]`` over many queries (the Table IX cells)."""
+    if not gain_vectors:
+        raise EvaluationError("average_cg needs at least one gain vector")
+    return sum(cg_at(gains, position) for gains in gain_vectors) / len(
+        gain_vectors
+    )

@@ -1,0 +1,81 @@
+"""Classic binary-relevance IR metrics.
+
+Section VIII-C notes that prior database keyword-search work evaluates
+with "precision, recall, F-measure, reciprocal rank etc." before
+arguing for graded CG.  Those binary metrics are provided here so the
+evaluation harness can report both families side by side (and because
+downstream users of the library will reach for them first).
+
+All functions take a *ranked* list of returned items and a set (or
+iterable) of relevant items; items can be anything hashable (Dewey
+labels, RQ keys...).
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+
+
+def precision_at(ranked, relevant, k):
+    """Fraction of the top-``k`` returned items that are relevant."""
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    relevant = set(relevant)
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def recall_at(ranked, relevant, k=None):
+    """Fraction of relevant items found in the top-``k`` (all, if None)."""
+    relevant = set(relevant)
+    if not relevant:
+        raise EvaluationError("recall is undefined with no relevant items")
+    returned = list(ranked)
+    if k is not None:
+        returned = returned[:k]
+    return sum(1 for item in set(returned) if item in relevant) / len(relevant)
+
+
+def f_measure(precision, recall, beta=1.0):
+    """The F_beta combination of a precision/recall pair."""
+    if precision < 0 or recall < 0:
+        raise EvaluationError("precision/recall must be non-negative")
+    if precision == 0 and recall == 0:
+        return 0.0
+    beta2 = beta * beta
+    return (1 + beta2) * precision * recall / (beta2 * precision + recall)
+
+
+def reciprocal_rank(ranked, relevant):
+    """1 / rank of the first relevant item; 0 when none is returned."""
+    relevant = set(relevant)
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean_reciprocal_rank(runs):
+    """Mean RR over ``[(ranked, relevant), ...]`` query runs."""
+    runs = list(runs)
+    if not runs:
+        raise EvaluationError("MRR needs at least one query run")
+    return sum(
+        reciprocal_rank(ranked, relevant) for ranked, relevant in runs
+    ) / len(runs)
+
+
+def average_precision(ranked, relevant):
+    """AP: mean of precision@rank over ranks holding relevant items."""
+    relevant = set(relevant)
+    if not relevant:
+        raise EvaluationError("AP is undefined with no relevant items")
+    hits = 0
+    total = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)

@@ -1,0 +1,113 @@
+"""Simulated relevance judges (the 6-researcher panel of Section VIII-C).
+
+Each refined query is judged on the paper's four-point scale —
+0 irrelevant, 1 marginally relevant, 2 fairly relevant, 3 highly
+relevant — against the **ground-truth intent** the workload generator
+attached to the corrupted query.  The base judgment combines
+
+* keyword fidelity: Jaccard overlap between the RQ's keywords and the
+  intent's keywords (treating the intent as what "fully matching the
+  search intention" means);
+* result fidelity: overlap between the RQ's meaningful SLCAs and the
+  intent's (do the returned fragments contain the intended ones?).
+
+Each of the ``n`` judges perturbs the base judgment with small seeded
+noise (people disagree by at most one grade on clear-cut cases), and
+the panel's gain for a rank position is the average of the judges'
+grades — the same aggregation the paper's Tables IX/X report.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _jaccard(a, b):
+    a, b = set(a), set(b)
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+def _result_overlap(rq_results, intent_results):
+    """Fraction of intended results covered by the RQ's results.
+
+    A result covers an intended one when either contains the other
+    (e.g. the RQ's SLCA is the publications element holding the
+    intended inproceedings).
+    """
+    if not intent_results:
+        return 0.0
+    covered = 0
+    for intended in intent_results:
+        for got in rq_results:
+            if (
+                got.is_ancestor_or_self_of(intended)
+                or intended.is_ancestor_or_self_of(got)
+            ):
+                covered += 1
+                break
+    return covered / len(intent_results)
+
+
+def base_grade(rq_keywords, rq_results, intent_keywords, intent_results):
+    """The noise-free grade on the 0-3 scale."""
+    keyword_score = _jaccard(rq_keywords, intent_keywords)
+    result_score = _result_overlap(rq_results, intent_results)
+    blended = 0.6 * keyword_score + 0.4 * result_score
+    if blended >= 0.85:
+        return 3
+    if blended >= 0.55:
+        return 2
+    if blended >= 0.25:
+        return 1
+    return 0
+
+
+class Judge:
+    """One simulated judge with a personal noise stream."""
+
+    def __init__(self, seed, disagreement=0.15):
+        self._rng = random.Random(seed)
+        self.disagreement = disagreement
+
+    def grade(self, rq_keywords, rq_results, intent_keywords, intent_results):
+        """Judge one refined query; returns an int in 0..3."""
+        grade = base_grade(
+            rq_keywords, rq_results, intent_keywords, intent_results
+        )
+        if self._rng.random() < self.disagreement:
+            grade += self._rng.choice((-1, 1))
+        return max(0, min(3, grade))
+
+
+class JudgePanel:
+    """The panel: ``n`` judges whose grades are averaged per item."""
+
+    def __init__(self, n=6, seed=101, disagreement=0.15):
+        self.judges = [
+            Judge(seed * 1009 + i, disagreement) for i in range(n)
+        ]
+
+    def gain(self, rq_keywords, rq_results, intent_keywords, intent_results):
+        """Average grade of the panel for one ranked item."""
+        grades = [
+            judge.grade(
+                rq_keywords, rq_results, intent_keywords, intent_results
+            )
+            for judge in self.judges
+        ]
+        return sum(grades) / len(grades)
+
+    def gain_vector(self, ranked_refinements, intent_keywords, intent_results):
+        """Panel gains for a ranked list of refinements (CG input)."""
+        return [
+            self.gain(
+                refinement.rq.keywords,
+                refinement.slcas,
+                intent_keywords,
+                intent_results,
+            )
+            for refinement in ranked_refinements
+        ]

@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every ``benchmarks/bench_*.py`` module regenerates one of the paper's
+tables or figures; these helpers print them in a uniform, diff-friendly
+format (figures become series tables — no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned monospace table; all cells become strings."""
+    headers = [str(h) for h in headers]
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(name, points, x_label="x", y_label="y"):
+    """Render one figure series as a two-column table."""
+    return format_table(
+        [x_label, y_label],
+        [[x, y] for x, y in points],
+        title=name,
+    )
+
+
+def print_report(text):
+    """Print a report block framed so it stands out in pytest output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{text}\n{bar}")

@@ -1,0 +1,79 @@
+"""Timing harness for the efficiency experiments (Section VIII-A/B).
+
+The paper measures "the timestamp difference between a query is issued
+and its Top-K RQs with their associated SLCA results are returned", on
+a hot cache.  :func:`time_call` runs a callable with warmup (hot cache)
+and repetition, returning robust statistics; :class:`Stopwatch` is a
+simple context-manager timer used inside longer experiment scripts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import EvaluationError
+
+
+class TimingResult:
+    """Statistics of repeated timed runs (seconds)."""
+
+    __slots__ = ("samples", "value")
+
+    def __init__(self, samples, value):
+        self.samples = list(samples)
+        self.value = value
+
+    @property
+    def best(self):
+        return min(self.samples)
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self):
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    def __repr__(self):
+        return f"TimingResult(median={self.median * 1000:.3f}ms, n={len(self.samples)})"
+
+
+def time_call(fn, repeat=5, warmup=1):
+    """Time ``fn()`` on a hot cache.
+
+    ``warmup`` un-timed calls populate caches first (the paper reports
+    hot-cache numbers); ``repeat`` timed calls follow.  The result's
+    ``value`` is the last return value of ``fn``.
+    """
+    if repeat < 1:
+        raise EvaluationError("repeat must be >= 1")
+    value = None
+    for _ in range(warmup):
+        value = fn()
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn()
+        samples.append(time.perf_counter() - started)
+    return TimingResult(samples, value)
+
+
+class Stopwatch:
+    """``with Stopwatch() as sw: ...; sw.elapsed`` timer."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self):
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._started
+        return False

@@ -1,0 +1,36 @@
+"""Indexing substrate: inverted lists, frequency tables, statistics.
+
+Implements Section VII's three indexes — keyword inverted lists, the
+frequent table and the co-occur frequency table — on top of the
+embedded store, plus the one-pass builder that fills them.
+"""
+
+from .builder import DocumentIndex, build_document_index
+from .cooccur import CooccurrenceTable
+from .frequency import FrequencyTable
+from .persist import load_index, save_index
+from .inverted import InvertedIndex, InvertedList, ListCursor, Posting
+from .statistics import StatisticsTable, TypeStatistics
+from .update import append_partition, remove_partition
+from .tokenize_text import extract_terms, node_keywords, normalize_term, query_terms
+
+__all__ = [
+    "DocumentIndex",
+    "save_index",
+    "load_index",
+    "append_partition",
+    "remove_partition",
+    "build_document_index",
+    "InvertedIndex",
+    "InvertedList",
+    "ListCursor",
+    "Posting",
+    "FrequencyTable",
+    "CooccurrenceTable",
+    "StatisticsTable",
+    "TypeStatistics",
+    "extract_terms",
+    "node_keywords",
+    "normalize_term",
+    "query_terms",
+]

@@ -1,0 +1,136 @@
+"""One-pass index construction (Section VII).
+
+:func:`build_document_index` walks the parsed tree once, in document
+order, and produces everything the search engine needs:
+
+* the keyword inverted lists (:class:`~repro.index.inverted.InvertedIndex`);
+* the frequent table ``f_k^T`` / ``tf(k,T)``
+  (:class:`~repro.index.frequency.FrequencyTable`);
+* the per-type statistics ``N_T`` / ``G_T`` / depth
+  (:class:`~repro.index.statistics.StatisticsTable`);
+* the (lazy) co-occurrence table
+  (:class:`~repro.index.cooccur.CooccurrenceTable`).
+
+``f_k^T`` counts *distinct* T-typed nodes containing ``k``.  Because a
+pre-order walk visits all nodes of one T-typed subtree contiguously,
+the builder needs only the last-counted T-ancestor per (keyword, type)
+— no per-subtree keyword sets — making the pass O(occurrences x depth).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .cooccur import CooccurrenceTable
+from .frequency import FrequencyTable
+from .inverted import InvertedIndex, Posting
+from .statistics import StatisticsTable
+from .tokenize_text import node_keywords
+
+
+class DocumentIndex:
+    """The full index bundle for one document."""
+
+    def __init__(self, tree, inverted, frequency, statistics, cooccurrence):
+        self.tree = tree
+        self.inverted = inverted
+        self.frequency = frequency
+        self.statistics = statistics
+        self.cooccurrence = cooccurrence
+
+    # Convenience passthroughs used throughout the engine -------------
+    def inverted_list(self, keyword):
+        return self.inverted.get(keyword)
+
+    def has_keyword(self, keyword):
+        return len(self.inverted.get(keyword)) > 0
+
+    def xml_df(self, keyword, node_type):
+        return self.frequency.xml_df(keyword, node_type)
+
+    def tf(self, keyword, node_type):
+        return self.frequency.tf(keyword, node_type)
+
+    def node_count(self, node_type):
+        return self.statistics.node_count(node_type)
+
+    def distinct_keywords(self, node_type):
+        return self.statistics.distinct_keywords(node_type)
+
+    def partitions(self):
+        return self.tree.partitions()
+
+    def __repr__(self):
+        return (
+            f"DocumentIndex(nodes={len(self.tree)}, "
+            f"vocabulary={self.inverted.vocabulary_size()})"
+        )
+
+
+def build_document_index(tree, eager_cooccurrence_types=None):
+    """Build the complete :class:`DocumentIndex` in one document-order pass.
+
+    Parameters
+    ----------
+    tree:
+        The parsed :class:`~repro.xmltree.tree.XMLTree`.
+    eager_cooccurrence_types:
+        Optional iterable of node types for which the co-occurrence
+        table is fully materialized at build time over the whole
+        vocabulary — the paper's eager configuration (Section VII notes
+        the worst-case ``O(K^2 T)`` space, which is why the default is
+        lazy memoization).  Queries behave identically either way.
+    """
+    inverted = InvertedIndex()
+    statistics = StatisticsTable()
+    frequency = FrequencyTable(
+        type_ids=inverted._type_ids, type_table=inverted._type_table
+    )
+
+    postings = {}          # keyword -> [Posting, ...] in document order
+    last_ancestor = {}     # (keyword, node_type) -> last counted ancestor
+    df_counts = Counter()  # (keyword, node_type) -> f_k^T
+    tf_counts = Counter()  # (keyword, node_type) -> tf(k, T)
+
+    for node in tree.iter_nodes():
+        node_type = node.node_type
+        statistics.record_node(node_type)
+        occurrences = Counter(node_keywords(node))
+        if not occurrences:
+            continue
+        components = node.dewey.components
+        prefixes = [
+            (node_type[:i], components[:i])
+            for i in range(1, len(node_type) + 1)
+        ]
+        for keyword, count in occurrences.items():
+            postings.setdefault(keyword, []).append(
+                Posting(node.dewey, node_type, count)
+            )
+            for ancestor_type, ancestor_dewey in prefixes:
+                pair = (keyword, ancestor_type)
+                tf_counts[pair] += count
+                if last_ancestor.get(pair) != ancestor_dewey:
+                    last_ancestor[pair] = ancestor_dewey
+                    df_counts[pair] += 1
+
+    for keyword in sorted(postings):
+        inverted.add_postings(keyword, postings[keyword])
+
+    distinct_per_type = Counter()
+    for (keyword, node_type), df in df_counts.items():
+        frequency.accumulate(keyword, node_type, df_delta=df)
+        distinct_per_type[node_type] += 1
+    for (keyword, node_type), tf in tf_counts.items():
+        frequency.accumulate(keyword, node_type, tf_delta=tf)
+        statistics.add_terms(node_type, tf)
+    frequency.finalize()
+
+    for node_type, distinct in distinct_per_type.items():
+        statistics.set_distinct_keywords(node_type, distinct)
+
+    cooccurrence = CooccurrenceTable(inverted)
+    if eager_cooccurrence_types:
+        vocabulary = sorted(postings)
+        cooccurrence.build_pairs(vocabulary, list(eager_cooccurrence_types))
+    return DocumentIndex(tree, inverted, frequency, statistics, cooccurrence)

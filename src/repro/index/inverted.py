@@ -1,0 +1,349 @@
+"""Keyword inverted lists (Section VII, index 1).
+
+For each keyword the index stores a document-ordered list of postings
+``<DeweyID, prefixPath, count>`` — one per node whose tag name or value
+terms contain the keyword, ``count`` being the number of occurrences at
+that node.  The refinement algorithms consume lists through
+:class:`ListCursor`, which is instrumented so the test suite can assert
+the paper's headline property: **each list is scanned at most once per
+query** (Theorems 1 and 2), with SLE additionally allowed binary-search
+*probes* that never rewind the cursor.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import IndexingError
+from ..storage import (
+    MemoryKVStore,
+    decode_key,
+    decode_uvarint,
+    encode_key,
+    encode_uvarint,
+)
+from ..xmltree.dewey import Dewey, descendant_range_key
+
+
+class Posting:
+    """One inverted-list entry: a node containing the keyword."""
+
+    __slots__ = ("dewey", "node_type", "count")
+
+    def __init__(self, dewey, node_type, count=1):
+        self.dewey = dewey
+        self.node_type = node_type
+        self.count = count
+
+    def __repr__(self):
+        return f"Posting({self.dewey}, {'/'.join(self.node_type)}, x{self.count})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Posting):
+            return NotImplemented
+        return (
+            self.dewey == other.dewey
+            and self.node_type == other.node_type
+            and self.count == other.count
+        )
+
+    def __hash__(self):
+        return hash((self.dewey, self.node_type, self.count))
+
+
+class InvertedList:
+    """Document-ordered postings for one keyword."""
+
+    __slots__ = ("keyword", "postings", "_dewey_keys")
+
+    def __init__(self, keyword, postings):
+        self.keyword = keyword
+        self.postings = list(postings)
+        self._dewey_keys = [p.dewey.components for p in self.postings]
+        for i in range(1, len(self._dewey_keys)):
+            if self._dewey_keys[i - 1] >= self._dewey_keys[i]:
+                raise IndexingError(
+                    f"inverted list for {keyword!r} is not in document order"
+                )
+
+    def __len__(self):
+        return len(self.postings)
+
+    def __iter__(self):
+        return iter(self.postings)
+
+    def __getitem__(self, idx):
+        return self.postings[idx]
+
+    def cursor(self):
+        """A fresh instrumented cursor positioned before the first posting."""
+        return ListCursor(self)
+
+    # ------------------------------------------------------------------
+    # Random access (binary search; does not disturb any cursor)
+    # ------------------------------------------------------------------
+    def range_indices(self, root_dewey):
+        """Index range ``[lo, hi)`` of postings inside ``root_dewey``'s subtree."""
+        lo = bisect.bisect_left(self._dewey_keys, root_dewey.components)
+        hi = bisect.bisect_left(
+            self._dewey_keys, descendant_range_key(root_dewey)
+        )
+        return lo, hi
+
+    def sublist(self, root_dewey):
+        """Postings within the subtree rooted at ``root_dewey``."""
+        lo, hi = self.range_indices(root_dewey)
+        return self.postings[lo:hi]
+
+    def contains_under(self, root_dewey):
+        """True iff some posting lies in ``root_dewey``'s subtree."""
+        lo, hi = self.range_indices(root_dewey)
+        return lo < hi
+
+    def first_under(self, root_dewey):
+        """First posting inside the subtree, or None."""
+        lo, hi = self.range_indices(root_dewey)
+        return self.postings[lo] if lo < hi else None
+
+
+class ListCursor:
+    """Forward-only cursor with scan accounting.
+
+    Attributes
+    ----------
+    scanned:
+        Number of postings consumed via :meth:`advance`.
+    probes:
+        Number of random-access probes performed (SLE only).
+    """
+
+    __slots__ = ("source", "position", "scanned", "probes")
+
+    def __init__(self, source):
+        self.source = source
+        self.position = 0
+        self.scanned = 0
+        self.probes = 0
+
+    @property
+    def keyword(self):
+        return self.source.keyword
+
+    def exhausted(self):
+        return self.position >= len(self.source.postings)
+
+    def peek(self):
+        """Current posting without consuming it (None at end)."""
+        if self.exhausted():
+            return None
+        return self.source.postings[self.position]
+
+    def advance(self):
+        """Consume and return the current posting."""
+        if self.exhausted():
+            raise IndexingError(
+                f"cursor for {self.keyword!r} advanced past the end"
+            )
+        posting = self.source.postings[self.position]
+        self.position += 1
+        self.scanned += 1
+        return posting
+
+    def skip_to(self, dewey):
+        """Advance the cursor to the first posting ``>= dewey``.
+
+        The skipped span counts as scanned work only once (this is the
+        partition fast-forward of Algorithm 2, line 8 — the cursor never
+        moves backwards).
+        """
+        target = dewey.components
+        keys = self.source._dewey_keys
+        new_pos = bisect.bisect_left(keys, target, lo=self.position)
+        if new_pos < self.position:
+            raise IndexingError("cursor cannot move backwards")
+        self.scanned += new_pos - self.position
+        self.position = new_pos
+
+    def probe_partition(self, partition_dewey):
+        """Random-access existence probe within a partition (SLE only).
+
+        Does not move the cursor; increments the probe counter.  Returns
+        the list of postings of this keyword inside the partition.
+        """
+        self.probes += 1
+        return self.source.sublist(partition_dewey)
+
+
+class InvertedIndex:
+    """All inverted lists of a document, persisted in a KV store.
+
+    The store keeps one record per keyword under the order-preserving
+    key ``(keyword,)``; the value packs the posting list (delta-coded
+    deweys, interned node-type ids, varint counts).  A decoded
+    :class:`InvertedList` is cached per keyword.
+    """
+
+    def __init__(self, store=None):
+        self._store = store if store is not None else MemoryKVStore()
+        self._cache = {}
+        self._type_table = []
+        self._type_ids = {}
+
+    # ------------------------------------------------------------------
+    # Node-type interning
+    # ------------------------------------------------------------------
+    def _intern_type(self, node_type):
+        type_id = self._type_ids.get(node_type)
+        if type_id is None:
+            type_id = len(self._type_table)
+            self._type_ids[node_type] = type_id
+            self._type_table.append(node_type)
+        return type_id
+
+    @property
+    def node_type_table(self):
+        """All node types seen, indexed by their interned id."""
+        return tuple(self._type_table)
+
+    # ------------------------------------------------------------------
+    # Build API
+    # ------------------------------------------------------------------
+    def add_postings(self, keyword, postings):
+        """Store the complete posting list for ``keyword``."""
+        payload = bytearray()
+        payload += encode_uvarint(len(postings))
+        previous = ()
+        for posting in postings:
+            components = posting.dewey.components
+            shared = 0
+            for a, b in zip(previous, components):
+                if a != b:
+                    break
+                shared += 1
+            suffix = components[shared:]
+            payload += encode_uvarint(shared)
+            payload += encode_uvarint(len(suffix))
+            for part in suffix:
+                payload += encode_uvarint(part)
+            payload += encode_uvarint(self._intern_type(posting.node_type))
+            payload += encode_uvarint(posting.count)
+            previous = components
+        self._store.put(encode_key((keyword,)), bytes(payload))
+        self._cache.pop(keyword, None)
+
+    def append_postings(self, keyword, postings):
+        """Append postings that sort after every existing one."""
+        existing = list(self.get(keyword))
+        if existing and postings:
+            if existing[-1].dewey.components >= postings[0].dewey.components:
+                raise IndexingError(
+                    f"appended postings for {keyword!r} must follow the "
+                    "existing list in document order"
+                )
+        self.add_postings(keyword, existing + list(postings))
+
+    def remove_postings_under(self, keyword, root_dewey):
+        """Drop all postings inside one subtree (partition removal).
+
+        A keyword whose last posting disappears is dropped from the
+        index entirely, as if it had never been indexed.
+        """
+        existing = self.get(keyword)
+        lo, hi = existing.range_indices(root_dewey)
+        if lo == hi:
+            return
+        remaining = existing.postings[:lo] + existing.postings[hi:]
+        if remaining:
+            self.add_postings(keyword, remaining)
+        else:
+            self._store.delete(encode_key((keyword,)))
+            self._cache.pop(keyword, None)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def __contains__(self, keyword):
+        if keyword in self._cache:
+            return True
+        return encode_key((keyword,)) in self._store
+
+    def get(self, keyword):
+        """The :class:`InvertedList` for ``keyword`` (empty if absent)."""
+        cached = self._cache.get(keyword)
+        if cached is not None:
+            return cached
+        raw = self._store.get(encode_key((keyword,)))
+        if raw is None:
+            decoded = InvertedList(keyword, [])
+        else:
+            decoded = self._decode(keyword, raw)
+        self._cache[keyword] = decoded
+        return decoded
+
+    def _decode(self, keyword, raw):
+        count, pos = decode_uvarint(raw)
+        postings = []
+        previous = ()
+        for _ in range(count):
+            shared, pos = decode_uvarint(raw, pos)
+            suffix_len, pos = decode_uvarint(raw, pos)
+            suffix = []
+            for _ in range(suffix_len):
+                part, pos = decode_uvarint(raw, pos)
+                suffix.append(part)
+            components = previous[:shared] + tuple(suffix)
+            type_id, pos = decode_uvarint(raw, pos)
+            occurrence_count, pos = decode_uvarint(raw, pos)
+            postings.append(
+                Posting(
+                    Dewey(components),
+                    self._type_table[type_id],
+                    occurrence_count,
+                )
+            )
+            previous = components
+        return InvertedList(keyword, postings)
+
+    # ------------------------------------------------------------------
+    # Persistence of the node-type table
+    # ------------------------------------------------------------------
+    #: Reserved store key for the interned node-type table.  Normal
+    #: keywords are lowercase alphanumerics, so the "!" prefix cannot
+    #: collide.
+    _TYPES_KEY = "!node-types"
+
+    def save_metadata(self):
+        """Persist the node-type table (call before closing a file store)."""
+        blob = "\n".join("/".join(t) for t in self._type_table)
+        self._store.put(encode_key((self._TYPES_KEY,)), blob.encode("utf-8"))
+
+    def load_metadata(self):
+        """Restore the node-type table from the store (after reopening)."""
+        raw = self._store.get(encode_key((self._TYPES_KEY,)))
+        if raw is None:
+            return
+        self._type_table = []
+        self._type_ids = {}
+        text = raw.decode("utf-8")
+        if text:
+            for line in text.split("\n"):
+                self._intern_type(tuple(line.split("/")))
+        self._cache.clear()
+
+    def keywords(self):
+        """All indexed keywords, sorted."""
+        return [
+            decode_key(key)[0]
+            for key, _ in self._store.items()
+            if decode_key(key)[0] != self._TYPES_KEY
+        ]
+
+    def vocabulary_size(self):
+        total = len(self._store)
+        if encode_key((self._TYPES_KEY,)) in self._store:
+            total -= 1
+        return total
+
+    def list_length(self, keyword):
+        """Posting count for ``keyword`` without decoding the cache."""
+        return len(self.get(keyword))

@@ -1,0 +1,119 @@
+"""On-disk persistence for the full document index.
+
+The paper stores all indexes in Berkeley DB so a corpus is parsed and
+analyzed once; this module provides the same capability over the
+embedded :mod:`repro.storage` stores.  A saved index is a directory:
+
+* ``document.xml`` — the corpus itself (the tree is needed at query
+  time for meaningful-SLCA checks and result rendering);
+* ``inverted.db`` — the keyword inverted lists + node-type table;
+* ``frequency.db`` — the frequent table ``f_k^T`` / ``tf(k, T)``;
+* ``cooccur.db`` — whatever co-occurrence pairs have been memoized;
+* ``statistics.db`` — per-type ``N_T`` / ``G_T`` / term totals.
+
+``load_index`` reconstructs a fully functional
+:class:`~repro.index.builder.DocumentIndex` without re-running the
+one-pass builder; round-trip equivalence is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import IndexingError
+from ..storage import FileKVStore, decode_key, encode_key
+from ..xmltree.parser import parse_file
+from ..xmltree.serialize import write_file
+from .builder import DocumentIndex
+from .cooccur import CooccurrenceTable
+from .frequency import FrequencyTable
+from .inverted import InvertedIndex
+from .statistics import StatisticsTable
+
+_STATS_VALUE = struct.Struct(">III")  # node_count, distinct, total_terms
+
+_DOCUMENT_FILE = "document.xml"
+_INVERTED_FILE = "inverted.db"
+_FREQUENCY_FILE = "frequency.db"
+_COOCCUR_FILE = "cooccur.db"
+_STATISTICS_FILE = "statistics.db"
+
+
+def _copy_store(source, destination):
+    for key, value in source.items():
+        destination.put(key, value)
+
+
+def save_index(index, directory):
+    """Persist a :class:`DocumentIndex` into ``directory``.
+
+    The directory is created when missing; existing store files are
+    overwritten (snapshot semantics, like a Berkeley DB checkpoint).
+    """
+    os.makedirs(directory, exist_ok=True)
+    # Snapshot semantics: stale store files from a previous save would
+    # otherwise leak their keys into the new snapshot.
+    for name in (
+        _INVERTED_FILE,
+        _FREQUENCY_FILE,
+        _COOCCUR_FILE,
+        _STATISTICS_FILE,
+    ):
+        path = os.path.join(directory, name)
+        if os.path.exists(path):
+            os.remove(path)
+    write_file(index.tree, os.path.join(directory, _DOCUMENT_FILE))
+
+    index.inverted.save_metadata()
+    with FileKVStore(os.path.join(directory, _INVERTED_FILE)) as store:
+        _copy_store(index.inverted._store, store)
+    with FileKVStore(os.path.join(directory, _FREQUENCY_FILE)) as store:
+        _copy_store(index.frequency._store, store)
+    with FileKVStore(os.path.join(directory, _COOCCUR_FILE)) as store:
+        _copy_store(index.cooccurrence._store, store)
+
+    with FileKVStore(os.path.join(directory, _STATISTICS_FILE)) as store:
+        for node_type, stats in index.statistics.items():
+            store.put(
+                encode_key(node_type),
+                _STATS_VALUE.pack(
+                    stats.node_count,
+                    stats.distinct_keywords,
+                    stats.total_terms,
+                ),
+            )
+
+
+def load_index(directory):
+    """Load a :class:`DocumentIndex` saved by :func:`save_index`."""
+    document_path = os.path.join(directory, _DOCUMENT_FILE)
+    if not os.path.exists(document_path):
+        raise IndexingError(f"no saved index in {directory!r}")
+    tree = parse_file(document_path)
+
+    inverted_store = FileKVStore(os.path.join(directory, _INVERTED_FILE))
+    inverted = InvertedIndex(store=inverted_store)
+    inverted.load_metadata()
+
+    frequency_store = FileKVStore(os.path.join(directory, _FREQUENCY_FILE))
+    frequency = FrequencyTable(
+        type_ids=inverted._type_ids,
+        type_table=inverted._type_table,
+        store=frequency_store,
+    )
+
+    statistics = StatisticsTable()
+    with FileKVStore(os.path.join(directory, _STATISTICS_FILE)) as store:
+        for key, value in store.items():
+            node_type = decode_key(key)
+            node_count, distinct, total_terms = _STATS_VALUE.unpack(value)
+            entry = statistics._entry(node_type)
+            entry.node_count = node_count
+            entry.distinct_keywords = distinct
+            entry.total_terms = total_terms
+
+    cooccur_store = FileKVStore(os.path.join(directory, _COOCCUR_FILE))
+    cooccurrence = CooccurrenceTable(inverted, store=cooccur_store)
+
+    return DocumentIndex(tree, inverted, frequency, statistics, cooccurrence)

@@ -1,0 +1,61 @@
+"""Keyword extraction from tag names and value terms.
+
+A query keyword "may match the tag name or value term in XML data"
+(Section III), so both are fed through the same normalizer: lowercase,
+split on any non-alphanumeric character, keep pure numbers (years such
+as ``2003`` are first-class keywords in the paper's examples).
+
+The normalizer is deliberately *not* a stemmer — word stemming is one
+of the refinement operations (``match`` → ``matching`` via a rule), so
+the index must preserve surface forms.
+"""
+
+from __future__ import annotations
+
+_SPLIT_TABLE = {}
+for _code in range(128):
+    _ch = chr(_code)
+    if not _ch.isalnum():
+        _SPLIT_TABLE[_code] = " "
+
+
+def normalize_term(term):
+    """Lowercase a single keyword the way the index does."""
+    return term.lower()
+
+
+def extract_terms(text):
+    """Split character data into normalized keyword terms.
+
+    >>> extract_terms("Holistic Twig-Joins: Optimal XML")
+    ['holistic', 'twig', 'joins', 'optimal', 'xml']
+    """
+    if not text:
+        return []
+    lowered = text.lower().translate(_SPLIT_TABLE)
+    return lowered.split()
+
+
+def node_keywords(node):
+    """All keyword occurrences for one node: tag name + value terms.
+
+    Returns a list (with multiplicity) of normalized terms.  The tag
+    name contributes one occurrence; each value term contributes one
+    occurrence per appearance.
+    """
+    terms = [normalize_term(node.tag)]
+    terms.extend(extract_terms(node.text))
+    return terms
+
+
+def query_terms(query):
+    """Normalize a user query into keyword terms.
+
+    Accepts either an iterable of keywords or a whitespace/comma
+    separated string.
+    """
+    if isinstance(query, str):
+        pieces = query.replace(",", " ").split()
+    else:
+        pieces = list(query)
+    return [normalize_term(piece) for piece in pieces if piece]

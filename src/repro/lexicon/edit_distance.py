@@ -1,0 +1,99 @@
+"""String edit distance — the morphological metric of Section III-B.
+
+Dissimilarity scores for spelling-correction rules are "variants of
+some morphological metric such as string edit distance" — this module
+provides the plain Levenshtein distance, a banded early-exit variant
+for candidate filtering, and a similarity-candidates helper used by the
+rule miner.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a, b):
+    """Classic Levenshtein distance (unit insert/delete/substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[i] + 1,       # delete from a
+                    current[i - 1] + 1,    # insert into a
+                    previous[i - 1] + cost # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def within_distance(a, b, limit):
+    """True iff ``levenshtein(a, b) <= limit``; bails out early.
+
+    Uses the banded DP: only cells within ``limit`` of the diagonal can
+    matter, so the check runs in O(limit * max(len)) time.
+    """
+    if abs(len(a) - len(b)) > limit:
+        return False
+    if a == b:
+        return True
+    if limit <= 0:
+        return False
+    big = limit + 1
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        lo = max(1, j - limit)
+        hi = min(len(a), j + limit)
+        current = [big] * (len(a) + 1)
+        if lo == 1:
+            current[0] = j
+        for i in range(lo, hi + 1):
+            cost = 0 if a[i - 1] == ch_b else 1
+            current[i] = min(
+                previous[i] + 1,
+                current[i - 1] + 1,
+                previous[i - 1] + cost,
+            )
+        if min(current[lo - 1 : hi + 1]) > limit:
+            return False
+        previous = current
+    return previous[len(a)] <= limit
+
+
+def bounded_distance(a, b, limit):
+    """Levenshtein distance, or ``None`` when it exceeds ``limit``."""
+    if not within_distance(a, b, limit):
+        return None
+    return levenshtein(a, b)
+
+
+def spelling_candidates(term, vocabulary, limit=2, min_length=4):
+    """Vocabulary words within edit distance ``limit`` of ``term``.
+
+    Short terms (below ``min_length``) are skipped — one edit in a
+    3-letter word is usually a different word, not a typo — matching
+    how spelling-correction rule sets are curated in practice.
+
+    Returns ``[(word, distance), ...]`` sorted by (distance, word),
+    excluding ``term`` itself.
+    """
+    if len(term) < min_length:
+        return []
+    found = []
+    for word in vocabulary:
+        if word == term or len(word) < min_length:
+            continue
+        distance = bounded_distance(term, word, limit)
+        if distance is not None and distance > 0:
+            found.append((word, distance))
+    found.sort(key=lambda pair: (pair[1], pair[0]))
+    return found

@@ -1,0 +1,145 @@
+"""Mining refinement rules from query-log rewrite pairs.
+
+Section III-B notes refinement rules "can be obtained from document
+mining, query log analysis [21] or manual annotation".  The corpus
+miner (:mod:`repro.lexicon.mining`) covers document mining; this module
+covers the query-log route: given (dirty, clean) rewrite pairs — a user
+query that failed followed by the user's manual fix, as extracted by
+:meth:`repro.workload.querylog.QueryLog.rewrite_pairs` — derive the
+rules users implicitly applied:
+
+* a dirty keyword equal to the concatenation of adjacent clean
+  keywords is a **split** rule (user glued words);
+* adjacent dirty keywords concatenating to a clean keyword give a
+  **merging** rule;
+* a 1:1 leftover keyword pair within edit distance is a **spelling
+  substitution** (ds = the distance) or, further apart, a **synonym
+  substitution** candidate (ds = 1) once seen at least
+  ``min_support`` times;
+* dirty keywords with no counterpart are deletion evidence (already
+  universally available, so no rule is emitted).
+
+Mined rules carry support counts, and :func:`mine_rules_from_log`
+returns only those meeting ``min_support`` — the standard guard
+against one-off log noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .edit_distance import bounded_distance
+from .rules import (
+    DEFAULT_DELETION_COST,
+    RuleSet,
+    merging_rule,
+    split_rule,
+    substitution_rule,
+)
+
+#: Pairs seen fewer times than this are treated as noise.
+DEFAULT_MIN_SUPPORT = 2
+
+
+def _alignment_candidates(dirty, clean):
+    """Rule evidence from one rewrite pair.
+
+    Yields ``(kind, payload)`` tuples where kind is ``"merge"``,
+    ``"split"`` or ``"substitute"``.
+    """
+    dirty = list(dirty)
+    clean = list(clean)
+    used_clean = set()
+    used_dirty = set()
+
+    # Exact keepers first.
+    clean_positions = {}
+    for j, word in enumerate(clean):
+        clean_positions.setdefault(word, []).append(j)
+    for i, word in enumerate(dirty):
+        positions = clean_positions.get(word)
+        if positions:
+            used_dirty.add(i)
+            used_clean.add(positions.pop(0))
+
+    # Merges: adjacent dirty -> one clean.
+    for i in range(len(dirty) - 1):
+        if i in used_dirty or i + 1 in used_dirty:
+            continue
+        glued = dirty[i] + dirty[i + 1]
+        for j, word in enumerate(clean):
+            if j not in used_clean and word == glued:
+                yield "merge", (dirty[i], dirty[i + 1], glued)
+                used_dirty.update((i, i + 1))
+                used_clean.add(j)
+                break
+
+    # Splits: one dirty -> adjacent clean pair.
+    for i, word in enumerate(dirty):
+        if i in used_dirty:
+            continue
+        for j in range(len(clean) - 1):
+            if j in used_clean or j + 1 in used_clean:
+                continue
+            if clean[j] + clean[j + 1] == word:
+                yield "split", (word, clean[j], clean[j + 1])
+                used_dirty.add(i)
+                used_clean.update((j, j + 1))
+                break
+
+    # Substitutions: remaining 1:1 by closest edit distance.
+    leftover_dirty = [i for i in range(len(dirty)) if i not in used_dirty]
+    leftover_clean = [j for j in range(len(clean)) if j not in used_clean]
+    for i in leftover_dirty:
+        best = None
+        for j in leftover_clean:
+            distance = bounded_distance(dirty[i], clean[j], 3)
+            if distance is not None and (best is None or distance < best[0]):
+                best = (distance, j)
+        if best is not None:
+            distance, j = best
+            leftover_clean.remove(j)
+            yield "substitute", (dirty[i], clean[j], max(distance, 1))
+
+
+def mine_rules_from_log(
+    rewrite_pairs,
+    min_support=DEFAULT_MIN_SUPPORT,
+    deletion_cost=DEFAULT_DELETION_COST,
+):
+    """A :class:`RuleSet` mined from (dirty, clean) rewrite pairs."""
+    support = Counter()
+    payloads = {}
+    for dirty, clean in rewrite_pairs:
+        for kind, payload in _alignment_candidates(dirty, clean):
+            key = (kind,) + payload[:2] if kind != "substitute" else (
+                kind, payload[0], payload[1],
+            )
+            support[key] += 1
+            payloads[key] = (kind, payload)
+
+    rule_set = RuleSet(deletion_cost=deletion_cost)
+    for key, count in support.items():
+        if count < min_support:
+            continue
+        kind, payload = payloads[key]
+        if kind == "merge":
+            left, right, glued = payload
+            rule_set.add(merging_rule((left, right), glued))
+        elif kind == "split":
+            word, left, right = payload
+            rule_set.add(split_rule(word, (left, right)))
+        else:
+            source, target, distance = payload
+            rule_set.add(substitution_rule(source, target, ds=distance))
+    return rule_set
+
+
+def rule_support(rewrite_pairs):
+    """Support counts per mined rule key (diagnostics/tests)."""
+    support = Counter()
+    for dirty, clean in rewrite_pairs:
+        for kind, payload in _alignment_candidates(dirty, clean):
+            key = (kind,) + payload[:2]
+            support[key] += 1
+    return support

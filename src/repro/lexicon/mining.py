@@ -1,0 +1,164 @@
+"""Rule mining: building the pertinent rule set for a query.
+
+The paper obtains refinement rules from "document mining, query log
+analysis or manual annotation"; its experiments use two human
+annotators.  This module plays the annotators' role automatically by
+mining rules *relevant to a given query* from the corpus vocabulary
+(the set of indexed keywords):
+
+* **merging** — adjacent query keywords whose concatenation is a corpus
+  word (``on, line -> online``);
+* **split** — a query keyword that decomposes into 2..3 corpus words
+  (``online -> on, line``);
+* **spelling** — corpus words within edit distance 2 of a query
+  keyword, ds = the distance (``mecin -> machine``, r5);
+* **synonym** — thesaurus neighbours present in the corpus (``article
+  -> inproceedings``, r3);
+* **acronym** — expansion/contraction against the acronym table, both
+  directions (``WWW <-> world wide web``, r6);
+* **stemming** — corpus words sharing a Porter stem (``match ->
+  matching``).
+
+Only rules whose RHS keywords all exist in the corpus are emitted —
+rules rewriting into absent keywords can never contribute a matching
+result, so carrying them would only widen ``KS`` for nothing.
+"""
+
+from __future__ import annotations
+
+from .acronyms import ACRONYM_SCORE, AcronymTable
+from .edit_distance import spelling_candidates
+from .rules import (
+    DEFAULT_DELETION_COST,
+    RuleSet,
+    acronym_rules,
+    merging_rule,
+    split_rule,
+    substitution_rule,
+)
+from .stemming import stem
+from .synonyms import Thesaurus
+
+#: Default cap on spelling-rule candidates per query keyword.
+DEFAULT_MAX_SPELLING = 3
+#: Minimum length of each fragment produced by a split rule.
+MIN_SPLIT_FRAGMENT = 2
+
+
+class RuleMiner:
+    """Mines the pertinent rule set for queries over one corpus.
+
+    Parameters
+    ----------
+    vocabulary:
+        Iterable of corpus keywords (the inverted index's key set).
+    thesaurus, acronyms:
+        Optional domain knowledge; defaults cover the bundled datasets.
+    deletion_cost:
+        ds of term deletion, forwarded into every mined
+        :class:`~repro.lexicon.rules.RuleSet`.
+    """
+
+    def __init__(
+        self,
+        vocabulary,
+        thesaurus=None,
+        acronyms=None,
+        deletion_cost=DEFAULT_DELETION_COST,
+        max_spelling=DEFAULT_MAX_SPELLING,
+        edit_limit=2,
+    ):
+        self.vocabulary = set(vocabulary)
+        self.thesaurus = thesaurus if thesaurus is not None else Thesaurus()
+        self.acronyms = acronyms if acronyms is not None else AcronymTable()
+        self.deletion_cost = deletion_cost
+        self.max_spelling = max_spelling
+        self.edit_limit = edit_limit
+        self._stem_groups = None
+
+    # ------------------------------------------------------------------
+    def _stems(self):
+        """Lazy map stem -> corpus words sharing it."""
+        if self._stem_groups is None:
+            groups = {}
+            for word in self.vocabulary:
+                groups.setdefault(stem(word), set()).add(word)
+            self._stem_groups = groups
+        return self._stem_groups
+
+    def _in_corpus(self, words):
+        return all(word in self.vocabulary for word in words)
+
+    # ------------------------------------------------------------------
+    # Per-operation miners (each yields RefinementRule objects)
+    # ------------------------------------------------------------------
+    def merging_rules(self, query):
+        """Adjacent-run merges whose result is a corpus word."""
+        for width in (2, 3):
+            for start in range(len(query) - width + 1):
+                parts = tuple(query[start : start + width])
+                merged = "".join(parts)
+                if merged in self.vocabulary:
+                    yield merging_rule(parts, merged)
+
+    def split_rules(self, keyword):
+        """Decompositions of one keyword into 2 corpus fragments."""
+        for cut in range(MIN_SPLIT_FRAGMENT, len(keyword) - MIN_SPLIT_FRAGMENT + 1):
+            left, right = keyword[:cut], keyword[cut:]
+            if self._in_corpus((left, right)):
+                yield split_rule(keyword, (left, right))
+
+    def spelling_rules(self, keyword):
+        """Edit-distance substitutions into corpus words."""
+        if keyword in self.vocabulary:
+            return
+        candidates = spelling_candidates(
+            keyword, self.vocabulary, limit=self.edit_limit
+        )
+        for word, distance in candidates[: self.max_spelling]:
+            yield substitution_rule(keyword, word, ds=distance)
+
+    def synonym_rules(self, keyword):
+        """Thesaurus substitutions into corpus words."""
+        for synonym, score in self.thesaurus.synonyms(keyword):
+            if synonym in self.vocabulary:
+                yield substitution_rule(keyword, synonym, ds=score)
+
+    def acronym_rules_for(self, query, keyword):
+        """Acronym expansion of ``keyword`` and contraction of runs."""
+        expansion = self.acronyms.expand(keyword)
+        if expansion is not None and self._in_corpus(expansion):
+            yield acronym_rules(keyword, expansion, ds=ACRONYM_SCORE)[0]
+        # Contraction: a run of query keywords matching an expansion.
+        for width in (2, 3):
+            for start in range(len(query) - width + 1):
+                run = tuple(query[start : start + width])
+                if run[-1] != keyword:
+                    continue
+                acronym = self.acronyms.contract(run)
+                if acronym is not None and acronym in self.vocabulary:
+                    yield acronym_rules(acronym, run, ds=ACRONYM_SCORE)[1]
+
+    def stemming_rules(self, keyword):
+        """Substitutions into corpus words sharing the Porter stem."""
+        for word in sorted(self._stems().get(stem(keyword), ())):
+            if word != keyword:
+                yield substitution_rule(keyword, word, ds=1)
+
+    # ------------------------------------------------------------------
+    def mine(self, query):
+        """The pertinent :class:`RuleSet` for one keyword query.
+
+        ``query`` is a sequence of normalized keywords (order matters
+        for merging/contraction rules).
+        """
+        query = list(query)
+        rule_set = RuleSet(deletion_cost=self.deletion_cost)
+        rule_set.extend(self.merging_rules(query))
+        for keyword in query:
+            rule_set.extend(self.split_rules(keyword))
+            rule_set.extend(self.spelling_rules(keyword))
+            rule_set.extend(self.synonym_rules(keyword))
+            rule_set.extend(self.acronym_rules_for(query, keyword))
+            rule_set.extend(self.stemming_rules(keyword))
+        return rule_set

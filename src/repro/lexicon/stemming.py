@@ -1,0 +1,188 @@
+"""Porter stemmer, implemented from scratch.
+
+Word stemming is one of the four term-substitution flavours (Section
+III-B: ``match`` -> ``matching``, Q_X4).  The rule miner uses stems to
+propose substitution rules between a query term and corpus words that
+share a stem.  This is the classic Porter (1980) algorithm — steps 1a
+through 5b — which is deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word, index):
+    ch = word[index]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem):
+    """The Porter measure m: number of VC sequences in the stem."""
+    forms = []
+    for i in range(len(stem)):
+        forms.append("c" if _is_consonant(stem, i) else "v")
+    collapsed = []
+    for form in forms:
+        if not collapsed or collapsed[-1] != form:
+            collapsed.append(form)
+    return "".join(collapsed).count("vc")
+
+
+def _contains_vowel(stem):
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word):
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word):
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace(word, suffix, replacement, min_measure):
+    """If word ends with suffix and stem measure > min_measure, replace."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+def _step_1a(word):
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word):
+    if word.endswith("eed"):
+        stem = word[:-3]
+        return stem + "ee" if _measure(stem) > 0 else word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word):
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2 = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
+    ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
+    ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+    ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+    ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3 = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4 = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def _step_2(word):
+    for suffix, replacement in _STEP2:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_3(word):
+    for suffix, replacement in _STEP3:
+        result = _replace(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_4(word):
+    for suffix in _STEP4:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5a(word):
+    if word.endswith("e"):
+        stem = word[:-1]
+        measure = _measure(stem)
+        if measure > 1 or (measure == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word):
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        return word[:-1]
+    return word
+
+
+def stem(word):
+    """Porter stem of a lowercase word."""
+    if len(word) <= 2:
+        return word
+    for step in (
+        _step_1a, _step_1b, _step_1c, _step_2, _step_3, _step_4,
+        _step_5a, _step_5b,
+    ):
+        word = step(word)
+    return word
+
+
+def share_stem(a, b):
+    """True when two distinct words reduce to the same Porter stem."""
+    return a != b and stem(a) == stem(b)

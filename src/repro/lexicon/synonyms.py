@@ -1,0 +1,98 @@
+"""A compact WordNet-style thesaurus for synonym substitution rules.
+
+TopX and the paper's rule examples consult WordNet [18] for synonym
+scores; no lexical database ships in this offline reproduction, so a
+hand-curated thesaurus covers the vocabulary the synthetic datasets
+emit (bibliographic + baseball domains) plus the general computing
+terms appearing in the paper's sample queries (``publication`` vs
+``article``/``inproceedings``, ``search`` vs ``retrieval``...).
+
+Synonymy is modeled as undirected groups; the dissimilarity of a
+substitution within a group is the group's score (default 1, matching
+rule r3 in Table II).
+"""
+
+from __future__ import annotations
+
+#: (group members, dissimilarity score) — order inside a group is
+#: irrelevant; every ordered pair becomes a substitution rule.
+DEFAULT_GROUPS = [
+    ({"publication", "publications", "article", "inproceedings",
+      "proceedings", "paper", "book"}, 1),
+    ({"database", "databases", "db"}, 1),
+    ({"search", "retrieval", "lookup"}, 1),
+    ({"keyword", "term"}, 1),
+    ({"efficient", "fast", "scalable"}, 1),
+    ({"evaluation", "assessment", "benchmark"}, 1),
+    ({"method", "approach", "technique", "algorithm"}, 1),
+    ({"query", "queries"}, 1),
+    ({"author", "writer"}, 1),
+    ({"journal", "magazine"}, 1),
+    ({"web", "internet"}, 1),
+    ({"learning", "training"}, 1),
+    ({"match", "matching", "join"}, 2),
+    ({"ranking", "scoring"}, 1),
+    ({"semantic", "semantics"}, 1),
+    ({"optimization", "optimisation", "tuning"}, 1),
+    # Baseball domain.
+    ({"player", "athlete"}, 1),
+    ({"team", "club", "franchise"}, 1),
+    ({"pitcher", "hurler"}, 1),
+    ({"batting", "hitting"}, 1),
+    ({"game", "games"}, 1),
+    ({"season", "year"}, 2),
+]
+
+
+class Thesaurus:
+    """Synonym lookup with per-group dissimilarity scores."""
+
+    def __init__(self, groups=None):
+        self._groups = []
+        self._membership = {}
+        for members, score in (groups if groups is not None else DEFAULT_GROUPS):
+            self.add_group(members, score)
+
+    def add_group(self, members, score=1):
+        """Register a synonym group; a word may belong to many groups."""
+        members = frozenset(word.lower() for word in members)
+        group_id = len(self._groups)
+        self._groups.append((members, score))
+        for word in members:
+            self._membership.setdefault(word, []).append(group_id)
+        return group_id
+
+    def synonyms(self, word):
+        """``[(synonym, score), ...]`` for a word, deduplicated, sorted."""
+        word = word.lower()
+        best = {}
+        for group_id in self._membership.get(word, ()):
+            members, score = self._groups[group_id]
+            for other in members:
+                if other == word:
+                    continue
+                if other not in best or score < best[other]:
+                    best[other] = score
+        return sorted(best.items())
+
+    def are_synonyms(self, a, b):
+        """True when the two words share any group."""
+        groups_a = set(self._membership.get(a.lower(), ()))
+        groups_b = set(self._membership.get(b.lower(), ()))
+        return bool(groups_a & groups_b)
+
+    def score(self, a, b):
+        """Smallest group score linking the words, or ``None``."""
+        groups_a = set(self._membership.get(a.lower(), ()))
+        groups_b = set(self._membership.get(b.lower(), ()))
+        shared = groups_a & groups_b
+        if not shared:
+            return None
+        return min(self._groups[group_id][1] for group_id in shared)
+
+    def vocabulary(self):
+        """All words known to the thesaurus."""
+        return sorted(self._membership)
+
+    def __len__(self):
+        return len(self._groups)

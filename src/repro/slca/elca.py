@@ -1,0 +1,143 @@
+"""ELCA — Exclusive LCA semantics (the XRank family).
+
+The SLCA variants in this package return only the *smallest* nodes
+containing all keywords.  ELCA (Guo et al.'s XRank semantics) is the
+other classic conjunctive answer set: a node ``v`` is an ELCA when it
+contains at least one occurrence of **every** keyword that is not
+swallowed by a contains-all descendant — formally, for each keyword
+``k_i`` there is an occurrence ``x_i`` in ``subtree(v)`` such that no
+proper descendant ``u`` of ``v`` with ``subtree(u)`` containing all
+keywords lies on the path to ``x_i``.
+
+Every SLCA is an ELCA, but an ancestor with *own* evidence for every
+keyword is an additional ELCA.  The engine exposes ELCA alongside the
+SLCA baselines so the result semantics are swappable; the paper's
+refinement machinery is orthogonal to this choice (Lemma 3).
+
+The implementation is a single stack pass over the merged lists that
+tracks two witness masks per entry:
+
+* ``true_mask`` — keywords witnessed anywhere in the subtree (decides
+  *contains-all* status);
+* ``live_mask`` — keywords witnessed outside contains-all descendants
+  (decides ELCA status).
+
+A popped contains-all node consumes its witnesses (nothing propagates);
+everything else propagates both masks.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..xmltree.dewey import Dewey, descendant_range_key
+from .lca import merge_lists
+
+
+class _Entry:
+    __slots__ = ("component", "true_mask", "live_mask")
+
+    def __init__(self, component):
+        self.component = component
+        self.true_mask = 0
+        self.live_mask = 0
+
+
+def elca(keyword_label_lists):
+    """ELCAs of doc-ordered label lists, one per keyword, in doc order."""
+    num_keywords = len(keyword_label_lists)
+    if num_keywords == 0:
+        return []
+    if any(not labels for labels in keyword_label_lists):
+        return []
+    full_mask = (1 << num_keywords) - 1
+
+    stack = []
+    results = []
+
+    def pop_entry():
+        entry = stack.pop()
+        if entry.live_mask == full_mask:
+            results.append(
+                Dewey(
+                    tuple(e.component for e in stack) + (entry.component,)
+                )
+            )
+        if not stack:
+            return
+        # true_mask always flows up: contains-all status of an ancestor
+        # does not depend on where the witnesses sit.  live_mask is
+        # consumed by a contains-all node: ancestors may only use
+        # occurrences outside such subtrees.
+        stack[-1].true_mask |= entry.true_mask
+        if entry.true_mask != full_mask:
+            stack[-1].live_mask |= entry.live_mask
+
+    for label, keyword_index in merge_lists(keyword_label_lists):
+        components = label.components
+        shared = 0
+        for entry, component in zip(stack, components):
+            if entry.component != component:
+                break
+            shared += 1
+        while len(stack) > shared:
+            pop_entry()
+        for component in components[shared:]:
+            stack.append(_Entry(component))
+        bit = 1 << keyword_index
+        stack[-1].true_mask |= bit
+        stack[-1].live_mask |= bit
+
+    while stack:
+        pop_entry()
+    results.sort()
+    return results
+
+
+def brute_force_elca(tree, keyword_label_lists):
+    """Reference ELCA by exhaustive checks (test oracle only)."""
+    if not keyword_label_lists:
+        return []
+    if any(not labels for labels in keyword_label_lists):
+        return []
+    sorted_lists = [
+        sorted(label.components for label in labels)
+        for labels in keyword_label_lists
+    ]
+
+    def occurrences_under(components_list, root):
+        lo = bisect.bisect_left(components_list, root.components)
+        hi = bisect.bisect_left(
+            components_list, descendant_range_key(root)
+        )
+        return components_list[lo:hi]
+
+    contains_all = [
+        node.dewey
+        for node in tree.iter_nodes()
+        if all(
+            occurrences_under(components, node.dewey)
+            for components in sorted_lists
+        )
+    ]
+
+    results = []
+    for v in contains_all:
+        blockers = [
+            u for u in contains_all if v.is_ancestor_of(u)
+        ]
+        is_elca = True
+        for components in sorted_lists:
+            witnesses = occurrences_under(components, v)
+            if not any(
+                all(
+                    not u.is_ancestor_or_self_of(Dewey(x))
+                    for u in blockers
+                )
+                for x in witnesses
+            ):
+                is_elca = False
+                break
+        if is_elca:
+            results.append(v)
+    return sorted(results)

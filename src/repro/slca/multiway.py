@@ -1,0 +1,60 @@
+"""Multiway-SLCA (basic variant of Sun, Chan and Goenka [8]).
+
+Instead of anchoring every node of the shortest list, Multiway-SLCA
+picks an *anchor* — the document-order maximum of the current heads of
+all lists — computes one candidate from the closest matches around it,
+then fast-forwards every cursor past the anchor.  Each iteration
+consumes at least one element from every list whose head preceded the
+anchor, "maximizing the skip of redundant LCA computations contributing
+to the same SLCA result" (Section II).
+
+Matches are located by whole-list binary search, so skipping cursor
+positions never loses a match; a final ancestor filter plus containment
+verification make the output exactly the SLCA set.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from .lca import lca_candidate, remove_ancestors
+
+
+def multiway_slca(keyword_label_lists):
+    """SLCAs via anchor-driven multiway skipping."""
+    if not keyword_label_lists:
+        return []
+    if any(not labels for labels in keyword_label_lists):
+        return []
+
+    lists = [list(labels) for labels in keyword_label_lists]
+    sorted_components = [
+        [label.components for label in labels] for labels in lists
+    ]
+    positions = [0] * len(lists)
+    candidates = []
+
+    while all(pos < len(lst) for pos, lst in zip(positions, lists)):
+        # Anchor: document-order maximum of the current heads.
+        heads = [lists[i][positions[i]] for i in range(len(lists))]
+        anchor_index = max(
+            range(len(heads)), key=lambda i: heads[i].components
+        )
+        anchor = heads[anchor_index]
+
+        other = [
+            comps
+            for i, comps in enumerate(sorted_components)
+            if i != anchor_index
+        ]
+        candidate = lca_candidate(anchor, other)
+        if candidate is not None:
+            candidates.append(candidate)
+
+        # Every list fast-forwards past the anchor.
+        for i, comps in enumerate(sorted_components):
+            positions[i] = bisect.bisect_right(
+                comps, anchor.components, lo=positions[i]
+            )
+
+    return remove_ancestors(candidates)

@@ -1,0 +1,98 @@
+"""Scan Eager SLCA (the `scan-slca` baseline of [3]).
+
+Like Indexed Lookup Eager it anchors on the shortest list, but the
+closest matches in the other lists are found by advancing forward
+pointers instead of binary searching — better when keyword frequencies
+are of similar magnitude, and the variant the paper's Partition and SLE
+algorithms delegate their per-partition SLCA computation to.
+
+Each list pointer only ever moves forward, so a query costs one scan of
+every list: ``O(sum |Si|)`` plus the candidate filtering.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.dewey import Dewey
+from .lca import remove_ancestors
+
+
+class _ForwardMatcher:
+    """Forward-only closest-match finder over one label list."""
+
+    __slots__ = ("components", "position")
+
+    def __init__(self, labels):
+        self.components = [label.components for label in labels]
+        self.position = 0
+
+    def match(self, target):
+        """Element with the deepest LCA vs ``target``; pointer moves forward.
+
+        Correct as long as successive targets are non-decreasing in
+        document order (they are: the anchor list is scanned in order).
+        """
+        components = self.components
+        target_key = target.components
+        # Advance while the *next* element is still <= target.
+        while (
+            self.position + 1 < len(components)
+            and components[self.position + 1] <= target_key
+        ):
+            self.position += 1
+        current = components[self.position]
+        if current > target_key and self.position > 0:
+            # current is the right match; previous is the left match.
+            left = components[self.position - 1]
+            if _shared(left, target_key) >= _shared(current, target_key):
+                return Dewey(left)
+            return Dewey(current)
+        if current <= target_key:
+            nxt = (
+                components[self.position + 1]
+                if self.position + 1 < len(components)
+                else None
+            )
+            if nxt is not None and _shared(nxt, target_key) > _shared(
+                current, target_key
+            ):
+                return Dewey(nxt)
+            return Dewey(current)
+        return Dewey(current)
+
+
+def _shared(a, b):
+    shared = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        shared += 1
+    return shared
+
+
+def scan_eager_slca(keyword_label_lists):
+    """SLCAs via XKSearch Scan Eager; parameters as in ``stack_slca``."""
+    if not keyword_label_lists:
+        return []
+    if any(not labels for labels in keyword_label_lists):
+        return []
+
+    shortest_index = min(
+        range(len(keyword_label_lists)),
+        key=lambda i: len(keyword_label_lists[i]),
+    )
+    anchor_list = keyword_label_lists[shortest_index]
+    matchers = [
+        _ForwardMatcher(labels)
+        for i, labels in enumerate(keyword_label_lists)
+        if i != shortest_index
+    ]
+
+    candidates = []
+    for anchor in anchor_list:
+        candidate = anchor
+        for matcher in matchers:
+            lca = anchor.lca(matcher.match(anchor))
+            if lca.depth < candidate.depth:
+                candidate = lca
+        candidates.append(candidate)
+    return remove_ancestors(candidates)

@@ -1,0 +1,91 @@
+"""Stack-based SLCA computation (the `stack-slca` baseline of [3]).
+
+A single pass over the merged keyword lists maintains the root-to-node
+path of the current stream position as a stack.  Each entry records the
+set of keywords witnessed in the (already fully visited) subtree of the
+node it denotes.  When an entry is popped:
+
+* if it witnessed **all** keywords and no descendant already produced a
+  result inside it, the popped node is an SLCA;
+* if a descendant produced a result, the node is *blocked* — it does
+  contain all keywords but is not smallest — and the block propagates
+  to its ancestors;
+* otherwise its witness set is ORed into the parent.
+
+This is the algorithm Algorithm 1 of the paper extends; it is exposed
+separately so stack-refine can reuse the mechanics and the benchmarks
+can time plain SLCA search.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.dewey import Dewey
+from .lca import merge_lists
+
+
+class _Entry:
+    __slots__ = ("component", "mask", "blocked")
+
+    def __init__(self, component):
+        self.component = component
+        self.mask = 0
+        self.blocked = False
+
+
+def stack_slca(keyword_label_lists):
+    """SLCAs of nodes drawn from doc-ordered label lists, one per keyword.
+
+    Parameters
+    ----------
+    keyword_label_lists:
+        Sequence of lists of :class:`Dewey` labels, one list per query
+        keyword, each in document order.
+
+    Returns
+    -------
+    list[Dewey]
+        All SLCA labels in document order.
+    """
+    num_keywords = len(keyword_label_lists)
+    if num_keywords == 0:
+        return []
+    if any(not labels for labels in keyword_label_lists):
+        return []
+    full_mask = (1 << num_keywords) - 1
+
+    stack = []
+    results = []
+
+    def pop_entry():
+        entry = stack.pop()
+        if entry.blocked:
+            if stack:
+                stack[-1].blocked = True
+            return
+        if entry.mask == full_mask:
+            results.append(
+                Dewey(tuple(e.component for e in stack) + (entry.component,))
+            )
+            if stack:
+                stack[-1].blocked = True
+            return
+        if stack:
+            stack[-1].mask |= entry.mask
+
+    for label, keyword_index in merge_lists(keyword_label_lists):
+        components = label.components
+        # Length of the shared prefix between the stack and this label.
+        shared = 0
+        for entry, component in zip(stack, components):
+            if entry.component != component:
+                break
+            shared += 1
+        while len(stack) > shared:
+            pop_entry()
+        for component in components[shared:]:
+            stack.append(_Entry(component))
+        stack[-1].mask |= 1 << keyword_index
+
+    while stack:
+        pop_entry()
+    return results

@@ -1,0 +1,34 @@
+"""Embedded storage substrate: B+ tree, page file, key-value store.
+
+Replaces the paper's Berkeley DB [24] dependency with a from-scratch
+ordered store exposing the same capabilities the indexes need: O(log n)
+keyed lookup, ordered range scans, and file persistence.
+"""
+
+from .btree import BPlusTree
+from .encoding import (
+    decode_dewey_list,
+    decode_key,
+    decode_uvarint,
+    encode_dewey_list,
+    encode_key,
+    encode_uvarint,
+    key_prefix_upper_bound,
+)
+from .kvstore import FileKVStore, KVStore, MemoryKVStore
+from .pager import Pager
+
+__all__ = [
+    "BPlusTree",
+    "Pager",
+    "KVStore",
+    "MemoryKVStore",
+    "FileKVStore",
+    "encode_key",
+    "decode_key",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_dewey_list",
+    "decode_dewey_list",
+    "key_prefix_upper_bound",
+]

@@ -1,0 +1,319 @@
+"""An in-memory B+ tree over ``bytes`` keys.
+
+This is the ordered map at the heart of the embedded store that stands
+in for Berkeley DB's B-tree access method.  It supports:
+
+* ``insert`` (upsert), ``get``, ``delete``;
+* ordered iteration and half-open range scans over byte keys;
+* ``bulk_load`` from sorted pairs (used when reopening a store file).
+
+The fanout (``order``) is configurable; leaves are chained for fast
+range scans.  Deletion uses the classic borrow-or-merge rebalancing so
+the tree stays within its invariants — the invariants themselves are
+checked by :meth:`BPlusTree.check_invariants`, which the property-based
+tests drive hard.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import StorageError
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys = []
+        self.values = []
+        self.next = None
+
+    is_leaf = True
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # len(children) == len(keys) + 1; subtree children[i] holds keys
+        # strictly less than keys[i] and >= keys[i-1].
+        self.keys = []
+        self.children = []
+
+    is_leaf = False
+
+
+class BPlusTree:
+    """Ordered ``bytes -> object`` map with B+ tree mechanics."""
+
+    def __init__(self, order=DEFAULT_ORDER):
+        if order < 4:
+            raise StorageError(f"B+ tree order must be >= 4, got {order}")
+        self._order = order
+        self._root = _Leaf()
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    def __contains__(self, key):
+        _MISSING = object()
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key):
+        """Descend to the leaf that would hold ``key``; record the path."""
+        path = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        return node, path
+
+    def get(self, key, default=None):
+        """Value stored under ``key``, or ``default``."""
+        leaf, _ = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key, value):
+        """Insert or overwrite ``key``."""
+        if not isinstance(key, (bytes, bytearray)):
+            raise StorageError(
+                f"B+ tree keys must be bytes, got {type(key).__name__}"
+            )
+        key = bytes(key)
+        leaf, path = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._size += 1
+        if len(leaf.keys) > self._order:
+            self._split(leaf, path)
+
+    def _split(self, node, path):
+        """Split an overfull node, propagating up the recorded path."""
+        mid = len(node.keys) // 2
+        if node.is_leaf:
+            sibling = _Leaf()
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next = node.next
+            node.next = sibling
+            separator = sibling.keys[0]
+        else:
+            sibling = _Internal()
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+        if path:
+            parent, idx = path[-1]
+            parent.keys.insert(idx, separator)
+            parent.children.insert(idx + 1, sibling)
+            if len(parent.keys) > self._order:
+                self._split(parent, path[:-1])
+        else:
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [node, sibling]
+            self._root = new_root
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key):
+        """Remove ``key``; returns True if it was present."""
+        leaf, path = self._find_leaf(bytes(key))
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._size -= 1
+        self._rebalance(leaf, path)
+        return True
+
+    def _min_fill(self):
+        return self._order // 2
+
+    def _rebalance(self, node, path):
+        if not path:
+            # Node is the root: collapse an empty internal root.
+            if not node.is_leaf and len(node.children) == 1:
+                self._root = node.children[0]
+            return
+        fill = len(node.keys)
+        if fill >= self._min_fill():
+            return
+        parent, idx = path[-1]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if left is not None and len(left.keys) > self._min_fill():
+            self._borrow_from_left(node, left, parent, idx)
+            return
+        if right is not None and len(right.keys) > self._min_fill():
+            self._borrow_from_right(node, right, parent, idx)
+            return
+        if left is not None:
+            self._merge(left, node, parent, idx - 1)
+        else:
+            self._merge(node, right, parent, idx)
+        self._rebalance(parent, path[:-1])
+
+    def _borrow_from_left(self, node, left, parent, idx):
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, node, right, parent, idx):
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+
+    def _merge(self, left, right, parent, sep_idx):
+        """Merge ``right`` into ``left``; they straddle parent.keys[sep_idx]."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[sep_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[sep_idx]
+        del parent.children[sep_idx + 1]
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def _first_leaf(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self):
+        """All (key, value) pairs in key order."""
+        leaf = self._first_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def range(self, low=None, high=None):
+        """(key, value) pairs with ``low <= key < high`` in order.
+
+        ``None`` bounds are open: ``range(None, None)`` is everything.
+        """
+        if low is None:
+            leaf = self._first_leaf()
+            idx = 0
+        else:
+            leaf, _ = self._find_leaf(bytes(low))
+            idx = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None and key >= high:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def first_key(self):
+        """Smallest key, or None when empty."""
+        leaf = self._first_leaf()
+        return leaf.keys[0] if leaf.keys else None
+
+    # ------------------------------------------------------------------
+    # Bulk operations & invariants
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, pairs, order=DEFAULT_ORDER):
+        """Build a tree from (key, value) pairs sorted by key."""
+        tree = cls(order=order)
+        previous = None
+        for key, value in pairs:
+            if previous is not None and key <= previous:
+                raise StorageError("bulk_load requires strictly sorted keys")
+            tree.insert(key, value)
+            previous = key
+        return tree
+
+    def check_invariants(self):
+        """Verify all structural invariants; raises StorageError on failure.
+
+        Checked: key order within nodes, separator correctness, balanced
+        leaf depth, fill factors (root excepted), leaf-chain completeness
+        and the size counter.
+        """
+        leaves = []
+        depths = set()
+        self._check_node(self._root, None, None, 0, depths, leaves, True)
+        if len(depths) > 1:
+            raise StorageError(f"leaves at different depths: {sorted(depths)}")
+        chained = []
+        leaf = self._first_leaf()
+        while leaf is not None:
+            chained.append(leaf)
+            leaf = leaf.next
+        if [id(x) for x in chained] != [id(x) for x in leaves]:
+            raise StorageError("leaf chain disagrees with tree structure")
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._size:
+            raise StorageError(f"size counter {self._size} != {total}")
+
+    def _check_node(self, node, low, high, depth, depths, leaves, is_root):
+        keys = node.keys
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise StorageError("keys out of order within a node")
+        if low is not None and keys and keys[0] < low:
+            raise StorageError("key below subtree lower bound")
+        if high is not None and keys and keys[-1] >= high:
+            raise StorageError("key at/above subtree upper bound")
+        if node.is_leaf:
+            if not is_root and len(keys) < self._min_fill():
+                raise StorageError("underfull leaf")
+            if len(keys) > self._order:
+                raise StorageError("overfull leaf")
+            depths.add(depth)
+            leaves.append(node)
+            return
+        if len(node.children) != len(keys) + 1:
+            raise StorageError("internal node child/key count mismatch")
+        if not is_root and len(keys) < self._min_fill():
+            raise StorageError("underfull internal node")
+        bounds = [low] + list(keys) + [high]
+        for i, child in enumerate(node.children):
+            self._check_node(
+                child, bounds[i], bounds[i + 1], depth + 1, depths, leaves, False
+            )

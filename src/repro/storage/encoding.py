@@ -1,0 +1,186 @@
+"""Order-preserving key encoding and compact value encoding.
+
+The embedded store (:mod:`repro.storage.kvstore`) works on ``bytes``
+keys and values, like Berkeley DB.  The index layer needs composite
+keys — ``(keyword,)``, ``(keyword, node_type)``, ``(keyword, keyword,
+node_type)`` — whose *byte* order must equal their tuple order so range
+scans (e.g. "all entries for keyword k") work.  This module provides:
+
+* :func:`encode_key` / :func:`decode_key` — order-preserving encoding
+  of tuples of strings and non-negative ints;
+* :func:`encode_uvarint` / :func:`decode_uvarint` — LEB128 varints used
+  for value payloads;
+* :func:`encode_dewey_list` / :func:`decode_dewey_list` — delta-encoded
+  posting lists of Dewey labels, the storage format of inverted lists.
+
+Key encoding scheme
+-------------------
+Each tuple element is tagged with a type byte so heterogeneous tuples
+compare sanely, then encoded so that byte order matches value order:
+
+* strings: ``0x01`` + UTF-8 bytes with ``0x00`` escaped as ``0x00 0xFF``
+  + terminator ``0x00 0x00``.  Escaping keeps embedded NULs sortable.
+* ints: ``0x02`` + 8-byte big-endian unsigned.
+
+A shorter tuple that is a prefix of a longer one sorts first, which is
+exactly the semantics prefix range scans need.
+"""
+
+from __future__ import annotations
+
+from ..errors import KeyEncodingError
+
+_TAG_STR = b"\x01"
+_TAG_INT = b"\x02"
+_TERMINATOR = b"\x00\x00"
+_ESCAPED_NUL = b"\x00\xff"
+
+
+def encode_uvarint(value):
+    """Encode a non-negative int as a LEB128 varint."""
+    if value < 0:
+        raise KeyEncodingError(f"uvarint cannot encode negative {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data, offset=0):
+    """Decode a varint from ``data`` at ``offset``; returns (value, next)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise KeyEncodingError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise KeyEncodingError("varint too long")
+
+
+def encode_key(parts):
+    """Encode a tuple of strings/ints into an order-preserving key."""
+    out = bytearray()
+    for part in parts:
+        if isinstance(part, str):
+            out += _TAG_STR
+            out += part.encode("utf-8").replace(b"\x00", _ESCAPED_NUL)
+            out += _TERMINATOR
+        elif isinstance(part, int) and not isinstance(part, bool):
+            if part < 0 or part >= 1 << 64:
+                raise KeyEncodingError(f"int key part out of range: {part}")
+            out += _TAG_INT
+            out += part.to_bytes(8, "big")
+        else:
+            raise KeyEncodingError(
+                f"unsupported key part type: {type(part).__name__}"
+            )
+    return bytes(out)
+
+
+def decode_key(data):
+    """Inverse of :func:`encode_key`."""
+    parts = []
+    pos = 0
+    length = len(data)
+    while pos < length:
+        tag = data[pos : pos + 1]
+        pos += 1
+        if tag == _TAG_STR:
+            chunk = bytearray()
+            while True:
+                if pos >= length:
+                    raise KeyEncodingError("unterminated string key part")
+                byte = data[pos]
+                if byte == 0x00:
+                    nxt = data[pos + 1] if pos + 1 < length else None
+                    if nxt == 0xFF:
+                        chunk.append(0x00)
+                        pos += 2
+                        continue
+                    if nxt == 0x00:
+                        pos += 2
+                        break
+                    raise KeyEncodingError("bad string escape in key")
+                chunk.append(byte)
+                pos += 1
+            parts.append(bytes(chunk).decode("utf-8"))
+        elif tag == _TAG_INT:
+            if pos + 8 > length:
+                raise KeyEncodingError("truncated int key part")
+            parts.append(int.from_bytes(data[pos : pos + 8], "big"))
+            pos += 8
+        else:
+            raise KeyEncodingError(f"unknown key tag byte {tag!r}")
+    return tuple(parts)
+
+
+def key_prefix_upper_bound(prefix):
+    """Smallest byte string greater than every key extending ``prefix``.
+
+    Used to turn a tuple prefix into a half-open byte range
+    ``[encode_key(prefix), key_prefix_upper_bound(encode_key(prefix)))``.
+    Returns ``None`` when the prefix is all ``0xFF`` (no upper bound).
+    """
+    data = bytearray(prefix)
+    while data:
+        if data[-1] != 0xFF:
+            data[-1] += 1
+            return bytes(data)
+        data.pop()
+    return None
+
+
+def encode_dewey_list(labels):
+    """Delta-encode a document-ordered list of Dewey component tuples.
+
+    Each label is stored as (shared-prefix length with the previous
+    label, number of new components, new components...), all varints.
+    Dense posting lists compress to roughly 2 bytes per entry.
+    """
+    out = bytearray()
+    out += encode_uvarint(len(labels))
+    previous = ()
+    for label in labels:
+        components = tuple(label)
+        shared = 0
+        for a, b in zip(previous, components):
+            if a != b:
+                break
+            shared += 1
+        suffix = components[shared:]
+        out += encode_uvarint(shared)
+        out += encode_uvarint(len(suffix))
+        for part in suffix:
+            out += encode_uvarint(part)
+        previous = components
+    return bytes(out)
+
+
+def decode_dewey_list(data):
+    """Inverse of :func:`encode_dewey_list`; returns component tuples."""
+    count, pos = decode_uvarint(data)
+    labels = []
+    previous = ()
+    for _ in range(count):
+        shared, pos = decode_uvarint(data, pos)
+        suffix_len, pos = decode_uvarint(data, pos)
+        suffix = []
+        for _ in range(suffix_len):
+            part, pos = decode_uvarint(data, pos)
+            suffix.append(part)
+        components = previous[:shared] + tuple(suffix)
+        labels.append(components)
+        previous = components
+    return labels

@@ -1,0 +1,204 @@
+"""Embedded key-value store — the package's Berkeley DB stand-in.
+
+Two implementations share one API:
+
+* :class:`MemoryKVStore` — a :class:`~repro.storage.btree.BPlusTree`
+  holding ``bytes -> bytes``; the workhorse during index construction
+  and in-process querying.
+* :class:`FileKVStore` — the same tree backed by a
+  :class:`~repro.storage.pager.Pager` file.  Writes go to the in-memory
+  tree; :meth:`FileKVStore.flush` serializes a sorted snapshot into a
+  fresh page run (single-writer, last-snapshot-wins, like a checkpoint
+  in Berkeley DB's parlance), and opening a file bulk-loads the latest
+  snapshot back into a tree.
+
+The store knows nothing about the index semantics above it; it moves
+opaque byte strings.  Composite-key helpers live in
+:mod:`repro.storage.encoding`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageClosedError, StorageError
+from .btree import DEFAULT_ORDER, BPlusTree
+from .encoding import key_prefix_upper_bound
+from .pager import Pager
+
+_SNAPSHOT_POINTER = struct.Struct(">QQQ")  # first_page, run_length, n_items
+
+
+class KVStore:
+    """Common behaviour for both store flavours."""
+
+    def __init__(self, order=DEFAULT_ORDER):
+        self._tree = BPlusTree(order=order)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _check_open(self):
+        if self._closed:
+            raise StorageClosedError("store is closed")
+
+    @staticmethod
+    def _check_bytes(name, value):
+        if not isinstance(value, (bytes, bytearray)):
+            raise StorageError(f"{name} must be bytes, got {type(value).__name__}")
+        return bytes(value)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(self, key, value):
+        """Insert or overwrite ``key``."""
+        self._check_open()
+        key = self._check_bytes("key", key)
+        value = self._check_bytes("value", value)
+        self._tree.insert(key, value)
+
+    def delete(self, key):
+        """Remove ``key``; returns True when it existed."""
+        self._check_open()
+        return self._tree.delete(self._check_bytes("key", key))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key, default=None):
+        """Value for ``key`` or ``default``."""
+        self._check_open()
+        return self._tree.get(self._check_bytes("key", key), default)
+
+    def __contains__(self, key):
+        self._check_open()
+        return self._check_bytes("key", key) in self._tree
+
+    def __len__(self):
+        self._check_open()
+        return len(self._tree)
+
+    def items(self):
+        """All (key, value) pairs in key order."""
+        self._check_open()
+        return self._tree.items()
+
+    def range(self, low=None, high=None):
+        """Pairs with ``low <= key < high`` in key order."""
+        self._check_open()
+        return self._tree.range(low, high)
+
+    def scan_prefix(self, prefix):
+        """Pairs whose key starts with the byte string ``prefix``."""
+        self._check_open()
+        prefix = self._check_bytes("prefix", prefix)
+        return self._tree.range(prefix, key_prefix_upper_bound(prefix))
+
+    # ------------------------------------------------------------------
+    def flush(self):
+        """Persist pending writes (no-op for the memory store)."""
+        self._check_open()
+
+    def close(self):
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class MemoryKVStore(KVStore):
+    """Purely in-memory store; fastest, used by default everywhere."""
+
+
+class FileKVStore(KVStore):
+    """Page-file backed store with snapshot persistence.
+
+    Parameters
+    ----------
+    path:
+        Page file location; created when missing.
+    order:
+        B+ tree fanout for the in-memory working tree.
+    """
+
+    def __init__(self, path, order=DEFAULT_ORDER):
+        super().__init__(order=order)
+        self._pager = Pager(path, create=True)
+        self._load_snapshot()
+        self._dirty = False
+
+    def _load_snapshot(self):
+        """Rebuild the working tree from the newest on-disk snapshot."""
+        pointer_page = self._find_pointer_page()
+        if pointer_page is None:
+            return
+        raw = self._pager.read_page(pointer_page)
+        first, run, count = _SNAPSHOT_POINTER.unpack(
+            raw[: _SNAPSHOT_POINTER.size]
+        )
+        if count == 0:
+            return
+        blob = self._pager.read_stream(first, run)
+        pairs = list(_decode_snapshot(blob, count))
+        self._tree = BPlusTree.bulk_load(pairs, order=self._tree._order)
+
+    def _find_pointer_page(self):
+        """Snapshot pointers live on page 1; absent in a fresh file."""
+        if self._pager.page_count <= 1:
+            return None
+        return 1
+
+    def put(self, key, value):
+        super().put(key, value)
+        self._dirty = True
+
+    def delete(self, key):
+        removed = super().delete(key)
+        self._dirty = self._dirty or removed
+        return removed
+
+    def flush(self):
+        """Write a full sorted snapshot and point the header at it."""
+        self._check_open()
+        if not self._dirty and self._pager.page_count > 1:
+            return
+        blob = _encode_snapshot(self._tree.items())
+        if self._pager.page_count <= 1:
+            pointer_page = self._pager.allocate(1)
+        else:
+            pointer_page = 1
+        first, run = self._pager.write_stream(blob)
+        pointer = _SNAPSHOT_POINTER.pack(first, run, len(self._tree))
+        self._pager.write_page(pointer_page, pointer)
+        self._pager.flush()
+        self._dirty = False
+
+    def close(self):
+        if not self._closed:
+            self.flush()
+            self._pager.close()
+        super().close()
+
+
+def _encode_snapshot(pairs):
+    out = bytearray()
+    for key, value in pairs:
+        out += struct.pack(">II", len(key), len(value))
+        out += key
+        out += value
+    return bytes(out)
+
+
+def _decode_snapshot(blob, count):
+    pos = 0
+    for _ in range(count):
+        key_len, value_len = struct.unpack_from(">II", blob, pos)
+        pos += 8
+        key = blob[pos : pos + key_len]
+        pos += key_len
+        value = blob[pos : pos + value_len]
+        pos += value_len
+        yield key, value

@@ -1,0 +1,140 @@
+"""A fixed-size page file, the lowest storage layer.
+
+The file layout is deliberately simple and crash-inspectable:
+
+* page 0 is the **header**: magic, page size, page count, and the root
+  of the metadata area (a small key describing where each named tree's
+  page run starts);
+* every other page is a raw ``page_size`` byte block.
+
+:class:`Pager` only moves whole pages; record framing across pages is
+the concern of :mod:`repro.storage.kvstore`, which writes each tree as
+a contiguous run of pages holding a length-prefixed record stream.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import PageError
+
+MAGIC = b"XRFPAGE1"
+DEFAULT_PAGE_SIZE = 4096
+_HEADER = struct.Struct(">8sII")  # magic, page_size, page_count
+
+
+class Pager:
+    """Read/write fixed-size pages in a single file."""
+
+    def __init__(self, path, page_size=DEFAULT_PAGE_SIZE, create=False):
+        self.path = path
+        self._closed = False
+        exists = os.path.exists(path)
+        if not exists and not create:
+            raise PageError(f"page file {path!r} does not exist")
+        mode = "r+b" if exists else "w+b"
+        self._file = open(path, mode)
+        if exists and os.path.getsize(path) >= _HEADER.size:
+            self._file.seek(0)
+            magic, stored_size, count = _HEADER.unpack(
+                self._file.read(_HEADER.size)
+            )
+            if magic != MAGIC:
+                self._file.close()
+                raise PageError(f"{path!r} is not an XRefine page file")
+            self.page_size = stored_size
+            self._page_count = count
+        else:
+            self.page_size = page_size
+            self._page_count = 1  # header occupies page 0
+            self._write_header()
+
+    # ------------------------------------------------------------------
+    def _check_open(self):
+        if self._closed:
+            raise PageError("pager is closed")
+
+    def _write_header(self):
+        self._file.seek(0)
+        header = _HEADER.pack(MAGIC, self.page_size, self._page_count)
+        self._file.write(header.ljust(self.page_size, b"\x00"))
+
+    @property
+    def page_count(self):
+        """Total pages in the file, including the header page."""
+        return self._page_count
+
+    def allocate(self, count=1):
+        """Reserve ``count`` new pages; returns the first page number."""
+        self._check_open()
+        first = self._page_count
+        self._page_count += count
+        self._write_header()
+        return first
+
+    def write_page(self, page_no, data):
+        """Write one page; ``data`` must fit in ``page_size`` bytes."""
+        self._check_open()
+        if page_no <= 0 or page_no >= self._page_count:
+            raise PageError(f"page {page_no} out of range")
+        if len(data) > self.page_size:
+            raise PageError(
+                f"record of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._file.seek(page_no * self.page_size)
+        self._file.write(bytes(data).ljust(self.page_size, b"\x00"))
+
+    def read_page(self, page_no):
+        """Read one full page of bytes."""
+        self._check_open()
+        if page_no <= 0 or page_no >= self._page_count:
+            raise PageError(f"page {page_no} out of range")
+        self._file.seek(page_no * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        return data
+
+    def write_stream(self, data):
+        """Store an arbitrary byte string as a fresh run of pages.
+
+        Returns ``(first_page, page_run_length)``; read back with
+        :meth:`read_stream`.
+        """
+        self._check_open()
+        payload = struct.pack(">Q", len(data)) + bytes(data)
+        pages_needed = max(1, -(-len(payload) // self.page_size))
+        first = self.allocate(pages_needed)
+        for i in range(pages_needed):
+            chunk = payload[i * self.page_size : (i + 1) * self.page_size]
+            self.write_page(first + i, chunk)
+        return first, pages_needed
+
+    def read_stream(self, first_page, page_run_length):
+        """Read back a byte string stored by :meth:`write_stream`."""
+        self._check_open()
+        raw = b"".join(
+            self.read_page(first_page + i) for i in range(page_run_length)
+        )
+        (length,) = struct.unpack(">Q", raw[:8])
+        if length > len(raw) - 8:
+            raise PageError("stream length prefix exceeds page run")
+        return raw[8 : 8 + length]
+
+    def flush(self):
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self):
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

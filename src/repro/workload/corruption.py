@@ -1,0 +1,164 @@
+"""Controlled query corruption — the error classes of Section III-B.
+
+The paper's query pool comes from a live demo log whose failing queries
+exhibit four error classes: mistaken merges, mistaken splits, spelling
+errors and term mismatch (synonyms/acronyms), plus over-constrained
+queries that only term deletion can fix.  Each corruptor here applies
+one class to a clean *intent* query, returning the corrupted keyword
+list — ground truth (the intent) stays with the caller so effectiveness
+can be scored without human judges.
+
+Every corruptor takes an ``rng`` (``random.Random``) and is
+deterministic under a fixed seed; a corruptor returns ``None`` when it
+cannot apply (e.g. no keyword long enough to split), letting the pool
+generator fall through to another class.
+"""
+
+from __future__ import annotations
+
+from ..lexicon.acronyms import AcronymTable
+from ..lexicon.synonyms import Thesaurus
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+#: Corruption class tags.
+SPLIT = "split"                  # fixed by term merging
+MERGE = "merge"                  # fixed by term split
+TYPO = "typo"                    # fixed by spelling substitution
+SYNONYM = "synonym"              # fixed by synonym substitution
+ACRONYM = "acronym"              # fixed by acronym expansion
+OVERCONSTRAIN = "overconstrain"  # fixed by term deletion
+
+ALL_KINDS = (SPLIT, MERGE, TYPO, SYNONYM, ACRONYM, OVERCONSTRAIN)
+
+
+def corrupt_split(query, rng, min_fragment=2):
+    """Split one keyword in two (user typed a stray space).
+
+    The refinement fix is term *merging* (rule r1: ``on, line ->
+    online``).
+    """
+    candidates = [
+        i for i, word in enumerate(query) if len(word) >= 2 * min_fragment
+    ]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    word = query[index]
+    cut = rng.randint(min_fragment, len(word) - min_fragment)
+    return query[:index] + [word[:cut], word[cut:]] + query[index + 1 :]
+
+
+def corrupt_merge(query, rng):
+    """Concatenate two adjacent keywords (user forgot a space).
+
+    The refinement fix is term *split* (rule r7).
+    """
+    if len(query) < 2:
+        return None
+    index = rng.randrange(len(query) - 1)
+    merged = query[index] + query[index + 1]
+    return query[:index] + [merged] + query[index + 2 :]
+
+
+def corrupt_typo(query, rng, min_length=4):
+    """Inject one character-level error into one keyword.
+
+    The refinement fix is spelling substitution (rule r5).
+    """
+    candidates = [
+        i for i, word in enumerate(query) if len(word) >= min_length
+    ]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    word = list(query[index])
+    kind = rng.choice(("drop", "swap", "replace", "insert"))
+    position = rng.randrange(len(word))
+    if kind == "drop":
+        del word[position]
+    elif kind == "swap" and len(word) >= 2:
+        other = min(position + 1, len(word) - 1)
+        word[position], word[other] = word[other], word[position]
+    elif kind == "insert":
+        word.insert(position, rng.choice(_LETTERS))
+    else:
+        replacement = rng.choice(_LETTERS)
+        if word[position] == replacement:
+            replacement = rng.choice(_LETTERS.replace(replacement, ""))
+        word[position] = replacement
+    corrupted = "".join(word)
+    if corrupted == query[index] or not corrupted:
+        return None
+    return query[:index] + [corrupted] + query[index + 1 :]
+
+
+def corrupt_synonym(query, rng, thesaurus=None, vocabulary=None):
+    """Replace a keyword with an out-of-corpus synonym (term mismatch).
+
+    The classic Example 1: the user says ``publication`` but the data
+    says ``inproceedings``.  When ``vocabulary`` is given, the synonym
+    chosen must NOT occur in the corpus (otherwise the query might
+    still succeed and nothing needs refining).
+    """
+    thesaurus = thesaurus if thesaurus is not None else Thesaurus()
+    options = []
+    for index, word in enumerate(query):
+        for synonym, _score in thesaurus.synonyms(word):
+            if vocabulary is not None and synonym in vocabulary:
+                continue
+            options.append((index, synonym))
+    if not options:
+        return None
+    index, synonym = rng.choice(options)
+    return query[:index] + [synonym] + query[index + 1 :]
+
+
+def corrupt_acronym(query, rng, acronyms=None):
+    """Contract an expansion run into its acronym (or expand one)."""
+    acronyms = acronyms if acronyms is not None else AcronymTable()
+    # Try contraction of a run first.
+    for width in (3, 2):
+        for start in range(len(query) - width + 1):
+            run = tuple(query[start : start + width])
+            acronym = acronyms.contract(run)
+            if acronym is not None:
+                return query[:start] + [acronym] + query[start + width :]
+    # Then expansion of a single keyword.
+    for index, word in enumerate(query):
+        expansion = acronyms.expand(word)
+        if expansion is not None:
+            return query[:index] + list(expansion) + query[index + 1 :]
+    return None
+
+
+def corrupt_overconstrain(query, rng, extra_terms):
+    """Append a keyword that never co-occurs with the intent.
+
+    ``extra_terms`` supplies candidate stranger keywords (e.g. terms
+    from a different research area or rare names); the fix is term
+    deletion (Tables III's query class).
+    """
+    extras = [term for term in extra_terms if term not in query]
+    if not extras:
+        return None
+    return query + [rng.choice(extras)]
+
+
+#: kind -> corruptor with a uniform (query, rng, **context) signature.
+CORRUPTORS = {
+    SPLIT: lambda query, rng, ctx: corrupt_split(query, rng),
+    MERGE: lambda query, rng, ctx: corrupt_merge(query, rng),
+    TYPO: lambda query, rng, ctx: corrupt_typo(query, rng),
+    SYNONYM: lambda query, rng, ctx: corrupt_synonym(
+        query, rng,
+        thesaurus=ctx.get("thesaurus"),
+        vocabulary=ctx.get("vocabulary"),
+    ),
+    ACRONYM: lambda query, rng, ctx: corrupt_acronym(
+        query, rng, acronyms=ctx.get("acronyms")
+    ),
+    OVERCONSTRAIN: lambda query, rng, ctx: corrupt_overconstrain(
+        query, rng, ctx.get("extra_terms", [])
+    ),
+}

@@ -1,0 +1,63 @@
+"""Programmatic construction of :class:`~repro.xmltree.tree.XMLTree`.
+
+The dataset generators build multi-megabyte documents; constructing
+nodes directly (with Dewey labels and node types assigned on the fly)
+avoids serializing to text and re-parsing.  A *spec* is a nested tuple
+
+    (tag, text, [child_spec, ...])
+
+where ``text`` may be ``None`` and the child list may be omitted::
+
+    tree = build_tree(
+        ("bib", None, [
+            ("author", None, [
+                ("name", "John Smith"),
+            ]),
+        ])
+    )
+
+Round-tripping through :func:`~repro.xmltree.serialize.serialize` and
+:func:`~repro.xmltree.parser.parse` yields an identical tree — a
+property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLError
+from .dewey import Dewey
+from .tree import XMLNode, XMLTree, build_node_type
+
+
+def _normalize_spec(spec):
+    if isinstance(spec, str):
+        raise XMLError(f"a node spec must be a tuple, got string {spec!r}")
+    tag = spec[0]
+    text = spec[1] if len(spec) > 1 else None
+    children = spec[2] if len(spec) > 2 else []
+    return tag, text, children
+
+
+def build_tree(spec):
+    """Build a complete :class:`XMLTree` from a nested spec."""
+    tag, text, children = _normalize_spec(spec)
+    root = XMLNode(tag, Dewey.root(), (tag,), text or "")
+    _attach_children(root, children)
+    return XMLTree(root)
+
+
+def _attach_children(parent, child_specs):
+    # Iterative DFS to keep very deep/wide documents stack-safe.
+    work = [(parent, child_specs)]
+    while work:
+        node, specs = work.pop()
+        for spec in specs:
+            tag, text, children = _normalize_spec(spec)
+            child = XMLNode(
+                tag,
+                node.dewey.child(len(node.children)),
+                build_node_type(node.node_type, tag),
+                text or "",
+            )
+            node.children.append(child)
+            if children:
+                work.append((child, children))

@@ -1,0 +1,85 @@
+"""XML character data escaping and entity decoding.
+
+Only the five predefined XML entities plus numeric character references
+are supported — that is everything the bundled parsers and serializers
+emit or need to consume.  The functions here are deliberately free of
+regular expressions on the hot decode path; the tokenizer calls
+:func:`unescape` on every text span.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLSyntaxError
+
+_NAMED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_ESCAPE_TEXT = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+_ESCAPE_ATTR = dict(_ESCAPE_TEXT)
+_ESCAPE_ATTR['"'] = "&quot;"
+
+
+def escape_text(value):
+    """Escape character data for element content."""
+    if not any(ch in value for ch in "&<>"):
+        return value
+    return "".join(_ESCAPE_TEXT.get(ch, ch) for ch in value)
+
+
+def escape_attribute(value):
+    """Escape character data for a double-quoted attribute value."""
+    if not any(ch in value for ch in '&<>"'):
+        return value
+    return "".join(_ESCAPE_ATTR.get(ch, ch) for ch in value)
+
+
+def decode_entity(body):
+    """Decode the body of one entity reference (text between & and ;).
+
+    Supports the five XML named entities plus decimal (``#65``) and
+    hexadecimal (``#x41``) character references.
+    """
+    if body in _NAMED_ENTITIES:
+        return _NAMED_ENTITIES[body]
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            return chr(int(body[2:], 16))
+        except (ValueError, OverflowError) as exc:
+            raise XMLSyntaxError(f"bad character reference &{body};") from exc
+    if body.startswith("#"):
+        try:
+            return chr(int(body[1:]))
+        except (ValueError, OverflowError) as exc:
+            raise XMLSyntaxError(f"bad character reference &{body};") from exc
+    raise XMLSyntaxError(f"unknown entity &{body};")
+
+
+def unescape(value):
+    """Replace all entity references in ``value`` with their characters."""
+    if "&" not in value:
+        return value
+    out = []
+    pos = 0
+    length = len(value)
+    while pos < length:
+        amp = value.find("&", pos)
+        if amp == -1:
+            out.append(value[pos:])
+            break
+        out.append(value[pos:amp])
+        semi = value.find(";", amp + 1)
+        if semi == -1:
+            raise XMLSyntaxError("unterminated entity reference")
+        out.append(decode_entity(value[amp + 1 : semi]))
+        pos = semi + 1
+    return "".join(out)

@@ -1,0 +1,125 @@
+"""DOM builder on top of the streaming tokenizer.
+
+:func:`parse` turns an XML string into an :class:`~repro.xmltree.tree.XMLTree`,
+assigning Dewey labels and node types on the fly.  :func:`iterparse`
+exposes the same traversal as a stream of ``(event, node)`` pairs for
+callers (like the index builder) that want a single pass without
+retaining the whole tree.
+
+Whitespace-only text between elements is discarded (the datasets are
+data-centric XML); meaningful text is concatenated into the owning
+element's ``text``.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLSyntaxError
+from .dewey import Dewey
+from .tokenizer import COMMENT, EMPTY, END, PI, START, TEXT, tokenize
+from .tree import XMLNode, XMLTree, build_node_type
+
+#: iterparse event emitted when an element starts (node has no children yet).
+EVENT_START = "start"
+#: iterparse event emitted when an element is complete.
+EVENT_END = "end"
+
+
+def _attribute_children(node, attributes):
+    """Materialize attributes as child pseudo-elements (see tree.py)."""
+    for ordinal, (name, value) in enumerate(attributes.items()):
+        child = XMLNode(
+            tag=name,
+            dewey=node.dewey.child(ordinal),
+            node_type=build_node_type(node.node_type, name),
+            text=value,
+        )
+        node.children.append(child)
+
+
+def iterparse(text, keep_attributes=True):
+    """Parse ``text``, yielding ``(event, XMLNode)`` pairs.
+
+    ``EVENT_START`` fires when the element opens (its ``text`` and
+    ``children`` are not final yet); ``EVENT_END`` fires when it closes
+    and the node is complete.  Parents are yielded (start) before and
+    (end) after all their children, i.e. the end-event order is a
+    post-order traversal.
+    """
+    stack = []
+    saw_root = False
+    for token in tokenize(text):
+        if token.kind in (COMMENT, PI):
+            continue
+        if token.kind == TEXT:
+            if not stack:
+                if token.value.strip():
+                    raise XMLSyntaxError(
+                        "character data outside the document element",
+                        token.line,
+                        token.column,
+                    )
+                continue
+            stripped = token.value.strip()
+            if stripped:
+                node = stack[-1]
+                node.text = f"{node.text} {stripped}" if node.text else stripped
+            continue
+        if token.kind in (START, EMPTY):
+            if not stack:
+                if saw_root:
+                    raise XMLSyntaxError(
+                        "multiple document elements", token.line, token.column
+                    )
+                saw_root = True
+                dewey = Dewey.root()
+                node_type = (token.value,)
+            else:
+                parent = stack[-1]
+                dewey = parent.dewey.child(len(parent.children))
+                node_type = build_node_type(parent.node_type, token.value)
+            node = XMLNode(token.value, dewey, node_type)
+            if keep_attributes and token.attributes:
+                _attribute_children(node, token.attributes)
+            if stack:
+                stack[-1].children.append(node)
+            yield EVENT_START, node
+            if token.kind == EMPTY:
+                yield EVENT_END, node
+            else:
+                stack.append(node)
+            continue
+        if token.kind == END:
+            if not stack:
+                raise XMLSyntaxError(
+                    f"unexpected end tag </{token.value}>",
+                    token.line,
+                    token.column,
+                )
+            node = stack.pop()
+            if node.tag != token.value:
+                raise XMLSyntaxError(
+                    f"mismatched end tag: expected </{node.tag}>, "
+                    f"found </{token.value}>",
+                    token.line,
+                    token.column,
+                )
+            yield EVENT_END, node
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if not saw_root:
+        raise XMLSyntaxError("document has no root element")
+
+
+def parse(text, keep_attributes=True):
+    """Parse an XML document string into an :class:`XMLTree`."""
+    root = None
+    for event, node in iterparse(text, keep_attributes=keep_attributes):
+        if event == EVENT_START and root is None:
+            root = node
+    return XMLTree(root)
+
+
+def parse_file(path, encoding="utf-8", keep_attributes=True):
+    """Parse an XML document from a file path."""
+    with open(path, "r", encoding=encoding) as handle:
+        return parse(handle.read(), keep_attributes=keep_attributes)

@@ -1,0 +1,48 @@
+"""Serialization of :class:`~repro.xmltree.tree.XMLTree` back to XML text.
+
+The writer is the inverse of the parser for the data-centric documents
+this package produces: round-tripping ``parse(serialize(tree))``
+preserves tags, text and structure (attribute pseudo-elements are
+written back as child elements, which is the representation every other
+subsystem consumes anyway).
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .escape import escape_text
+
+
+def serialize(tree, indent="  ", declaration=True):
+    """Render a tree as pretty-printed XML text."""
+    out = StringIO()
+    if declaration:
+        out.write('<?xml version="1.0" encoding="utf-8"?>\n')
+    _write_node(out, tree.root, 0, indent)
+    return out.getvalue()
+
+
+def _write_node(out, node, level, indent):
+    pad = indent * level
+    if node.is_leaf:
+        if node.text:
+            out.write(
+                f"{pad}<{node.tag}>{escape_text(node.text)}</{node.tag}>\n"
+            )
+        else:
+            out.write(f"{pad}<{node.tag}/>\n")
+        return
+    out.write(f"{pad}<{node.tag}>")
+    if node.text:
+        out.write(escape_text(node.text))
+    out.write("\n")
+    for child in node.children:
+        _write_node(out, child, level + 1, indent)
+    out.write(f"{pad}</{node.tag}>\n")
+
+
+def write_file(tree, path, indent="  ", encoding="utf-8"):
+    """Serialize a tree directly to a file."""
+    with open(path, "w", encoding=encoding) as handle:
+        handle.write(serialize(tree, indent=indent))

@@ -1,0 +1,225 @@
+"""A from-scratch streaming XML tokenizer.
+
+The tokenizer turns a unicode string (or an iterable of string chunks)
+into a flat stream of :class:`Token` objects: start tags, end tags,
+self-closing tags, character data, comments and processing
+instructions.  It implements the subset of XML 1.0 the data generators
+emit and real bibliographic data uses:
+
+* elements with attributes (single or double quoted);
+* character data with the predefined entities and numeric references;
+* comments, processing instructions and the XML declaration (skipped);
+* CDATA sections;
+* a DOCTYPE declaration without an internal subset (skipped).
+
+It does **not** implement namespaces, general entity definitions or
+DTD validation — none of which the paper's datasets require.
+
+Positions (line/column) are tracked so syntax errors are actionable.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLSyntaxError
+from .escape import unescape
+
+# Token kinds.
+START = "start"           # <tag attr="v">
+END = "end"               # </tag>
+EMPTY = "empty"           # <tag/>
+TEXT = "text"             # character data (entity-decoded)
+COMMENT = "comment"       # <!-- ... -->
+PI = "pi"                 # <? ... ?>
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class Token:
+    """One lexical unit of an XML document.
+
+    Attributes
+    ----------
+    kind:
+        One of the module constants ``START``, ``END``, ``EMPTY``,
+        ``TEXT``, ``COMMENT``, ``PI``.
+    value:
+        Tag name for element tokens, decoded character data for text
+        tokens, raw body for comments and PIs.
+    attributes:
+        Dict of attribute name -> decoded value (element tokens only).
+    line, column:
+        1-based position where the token started.
+    """
+
+    __slots__ = ("kind", "value", "attributes", "line", "column")
+
+    def __init__(self, kind, value, attributes=None, line=0, column=0):
+        self.kind = kind
+        self.value = value
+        self.attributes = attributes or {}
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.value == other.value
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.value))
+
+
+class _Cursor:
+    """Position-tracking cursor over the input string."""
+
+    __slots__ = ("text", "pos", "line", "col")
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def eof(self):
+        return self.pos >= len(self.text)
+
+    def peek(self):
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def advance(self, count=1):
+        """Move forward ``count`` chars, updating line/column."""
+        end = self.pos + count
+        chunk = self.text[self.pos : end]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.col = len(chunk) - chunk.rfind("\n")
+        else:
+            self.col += count
+        self.pos = end
+
+    def take_until(self, needle, error):
+        """Consume and return text up to ``needle`` (also consumed)."""
+        found = self.text.find(needle, self.pos)
+        if found == -1:
+            raise XMLSyntaxError(error, self.line, self.col)
+        chunk = self.text[self.pos : found]
+        self.advance(found - self.pos + len(needle))
+        return chunk
+
+    def skip_whitespace(self):
+        while not self.eof() and self.text[self.pos] in _WHITESPACE:
+            self.advance()
+
+    def error(self, message):
+        return XMLSyntaxError(message, self.line, self.col)
+
+
+def _read_name(cur):
+    """Read an XML Name at the cursor."""
+    start = cur.pos
+    if cur.eof() or cur.peek() not in _NAME_START:
+        raise cur.error(f"expected a name, found {cur.peek()!r}")
+    while not cur.eof() and cur.peek() in _NAME_CHARS:
+        cur.advance()
+    return cur.text[start : cur.pos]
+
+
+def _read_attributes(cur):
+    """Read zero or more ``name="value"`` pairs, stopping at > or /."""
+    attributes = {}
+    while True:
+        cur.skip_whitespace()
+        ch = cur.peek()
+        if ch in (">", "/", ""):
+            return attributes
+        name = _read_name(cur)
+        cur.skip_whitespace()
+        if cur.peek() != "=":
+            raise cur.error(f"attribute {name!r} is missing '='")
+        cur.advance()
+        cur.skip_whitespace()
+        quote = cur.peek()
+        if quote not in ("'", '"'):
+            raise cur.error(f"attribute {name!r} value must be quoted")
+        cur.advance()
+        raw = cur.take_until(quote, f"unterminated value for attribute {name!r}")
+        if name in attributes:
+            raise cur.error(f"duplicate attribute {name!r}")
+        attributes[name] = unescape(raw)
+
+
+def tokenize(text):
+    """Yield :class:`Token` objects for an XML document string.
+
+    The stream is purely lexical: tag balance is the parser's job.
+    Leading/trailing whitespace-only text between tags is still emitted
+    (the parser decides whether to keep it).
+    """
+    cur = _Cursor(text)
+    while not cur.eof():
+        line, col = cur.line, cur.col
+        if cur.peek() != "<":
+            next_tag = cur.text.find("<", cur.pos)
+            end = next_tag if next_tag != -1 else len(cur.text)
+            raw = cur.text[cur.pos : end]
+            cur.advance(end - cur.pos)
+            decoded = unescape(raw)
+            if decoded:
+                yield Token(TEXT, decoded, line=line, column=col)
+            continue
+
+        # At a '<'.
+        rest = cur.text[cur.pos : cur.pos + 9]
+        if rest.startswith("<!--"):
+            cur.advance(4)
+            body = cur.take_until("-->", "unterminated comment")
+            yield Token(COMMENT, body, line=line, column=col)
+        elif rest.startswith("<![CDATA["):
+            cur.advance(9)
+            body = cur.take_until("]]>", "unterminated CDATA section")
+            if body:
+                yield Token(TEXT, body, line=line, column=col)
+        elif rest.startswith("<!DOCTYPE"):
+            cur.advance(9)
+            body = cur.take_until(">", "unterminated DOCTYPE")
+            if "[" in body:
+                raise cur.error("DOCTYPE internal subsets are not supported")
+        elif rest.startswith("<?"):
+            cur.advance(2)
+            body = cur.take_until("?>", "unterminated processing instruction")
+            yield Token(PI, body, line=line, column=col)
+        elif rest.startswith("</"):
+            cur.advance(2)
+            name = _read_name(cur)
+            cur.skip_whitespace()
+            if cur.peek() != ">":
+                raise cur.error(f"malformed end tag </{name}")
+            cur.advance()
+            yield Token(END, name, line=line, column=col)
+        else:
+            cur.advance(1)
+            name = _read_name(cur)
+            attributes = _read_attributes(cur)
+            if cur.peek() == "/":
+                cur.advance()
+                if cur.peek() != ">":
+                    raise cur.error(f"malformed empty-element tag <{name}")
+                cur.advance()
+                yield Token(EMPTY, name, attributes, line=line, column=col)
+            elif cur.peek() == ">":
+                cur.advance()
+                yield Token(START, name, attributes, line=line, column=col)
+            else:
+                raise cur.error(f"unterminated start tag <{name}")

@@ -1,0 +1,88 @@
+"""Structural validation of a built or mutated :class:`XMLTree`.
+
+The invariants every other subsystem assumes:
+
+* each child's Dewey label extends its parent's by exactly one
+  component, and sibling ordinals are strictly increasing;
+* each node's type (prefix path) extends its parent's by its own tag;
+* the tree's Dewey lookup table contains exactly the reachable nodes,
+  and its ordered label list is sorted document order.
+
+:func:`check_tree` raises :class:`~repro.errors.XMLError` on the first
+violation; the incremental-update tests run it after every mutation.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLError
+from .dewey import Dewey
+
+
+def check_tree(tree):
+    """Verify all structural invariants; returns the node count."""
+    seen = {}
+    stack = [(tree.root, None)]
+    while stack:
+        node, parent = stack.pop()
+        if parent is None:
+            if node.dewey != Dewey.root():
+                raise XMLError(f"root must be labeled 0, got {node.dewey}")
+            if node.node_type != (node.tag,):
+                raise XMLError(
+                    f"root type must be ({node.tag},), got {node.node_type}"
+                )
+        else:
+            if node.dewey.parent != parent.dewey:
+                raise XMLError(
+                    f"{node.label()} is not a Dewey child of {parent.label()}"
+                )
+            if node.node_type != parent.node_type + (node.tag,):
+                raise XMLError(
+                    f"{node.label()} type {node.node_type} does not extend "
+                    f"its parent's {parent.node_type}"
+                )
+        if node.dewey in seen:
+            raise XMLError(f"duplicate Dewey label {node.dewey}")
+        seen[node.dewey] = node
+        ordinals = [child.dewey.components[-1] for child in node.children]
+        if ordinals != sorted(ordinals) or len(set(ordinals)) != len(ordinals):
+            raise XMLError(
+                f"children of {node.label()} have non-increasing ordinals"
+            )
+        for child in node.children:
+            stack.append((child, node))
+
+    if set(seen) != set(tree._by_dewey):
+        missing = set(seen) ^ set(tree._by_dewey)
+        raise XMLError(f"lookup table out of sync at {sorted(missing)[:3]}")
+    ordered = tree._ordered
+    if ordered != sorted(ordered):
+        raise XMLError("ordered label list is not in document order")
+    if len(ordered) != len(seen):
+        raise XMLError("ordered label list size mismatch")
+    return len(seen)
+
+
+def merge_documents(trees, root_tag="collection"):
+    """Combine several documents into one tree, one partition each.
+
+    Keyword search over a *corpus* of XML documents (the sponsored-
+    search setting: many advertising listings) reduces to the single-
+    document case by grafting each document under a synthetic root:
+    every original document becomes one document partition, so the
+    partition-based algorithms parallelize over documents naturally and
+    the meaningless-root semantics carry over (a "result" spanning two
+    documents is exactly a root result).
+    """
+    from .build import build_tree
+
+    def spec_of(node):
+        return (
+            node.tag,
+            node.text or None,
+            [spec_of(child) for child in node.children],
+        )
+
+    return build_tree(
+        (root_tag, None, [spec_of(tree.root) for tree in trees])
+    )

@@ -1,0 +1,165 @@
+"""Behavioral tests for the three refinement algorithms (Section VI)."""
+
+import pytest
+
+from repro.core import partition_refine, short_list_eager, stack_refine
+from repro.lexicon import RuleMiner
+
+
+ALGORITHMS = {
+    "stack": lambda index, q, rules, k: stack_refine(index, q, rules),
+    "partition": partition_refine,
+    "sle": short_list_eager,
+}
+
+
+def mine(index, query):
+    return RuleMiner(index.inverted.keywords()).mine(query.split())
+
+
+@pytest.fixture(params=sorted(ALGORITHMS))
+def run(request):
+    fn = ALGORITHMS[request.param]
+    if request.param == "stack":
+        return lambda index, q, rules=None, k=1: stack_refine(
+            index, q, rules if rules is not None else mine(index, q)
+        )
+    return lambda index, q, rules=None, k=1: fn(
+        index, q, rules if rules is not None else mine(index, q), None, k
+    )
+
+
+class TestDirectHit:
+    def test_query_with_result_not_refined(self, figure1_index, run):
+        response = run(figure1_index, "xml twig")
+        assert not response.needs_refinement
+        assert response.original_results
+        assert response.refinements == []
+
+    def test_original_results_meaningful(self, figure1_index, run):
+        response = run(figure1_index, "database 2003")
+        assert not response.needs_refinement
+        for dewey in response.original_results:
+            node = figure1_index.tree.node(dewey)
+            assert node.node_type[:2] == ("bib", "author")
+
+
+class TestMergingCase:
+    def test_example4(self, figure1_index, run):
+        """Q={on,line,data,base}: optimal RQ={online,database}, dSim 2."""
+        response = run(figure1_index, "on line data base")
+        assert response.needs_refinement
+        best = response.best
+        assert best is not None
+        assert best.rq.dissimilarity == 2
+        assert best.rq.key == frozenset({"online", "database"})
+        assert best.slcas, "the optimal RQ must have results"
+
+    def test_results_contain_rq_keywords(self, figure1_index, run):
+        response = run(figure1_index, "on line data base")
+        best = response.best
+        for dewey in best.slcas:
+            subtree_text = figure1_index.tree.node(dewey).subtree_text()
+            for keyword in best.rq.keywords:
+                assert keyword in subtree_text.lower()
+
+
+class TestSynonymCase:
+    def test_example1_publication(self, figure1_index, run):
+        """Q={database, publication} has no match; synonyms do."""
+        response = run(figure1_index, "database publication")
+        assert response.needs_refinement
+        best = response.best
+        assert best is not None
+        assert "database" in best.rq.keywords
+        assert best.rq.key != frozenset({"database", "publication"})
+
+
+class TestSpellingCase:
+    def test_typo_fixed(self, figure1_index, run):
+        response = run(figure1_index, "databse skyline")
+        assert response.needs_refinement
+        # Optimal: databse->database? But they never co-occur with
+        # skyline in one subtree; algorithms must still return
+        # *something* meaningful with minimum dissimilarity.
+        assert response.best is not None
+
+    def test_typo_with_cooccurring_pair(self, figure1_index, run):
+        response = run(figure1_index, "skylne computation")
+        best = response.best
+        assert best is not None
+        assert best.rq.key == frozenset({"skyline", "computation"})
+
+
+class TestDeletionCase:
+    def test_overconstrained(self, figure1_index, run):
+        """Q4-style: all keywords exist but never together."""
+        response = run(figure1_index, "xml twig 2003 reading")
+        assert response.needs_refinement
+        best = response.best
+        assert best is not None
+        assert best.rq.key < frozenset({"xml", "twig", "2003", "reading"})
+
+
+class TestNoRefinementPossible:
+    def test_garbage_query(self, figure1_index, run):
+        response = run(figure1_index, "zzzz qqqq")
+        assert response.needs_refinement
+        assert response.refinements == []
+
+    def test_search_for_empty(self, figure1_index, run):
+        response = run(figure1_index, "zzzz qqqq")
+        assert response.search_for == []
+
+
+class TestTopK:
+    def test_k_respected(self, figure1_index):
+        rules = mine(figure1_index, "database publication")
+        for k in (1, 2, 3):
+            response = partition_refine(
+                figure1_index, "database publication", rules, None, k
+            )
+            assert len(response.refinements) <= k
+
+    def test_topk_sorted_by_rank(self, figure1_index):
+        rules = mine(figure1_index, "database publication")
+        response = partition_refine(
+            figure1_index, "database publication", rules, None, 3
+        )
+        scores = [r.rank_score for r in response.refinements]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_sle_topk(self, figure1_index):
+        rules = mine(figure1_index, "database publication")
+        response = short_list_eager(
+            figure1_index, "database publication", rules, None, 3
+        )
+        assert 1 <= len(response.refinements) <= 3
+
+
+class TestStats:
+    def test_scan_accounting_present(self, figure1_index, run):
+        response = run(figure1_index, "on line data base")
+        stats = response.stats
+        # SLE touches lists via random-access probes; the other two
+        # consume postings through cursors.
+        assert stats.postings_scanned > 0 or stats.probes > 0
+        assert stats.elapsed_seconds >= 0
+
+    def test_partition_skip_optimization(self, dblp_index):
+        """With a full candidate list, hopeless partitions are skipped."""
+        rules = mine(dblp_index, "databse query")
+        response = partition_refine(dblp_index, "databse query", rules, None, 1)
+        stats = response.stats
+        assert stats.partitions_visited > 0
+        # The skip optimization only fires on multi-partition corpora
+        # with a full list; DBLP guarantees both.
+        assert stats.partitions_skipped >= 0
+        assert stats.dp_invocations >= 1
+
+    def test_sle_uses_probes(self, dblp_index):
+        rules = mine(dblp_index, "skyline computaton")
+        response = short_list_eager(
+            dblp_index, "skyline computaton", rules, None, 2
+        )
+        assert response.stats.probes > 0

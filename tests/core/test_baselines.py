@@ -1,0 +1,107 @@
+"""Tests for the OR-relaxation and static-cleaning baselines."""
+
+import pytest
+
+from repro.core import (
+    cleaned_query_has_meaningful_result,
+    or_search,
+    static_clean,
+)
+from repro.errors import QueryError
+from repro.lexicon import RuleMiner
+
+
+@pytest.fixture(scope="module")
+def miner(dblp_index):
+    return RuleMiner(dblp_index.inverted.keywords())
+
+
+class TestORSearch:
+    def test_never_empty_when_any_keyword_matches(self, dblp_index):
+        matches = or_search(dblp_index, "database zzzznonsense")
+        assert matches  # "database" alone is enough
+
+    def test_coverage_sorted(self, dblp_index):
+        matches = or_search(dblp_index, "database query optimization")
+        coverages = [m.coverage for m in matches]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_full_coverage_first_when_possible(self, dblp_index):
+        matches = or_search(dblp_index, "machine learning")
+        assert matches[0].coverage == 2
+
+    def test_limit(self, dblp_index):
+        matches = or_search(dblp_index, "query", limit=5)
+        assert len(matches) <= 5
+
+    def test_covered_keywords_recorded(self, dblp_index):
+        for match in or_search(dblp_index, "database query"):
+            assert match.covered <= {"database", "query"}
+            assert match.coverage >= 1
+
+    def test_empty_query(self, dblp_index):
+        with pytest.raises(QueryError):
+            or_search(dblp_index, "")
+
+    def test_all_absent_keywords(self, dblp_index):
+        assert or_search(dblp_index, "zzz qqq") == []
+
+    def test_recall_but_no_conjunction(self, dblp_index):
+        """The paper's criticism: OR relaxation returns matches even
+        when no subtree holds all keywords — precision collapses."""
+        matches = or_search(dblp_index, "skyline 1991 hobby swimming")
+        partial = [m for m in matches if m.coverage < 4]
+        assert partial  # plenty of one-keyword noise
+
+
+class TestStaticClean:
+    def test_typo_cleaned(self, dblp_index, miner):
+        query = "databse query"
+        cleaned = static_clean(dblp_index, query, miner.mine(query.split()))
+        assert cleaned
+        assert cleaned[0].key == frozenset({"database", "query"})
+
+    def test_no_result_guarantee(self, dblp_index, miner):
+        """The KQC gap: a cleaned query can still answer nothing.
+
+        Construct a query whose cleaned keywords all exist in the
+        corpus but (very likely) never meaningfully co-occur; assert
+        that static cleaning happily returns it anyway.
+        """
+        vocabulary = dblp_index.inverted.keywords()
+        lengths = [(dblp_index.inverted.list_length(k), k) for k in vocabulary]
+        lengths.sort()
+        rare = [k for _, k in lengths[:8]]
+        found_gap = False
+        for i in range(len(rare) - 2):
+            query = " ".join(rare[i : i + 3])
+            cleaned = static_clean(
+                dblp_index, query, miner.mine(query.split())
+            )
+            if cleaned and not cleaned_query_has_meaningful_result(
+                dblp_index, cleaned[0]
+            ):
+                found_gap = True
+                break
+        assert found_gap, "expected at least one unanswerable cleaned query"
+
+    def test_unreachable_query(self, dblp_index, miner):
+        cleaned = static_clean(
+            dblp_index, "zzzzz qqqqq", miner.mine(["zzzzz", "qqqqq"])
+        )
+        assert cleaned == []
+
+    def test_empty_query(self, dblp_index, miner):
+        with pytest.raises(QueryError):
+            static_clean(dblp_index, "", miner.mine([]))
+
+    def test_xrefine_always_answerable(self, dblp_index, dblp_engine, miner):
+        """Contrast: every refinement XRefine returns has results."""
+        from repro.workload import WorkloadGenerator
+
+        workload = WorkloadGenerator(dblp_index, seed=71)
+        for _ in range(5):
+            pool_query = workload.refinable_query()
+            response = dblp_engine.search(pool_query.query, k=3)
+            for refinement in response.refinements:
+                assert refinement.slcas

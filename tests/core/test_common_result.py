@@ -1,0 +1,99 @@
+"""Tests for QueryContext plumbing and the response value objects."""
+
+import pytest
+
+from repro.core import RefinedQuery
+from repro.core.common import QueryContext
+from repro.core.result import RankedRefinement, RefinementResponse, ScanStats
+from repro.errors import QueryError
+from repro.lexicon import RuleMiner, RuleSet
+from repro.xmltree import Dewey
+
+
+class TestQueryContext:
+    def test_keyword_space_includes_generated(self, figure1_index):
+        rules = RuleMiner(figure1_index.inverted.keywords()).mine(
+            ["on", "line"]
+        )
+        context = QueryContext(figure1_index, ["on", "line"], rules)
+        assert "online" in context.keyword_space
+        assert context.query == ("on", "line")
+
+    def test_absent_generated_keywords_pruned(self, figure1_index):
+        from repro.lexicon import substitution_rule
+
+        rules = RuleSet([substitution_rule("xml", "zebra")])
+        context = QueryContext(figure1_index, ["xml"], rules)
+        assert "zebra" not in context.keyword_space
+
+    def test_query_terms_normalized(self, figure1_index):
+        context = QueryContext(figure1_index, "XML Twig", RuleSet())
+        assert context.query == ("xml", "twig")
+
+    def test_empty_query_rejected(self, figure1_index):
+        with pytest.raises(QueryError):
+            QueryContext(figure1_index, [], RuleSet())
+
+    def test_search_for_from_keyword_space(self, figure1_index):
+        """Pure-typo queries still get search-for candidates via KS."""
+        from repro.lexicon import substitution_rule
+
+        rules = RuleSet([substitution_rule("databse", "database")])
+        context = QueryContext(figure1_index, ["databse"], rules)
+        assert context.search_for  # inferred from "database"
+
+    def test_meaningful_filter(self, figure1_index):
+        rules = RuleMiner(figure1_index.inverted.keywords()).mine(
+            ["database"]
+        )
+        context = QueryContext(figure1_index, ["database"], rules)
+        root = Dewey.root()
+        inproc = Dewey((0, 0, 1, 0))
+        assert context.meaningful_only([root, inproc]) == [inproc]
+
+
+class TestScanStats:
+    def test_as_dict_round(self):
+        stats = ScanStats()
+        stats.postings_scanned = 5
+        data = stats.as_dict()
+        assert data["postings_scanned"] == 5
+        assert set(data) == set(ScanStats.__slots__)
+
+
+class TestRankedRefinement:
+    def test_accessors(self):
+        rq = RefinedQuery(("a", "b"), 2)
+        ranked = RankedRefinement(rq, [Dewey((0, 1))], rank_score=1.5)
+        assert ranked.keywords == ("a", "b")
+        assert ranked.dissimilarity == 2
+        assert ranked.result_count == 1
+
+
+class TestRefinementResponse:
+    def make(self, refinements):
+        return RefinementResponse(
+            query=("q",),
+            needs_refinement=True,
+            original_results=[],
+            refinements=refinements,
+            search_for=[],
+            stats=ScanStats(),
+        )
+
+    def test_top_and_best(self):
+        items = [
+            RankedRefinement(RefinedQuery((f"k{i}",), i), [])
+            for i in range(3)
+        ]
+        response = self.make(items)
+        assert response.best is items[0]
+        assert response.top(2) == items[:2]
+
+    def test_best_none_when_empty(self):
+        assert self.make([]).best is None
+
+    def test_candidates_default_to_refinements(self):
+        items = [RankedRefinement(RefinedQuery(("k",), 1), [])]
+        response = self.make(items)
+        assert response.candidates == items

@@ -1,0 +1,190 @@
+"""Tests for the getOptimalRQ dynamic program (Section V, Formula 11).
+
+The DP is validated against an exponential brute-force enumerator of
+all refinement sequences, plus the paper's worked examples.
+"""
+
+import random
+
+import pytest
+
+from repro.core import get_optimal_rq, get_top_optimal_rqs
+from repro.core.dp import dissimilarity
+from repro.errors import RefinementError
+from repro.lexicon import (
+    RuleSet,
+    acronym_rules,
+    merging_rule,
+    split_rule,
+    substitution_rule,
+)
+
+
+def brute_force_refinements(query, available, rules):
+    """All reachable (frozenset(RQ), min_cost) via exhaustive search.
+
+    Explores the full decision DAG: at each position keep (if the
+    keyword exists in the data), delete, or apply any rule whose LHS
+    starts at this position (and whose RHS exists in the data).
+    """
+    available = set(available)
+    best = {}
+
+    def search(position, kept, cost):
+        if position == len(query):
+            key = frozenset(kept)
+            if key and (key not in best or cost < best[key]):
+                best[key] = cost
+            return
+        keyword = query[position]
+        if keyword in available:
+            search(position + 1, kept + (keyword,), cost)
+        search(position + 1, kept, cost + rules.deletion_cost)
+        for rule in rules.all_rules():
+            width = len(rule.lhs)
+            if tuple(query[position : position + width]) != rule.lhs:
+                continue
+            if not all(k in available for k in rule.rhs):
+                continue
+            search(position + width, kept + rule.rhs, cost + rule.ds)
+
+    search(0, (), 0)
+    return best
+
+
+RULES = RuleSet(
+    [
+        merging_rule(("on", "line"), "online"),
+        merging_rule(("data", "base"), "database"),
+        split_rule("online", ("on", "line")),
+        substitution_rule("article", "inproceedings"),
+        substitution_rule("mecin", "machine", ds=2),
+        *acronym_rules("www", ("world", "wide", "web")),
+        merging_rule(("learn", "ing"), "learning"),
+    ]
+)
+
+
+class TestAgainstBruteForce:
+    CASES = [
+        (["on", "line", "data", "base"], {"online", "database", "line", "base"}),
+        (["on", "line", "data", "base"], {"l", "b"}),
+        (["www", "article", "mecin", "learning"],
+         {"machine", "inproceedings", "learning", "world", "wide", "web"}),
+        (["article", "online", "database"],
+         {"inproceedings", "online", "database"}),
+        (["online"], {"on", "line"}),
+        (["data", "base"], set()),
+        (["world", "wide", "web"], {"www"}),
+    ]
+
+    @pytest.mark.parametrize("query, available", CASES)
+    def test_optimal_matches_brute(self, query, available):
+        brute = brute_force_refinements(query, available, RULES)
+        optimal = get_optimal_rq(query, available, RULES)
+        if not brute:
+            assert optimal is None
+            return
+        assert optimal is not None
+        assert optimal.dissimilarity == min(brute.values())
+        assert brute[optimal.key] == optimal.dissimilarity
+
+    @pytest.mark.parametrize("query, available", CASES)
+    def test_top_list_costs_correct(self, query, available):
+        brute = brute_force_refinements(query, available, RULES)
+        top = get_top_optimal_rqs(query, available, RULES, limit=10)
+        for rq in top:
+            assert rq.key in brute
+            assert rq.dissimilarity == brute[rq.key]
+        costs = [rq.dissimilarity for rq in top]
+        assert costs == sorted(costs)
+
+    def test_randomized_against_brute(self):
+        rng = random.Random(17)
+        lexicon = ["on", "line", "online", "data", "base", "database",
+                   "article", "inproceedings", "www", "world", "wide", "web"]
+        for _ in range(40):
+            query = [rng.choice(lexicon) for _ in range(rng.randint(1, 4))]
+            available = set(rng.sample(lexicon, rng.randint(0, 8)))
+            brute = brute_force_refinements(query, available, RULES)
+            optimal = get_optimal_rq(query, available, RULES)
+            if not brute:
+                assert optimal is None
+            else:
+                assert optimal is not None
+                assert optimal.dissimilarity == min(brute.values())
+
+
+class TestPaperExamples:
+    def test_example3_worldwide_web(self):
+        """Q={WWW, article, mecin, learning} over T from Example 3."""
+        query = ["www", "article", "mecin", "learning"]
+        available = {
+            "machine", "inproceedings", "learning", "world", "wide", "web",
+        }
+        optimal = get_optimal_rq(query, available, RULES)
+        # www -> world wide web (1), article -> inproceedings (1),
+        # mecin -> machine (2), learning kept (0): total 4.
+        assert optimal.key == frozenset(
+            {"world", "wide", "web", "inproceedings", "machine", "learning"}
+        )
+        assert optimal.dissimilarity == 4
+
+    def test_example4_online_database(self):
+        """Q={on, line, data, base}: two merges beat four deletions."""
+        query = ["on", "line", "data", "base"]
+        optimal = get_optimal_rq(query, {"online", "database"}, RULES)
+        assert optimal.key == frozenset({"online", "database"})
+        assert optimal.dissimilarity == 2
+
+    def test_example4_partial_witness(self):
+        """With only {line, base} available, delete on+data: dSim=4."""
+        query = ["on", "line", "data", "base"]
+        optimal = get_optimal_rq(query, {"line", "base"}, RULES)
+        assert optimal.key == frozenset({"line", "base"})
+        assert optimal.dissimilarity == 4
+
+
+class TestEdgeCases:
+    def test_empty_query_rejected(self):
+        with pytest.raises(RefinementError):
+            get_optimal_rq([], {"x"}, RULES)
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(RefinementError):
+            get_top_optimal_rqs(["x"], {"x"}, RULES, limit=0)
+
+    def test_nothing_available(self):
+        assert get_optimal_rq(["zebra"], set(), RULES) is None
+
+    def test_keyword_in_data_is_free(self):
+        optimal = get_optimal_rq(["online"], {"online"}, RULES)
+        assert optimal.dissimilarity == 0
+        assert optimal.keywords == ("online",)
+
+    def test_duplicate_keywords_deduplicated(self):
+        optimal = get_optimal_rq(
+            ["online", "online"], {"online"}, RULES
+        )
+        assert optimal.keywords == ("online",)
+
+    def test_insensitive_to_keyword_order(self):
+        """Section V: getOptimalRQ is insensitive to the order of S."""
+        available = {"online", "database"}
+        a = get_optimal_rq(["on", "line", "data", "base"], available, RULES)
+        # The merging rules require adjacency, so only adjacent-
+        # preserving permutations apply them; deletion-only orders
+        # still agree on cost for permutations preserving adjacency.
+        b = get_optimal_rq(["data", "base", "on", "line"], available, RULES)
+        assert a.dissimilarity == b.dissimilarity
+
+    def test_dissimilarity_helper(self):
+        value = dissimilarity(
+            ["on", "line", "data", "base"],
+            {"online", "database"},
+            RULES,
+        )
+        assert value == 2
+
+    def test_dissimilarity_helper_unreachable(self):
+        assert dissimilarity(["zebra"], {"lion"}, RULES) is None

@@ -1,0 +1,92 @@
+"""Property-based tests for getOptimalRQ with *generated* rule sets.
+
+The fixed-rule tests in test_dp.py pin the paper's examples; these
+hypothesis tests let the rule set itself vary — random merges, splits
+and substitutions over a small lexicon — and check the DP against the
+exhaustive enumerator on every draw.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import get_optimal_rq, get_top_optimal_rqs
+from repro.lexicon import RuleSet, merging_rule, split_rule, substitution_rule
+
+from .test_dp import brute_force_refinements
+
+WORDS = ["on", "line", "online", "data", "base", "database", "key",
+         "word", "keyword", "xml", "query"]
+
+COMPOUNDS = [("on", "line", "online"), ("data", "base", "database"),
+             ("key", "word", "keyword")]
+
+
+@st.composite
+def rule_sets(draw):
+    rules = []
+    for left, right, whole in COMPOUNDS:
+        if draw(st.booleans()):
+            rules.append(merging_rule((left, right), whole))
+        if draw(st.booleans()):
+            rules.append(split_rule(whole, (left, right)))
+    substitution_count = draw(st.integers(0, 4))
+    for _ in range(substitution_count):
+        source = draw(st.sampled_from(WORDS))
+        target = draw(st.sampled_from(WORDS))
+        if source != target:
+            ds = draw(st.integers(1, 3))
+            rules.append(substitution_rule(source, target, ds=ds))
+    deletion_cost = draw(st.integers(2, 4))
+    return RuleSet(rules, deletion_cost=deletion_cost)
+
+
+queries = st.lists(st.sampled_from(WORDS), min_size=1, max_size=4)
+availability = st.sets(st.sampled_from(WORDS), max_size=8)
+
+
+class TestDPProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(query=queries, available=availability, rules=rule_sets())
+    def test_optimal_cost_matches_brute_force(self, query, available, rules):
+        brute = brute_force_refinements(query, available, rules)
+        optimal = get_optimal_rq(query, available, rules)
+        if not brute:
+            assert optimal is None
+        else:
+            assert optimal is not None
+            assert optimal.dissimilarity == min(brute.values())
+            assert brute[optimal.key] == optimal.dissimilarity
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=queries, available=availability, rules=rule_sets())
+    def test_top_list_sound_and_sorted(self, query, available, rules):
+        brute = brute_force_refinements(query, available, rules)
+        top = get_top_optimal_rqs(query, available, rules, limit=8)
+        costs = [rq.dissimilarity for rq in top]
+        assert costs == sorted(costs)
+        keys = [rq.key for rq in top]
+        assert len(keys) == len(set(keys)), "candidates must be distinct"
+        for rq in top:
+            assert rq.key in brute
+            assert rq.dissimilarity == brute[rq.key]
+        for rq in top:
+            assert set(rq.keywords) <= available
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=queries, available=availability, rules=rule_sets())
+    def test_monotone_in_availability(self, query, available, rules):
+        """More available keywords never increase the optimal cost."""
+        restricted = get_optimal_rq(query, available, rules)
+        widened = get_optimal_rq(query, available | {"xml"}, rules)
+        if restricted is not None:
+            assert widened is not None
+            assert widened.dissimilarity <= restricted.dissimilarity
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=queries, rules=rule_sets())
+    def test_full_availability_keeps_query(self, query, rules):
+        """With every keyword available, keeping Q verbatim costs 0."""
+        optimal = get_optimal_rq(query, set(WORDS), rules)
+        assert optimal is not None
+        assert optimal.dissimilarity == 0
+        assert optimal.key == frozenset(query)

@@ -1,0 +1,76 @@
+"""Tests for return-node inference and result snippets."""
+
+from repro.core import present, return_node, snippet
+from repro.slca import infer_search_for
+from repro.xmltree import Dewey
+
+
+class TestReturnNode:
+    def test_lifts_to_search_for_entity(self, figure1_index):
+        search_for = infer_search_for(figure1_index, ["database", "2003"])
+        types = [c.node_type for c in search_for]
+        # A deep SLCA (title node) should render as its entity.
+        title = Dewey((0, 0, 1, 0, 0))
+        entity = return_node(figure1_index, title, types)
+        assert entity.node_type in types
+
+    def test_slca_already_entity(self, figure1_index):
+        types = [("bib", "author", "publications", "inproceedings")]
+        inproc = Dewey((0, 0, 1, 0))
+        assert return_node(figure1_index, inproc, types).dewey == inproc
+
+    def test_no_candidate_types_returns_self(self, figure1_index):
+        label = Dewey((0, 0, 1, 0))
+        assert return_node(figure1_index, label, []).dewey == label
+
+    def test_unknown_label(self, figure1_index):
+        assert return_node(figure1_index, Dewey((0, 99)), []) is None
+
+
+class TestSnippet:
+    def test_heading_prefers_title(self, figure1_index):
+        types = [("bib", "author", "publications", "inproceedings")]
+        built = snippet(
+            figure1_index, Dewey((0, 0, 1, 0)), ["database"], types
+        )
+        assert built.heading == "online database systems"
+
+    def test_keywords_highlighted(self, figure1_index):
+        types = [("bib", "author", "publications", "inproceedings")]
+        built = snippet(
+            figure1_index, Dewey((0, 0, 1, 0)), ["database"], types
+        )
+        assert any("DATABASE" in fragment for fragment in built.fragments)
+
+    def test_render_is_multiline(self, figure1_index):
+        types = [("bib", "author")]
+        built = snippet(figure1_index, Dewey((0, 0)), ["xml"], types)
+        assert built.render().startswith("author:0.0")
+
+
+class TestPresent:
+    def test_direct_hit_group(self, figure1_engine, figure1_index):
+        response = figure1_engine.search("database 2003")
+        groups = present(figure1_index, response)
+        assert len(groups) == 1
+        label, snippets = groups[0]
+        assert label == "database 2003"
+        assert snippets
+
+    def test_refinement_groups(self, figure1_engine, figure1_index):
+        response = figure1_engine.search("database publication", k=2)
+        groups = present(figure1_index, response)
+        assert len(groups) == len(response.refinements)
+        for label, snippets in groups:
+            assert snippets, label
+
+    def test_duplicate_entities_collapsed(self, figure1_engine, figure1_index):
+        response = figure1_engine.search("database publication", k=2)
+        for _, snippets in present(figure1_index, response):
+            entities = [s.entity.dewey for s in snippets]
+            assert len(entities) == len(set(entities))
+
+    def test_max_results_cap(self, dblp_engine, dblp_index):
+        response = dblp_engine.search("databse query", k=1)
+        for _, snippets in present(dblp_index, response, max_results=2):
+            assert len(snippets) <= 2

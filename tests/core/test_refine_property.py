@@ -1,0 +1,110 @@
+"""Property-based cross-algorithm agreement on generated mini-corpora.
+
+Rather than one fixed corpus, hypothesis builds small random
+bibliographies and dirty queries; the invariants checked per draw:
+
+* all three refinement algorithms agree on whether Q needs refinement;
+* when refinable, the minimum candidate dissimilarity agrees;
+* every returned refinement has non-empty meaningful results whose
+  subtrees actually contain the RQ's keywords.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import partition_refine, short_list_eager, stack_refine
+from repro.index import build_document_index
+from repro.lexicon import RuleMiner
+from repro.xmltree import build_tree
+
+WORDS = ["xml", "query", "database", "online", "search", "twig",
+         "skyline", "ranking"]
+
+
+@st.composite
+def corpora(draw):
+    author_count = draw(st.integers(2, 5))
+    authors = []
+    for a in range(author_count):
+        pub_count = draw(st.integers(1, 3))
+        pubs = []
+        for _ in range(pub_count):
+            words = draw(
+                st.lists(st.sampled_from(WORDS), min_size=2, max_size=4)
+            )
+            pubs.append(
+                (
+                    "inproceedings",
+                    None,
+                    [("title", " ".join(words)), ("year", "2005")],
+                )
+            )
+        authors.append(
+            (
+                "author",
+                None,
+                [("name", f"auth{a}"), ("publications", None, pubs)],
+            )
+        )
+    return build_tree(("bib", None, authors))
+
+
+dirty_queries = st.lists(
+    st.sampled_from(WORDS + ["databse", "onlin", "skylne", "que", "ry"]),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestCrossAlgorithmProperties:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tree=corpora(), query=dirty_queries)
+    def test_agreement(self, tree, query):
+        index = build_document_index(tree)
+        rules = RuleMiner(index.inverted.keywords()).mine(query)
+
+        responses = {
+            "stack": stack_refine(index, query, rules),
+            "partition": partition_refine(index, query, rules, None, 2),
+            "sle": short_list_eager(index, query, rules, None, 2),
+        }
+
+        flags = {r.needs_refinement for r in responses.values()}
+        assert len(flags) == 1
+
+        if not responses["partition"].needs_refinement:
+            result_sets = {
+                name: tuple(r.original_results)
+                for name, r in responses.items()
+            }
+            assert len(set(result_sets.values())) == 1
+            return
+
+        minima = {
+            name: min(
+                (c.rq.dissimilarity for c in response.candidates),
+                default=None,
+            )
+            for name, response in responses.items()
+        }
+        present = {v for v in minima.values() if v is not None}
+        assert len(present) <= 1, minima
+
+        for response in responses.values():
+            for refinement in response.refinements:
+                assert refinement.slcas
+                for dewey in refinement.slcas:
+                    node = index.tree.get(dewey)
+                    haystack = (
+                        node.subtree_text().lower()
+                        + " "
+                        + " ".join(
+                            n.tag for n in index.tree.iter_subtree(dewey)
+                        )
+                    )
+                    for keyword in refinement.rq.keywords:
+                        assert keyword in haystack

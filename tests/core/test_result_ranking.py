@@ -1,0 +1,78 @@
+"""Tests for within-query result ranking (XML TF*IDF, per [6])."""
+
+from repro.core.ranking import rank_response_results, rank_results, score_result
+from repro.xmltree import Dewey, parse
+from repro.index import build_document_index
+
+
+class TestScoreResult:
+    def test_matching_subtree_scores_positive(self, figure1_index):
+        score = score_result(
+            figure1_index, Dewey((0, 0, 1, 0)), ["database", "2003"]
+        )
+        assert score > 0
+
+    def test_unrelated_subtree_scores_zero(self, figure1_index):
+        score = score_result(
+            figure1_index, Dewey((0, 1, 2)), ["database"]  # hobby node
+        )
+        assert score == 0.0
+
+    def test_unknown_label_zero(self, figure1_index):
+        assert score_result(figure1_index, Dewey((0, 99)), ["x"]) == 0.0
+
+    def test_density_matters(self):
+        """Same matches, smaller subtree -> higher score."""
+        tree = parse(
+            "<r>"
+            "<a><t>xml</t></a>"
+            "<a><t>xml</t><pad>lots of other words here indeed</pad></a>"
+            "</r>"
+        )
+        index = build_document_index(tree)
+        dense = score_result(index, Dewey((0, 0)), ["xml"])
+        diluted = score_result(index, Dewey((0, 1)), ["xml"])
+        assert dense > diluted
+
+
+class TestRankResults:
+    def test_orders_by_score(self, figure1_index):
+        labels = [Dewey((0, 1, 2)), Dewey((0, 0, 1, 0))]  # hobby, inproc
+        ranked = rank_results(figure1_index, labels, ["database", "2003"])
+        assert ranked[0] == Dewey((0, 0, 1, 0))
+
+    def test_ties_break_by_document_order(self, figure1_index):
+        labels = [Dewey((0, 1, 2)), Dewey((0, 2))]
+        ranked = rank_results(figure1_index, labels, ["zzz"])
+        assert ranked == sorted(labels)
+
+    def test_permutation_invariant(self, dblp_index, dblp_engine):
+        response = dblp_engine.search("databse query", k=1)
+        labels = list(response.best.slcas)
+        a = rank_results(dblp_index, labels, response.best.rq.keywords)
+        b = rank_results(
+            dblp_index, list(reversed(labels)), response.best.rq.keywords
+        )
+        assert a == b
+
+
+class TestRankResponse:
+    def test_refinement_results_reordered(self, dblp_index, dblp_engine):
+        response = dblp_engine.search("databse query", k=2)
+        rank_response_results(dblp_index, response)
+        for refinement in response.refinements:
+            scores = [
+                score_result(dblp_index, dewey, refinement.rq.keywords)
+                for dewey in refinement.slcas
+            ]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_direct_results_reordered(self, dblp_index, dblp_engine):
+        response = dblp_engine.search("database query", k=1)
+        assert not response.needs_refinement
+        rank_response_results(dblp_index, response)
+        scores = [
+            score_result(dblp_index, dewey, response.query)
+            for dewey in response.original_results
+        ]
+        assert scores == sorted(scores, reverse=True)

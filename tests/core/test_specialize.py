@@ -1,0 +1,77 @@
+"""Tests for query specialization (the Section IX future work)."""
+
+import pytest
+
+from repro.core import specialize_query
+from repro.errors import QueryError
+
+
+class TestFocusedQueries:
+    def test_focused_query_untouched(self, dblp_index):
+        response = specialize_query(
+            dblp_index, "skyline computation", broad_threshold=20
+        )
+        assert not response.is_broad
+        assert response.suggestions == []
+
+    def test_original_results_reported(self, dblp_index):
+        response = specialize_query(dblp_index, "skyline")
+        assert len(response.original_results) >= 0
+
+    def test_empty_query_rejected(self, dblp_index):
+        with pytest.raises(QueryError):
+            specialize_query(dblp_index, "")
+
+
+class TestBroadQueries:
+    @pytest.fixture()
+    def broad(self, dblp_index):
+        return specialize_query(
+            dblp_index, "query", k=3, broad_threshold=10
+        )
+
+    def test_detected_as_broad(self, broad):
+        assert broad.is_broad
+        assert len(broad.original_results) >= 10
+
+    def test_suggestions_narrow(self, broad):
+        assert broad.suggestions
+        original_count = len(broad.original_results)
+        for suggestion in broad.suggestions:
+            assert 1 <= suggestion.result_count < original_count
+
+    def test_suggestions_extend_query(self, broad):
+        for suggestion in broad.suggestions:
+            assert "query" in suggestion.keywords
+            assert suggestion.expansion in suggestion.keywords
+            assert suggestion.expansion != "query"
+
+    def test_results_relate_to_original(self, broad, dblp_index):
+        """Lemma 1 corollary: adding a keyword moves each SLCA *up* —
+        every specialized result is an ancestor-or-self of (or equal
+        to) some original result, never a disjoint subtree."""
+        original = set(broad.original_results)
+        for suggestion in broad.suggestions:
+            for dewey in suggestion.slcas:
+                assert any(
+                    dewey.is_ancestor_or_self_of(o)
+                    or o.is_ancestor_or_self_of(dewey)
+                    for o in original
+                ), (suggestion.expansion, dewey)
+
+    def test_k_respected(self, dblp_index):
+        response = specialize_query(
+            dblp_index, "query", k=2, broad_threshold=10
+        )
+        assert len(response.suggestions) <= 2
+
+    def test_deterministic(self, dblp_index):
+        a = specialize_query(dblp_index, "query", k=3, broad_threshold=10)
+        b = specialize_query(dblp_index, "query", k=3, broad_threshold=10)
+        assert [s.expansion for s in a.suggestions] == [
+            s.expansion for s in b.suggestions
+        ]
+
+    def test_sorted_by_score(self, broad):
+        scores = [s.score for s in broad.suggestions]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,129 @@
+"""Tests for the synthetic DBLP/Baseball generators and scaling."""
+
+import pytest
+
+from repro.datasets import (
+    BaseballConfig,
+    DBLPConfig,
+    generate_baseball,
+    generate_dblp,
+    scaled_series,
+    scaled_subtree,
+)
+from repro.errors import DatasetError
+from repro.index import build_document_index
+from repro.xmltree import parse, serialize
+
+
+class TestDBLP:
+    def test_structure(self, dblp_tree):
+        assert dblp_tree.root.tag == "bib"
+        for author in dblp_tree.partitions():
+            assert author.tag == "author"
+            tags = [child.tag for child in author.children]
+            assert "name" in tags
+            assert "publications" in tags
+
+    def test_partition_count_matches_config(self):
+        tree = generate_dblp(num_authors=37, seed=1)
+        assert len(tree.partitions()) == 37
+
+    def test_deterministic(self):
+        a = generate_dblp(num_authors=25, seed=9)
+        b = generate_dblp(num_authors=25, seed=9)
+        assert serialize(a) == serialize(b)
+
+    def test_seed_changes_output(self):
+        a = generate_dblp(num_authors=25, seed=9)
+        b = generate_dblp(num_authors=25, seed=10)
+        assert serialize(a) != serialize(b)
+
+    def test_publication_kinds_present(self, dblp_tree):
+        tags = {node.tag for node in dblp_tree.iter_nodes()}
+        assert {"inproceedings", "article", "title", "year"} <= tags
+
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            generate_dblp(num_authors=0)
+        with pytest.raises(DatasetError):
+            generate_dblp(min_pubs=5, max_pubs=2)
+
+    def test_config_object_and_overrides_exclusive(self):
+        with pytest.raises(DatasetError):
+            generate_dblp(DBLPConfig(), num_authors=5)
+
+    def test_roundtrips_through_parser(self):
+        tree = generate_dblp(num_authors=10, seed=3)
+        again = parse(serialize(tree))
+        assert len(again) == len(tree)
+
+    def test_skewed_list_lengths(self, dblp_index):
+        """Some keywords must be much more frequent than others."""
+        lengths = sorted(
+            dblp_index.inverted.list_length(k)
+            for k in dblp_index.inverted.keywords()
+        )
+        assert lengths[-1] >= 5 * max(1, lengths[0])
+
+
+class TestBaseball:
+    def test_structure(self, baseball_tree):
+        assert baseball_tree.root.tag == "season"
+        leagues = [
+            child for child in baseball_tree.root.children
+            if child.tag == "league"
+        ]
+        assert len(leagues) == 2
+
+    def test_small_partition_fanout(self, baseball_tree):
+        # Root children: year + 2 leagues -> few partitions, by design.
+        assert len(baseball_tree.partitions()) <= 4
+
+    def test_players_have_statistics(self, baseball_tree):
+        players = [
+            node for node in baseball_tree.iter_nodes()
+            if node.tag == "player"
+        ]
+        assert players
+        for player in players[:10]:
+            tags = {child.tag for child in player.children}
+            assert {"surname", "position", "statistics"} <= tags
+
+    def test_deterministic(self):
+        a = generate_baseball(seed=2)
+        b = generate_baseball(seed=2)
+        assert serialize(a) == serialize(b)
+
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            generate_baseball(players_per_team=0)
+        with pytest.raises(DatasetError):
+            generate_baseball(BaseballConfig(), seed=2)
+
+
+class TestScaling:
+    def test_fraction_bounds(self, dblp_tree):
+        with pytest.raises(DatasetError):
+            scaled_subtree(dblp_tree, 0.0)
+        with pytest.raises(DatasetError):
+            scaled_subtree(dblp_tree, 1.5)
+
+    def test_full_fraction_identity(self, dblp_tree):
+        scaled = scaled_subtree(dblp_tree, 1.0)
+        assert len(scaled) == len(dblp_tree)
+
+    def test_partition_prefix(self, dblp_tree):
+        scaled = scaled_subtree(dblp_tree, 0.5)
+        expected = max(1, round(len(dblp_tree.partitions()) * 0.5))
+        assert len(scaled.partitions()) == expected
+
+    def test_scaled_is_valid_document(self, dblp_tree):
+        scaled = scaled_subtree(dblp_tree, 0.2)
+        index = build_document_index(scaled)
+        assert index.inverted.vocabulary_size() > 0
+
+    def test_series_monotone(self, dblp_tree):
+        series = scaled_series(dblp_tree)
+        sizes = [len(tree) for _, tree in series]
+        assert sizes == sorted(sizes)
+        assert [f for f, _ in series] == [0.2, 0.4, 0.6, 0.8, 1.0]

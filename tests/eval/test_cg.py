@@ -1,0 +1,79 @@
+"""Tests for the cumulated-gain evaluation metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    average_cg,
+    cg_at,
+    cumulated_gain,
+    discounted_cumulated_gain,
+    ideal_gain_vector,
+    normalized_dcg,
+)
+
+gains = st.lists(st.floats(min_value=0, max_value=3), max_size=8)
+
+
+class TestCG:
+    def test_paper_definition(self):
+        """CG[1]=G[1], CG[i]=CG[i-1]+G[i] (Section VIII-C)."""
+        assert cumulated_gain([3, 2, 0, 1]) == [3, 5, 5, 6]
+
+    def test_empty(self):
+        assert cumulated_gain([]) == []
+
+    def test_cg_at(self):
+        assert cg_at([3, 2, 0, 1], 1) == 3
+        assert cg_at([3, 2, 0, 1], 4) == 6
+
+    def test_cg_at_beyond_list(self):
+        assert cg_at([3, 2], 4) == 5
+
+    def test_cg_at_invalid_position(self):
+        with pytest.raises(EvaluationError):
+            cg_at([1], 0)
+
+    @given(gains)
+    def test_monotone_nondecreasing(self, gain_vector):
+        cg = cumulated_gain(gain_vector)
+        assert all(a <= b + 1e-12 for a, b in zip(cg, cg[1:]))
+
+    @given(gains)
+    def test_last_equals_sum(self, gain_vector):
+        if gain_vector:
+            assert cumulated_gain(gain_vector)[-1] == pytest.approx(
+                sum(gain_vector)
+            )
+
+
+class TestDCG:
+    def test_discounting(self):
+        dcg = discounted_cumulated_gain([3, 3, 3], base=2.0)
+        assert dcg[0] == 3
+        assert dcg[1] == 6  # rank 2 < base is undiscounted per [27]
+        assert dcg[2] == pytest.approx(6 + 3 / 1.5849625007211562)
+
+    def test_ideal_vector_sorted(self):
+        assert ideal_gain_vector([1, 3, 2]) == [3, 2, 1]
+
+    @given(gains)
+    def test_ndcg_bounded(self, gain_vector):
+        for value in normalized_dcg(gain_vector):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_perfect_ranking_ndcg_one(self):
+        assert normalized_dcg([3, 2, 1]) == pytest.approx([1.0, 1.0, 1.0])
+
+
+class TestAverage:
+    def test_average_cg(self):
+        vectors = [[3, 1], [1, 1]]
+        assert average_cg(vectors, 1) == 2.0
+        assert average_cg(vectors, 2) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_cg([], 1)

@@ -1,0 +1,101 @@
+"""Tests for the binary-relevance IR metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    average_precision,
+    f_measure,
+    mean_reciprocal_rank,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+
+items = st.lists(st.integers(0, 20), max_size=10, unique=True)
+relevant_sets = st.sets(st.integers(0, 20), min_size=1, max_size=8)
+
+
+class TestPrecisionRecall:
+    def test_precision_at(self):
+        assert precision_at(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+        assert precision_at(["a", "b", "c"], {"a", "c"}, 3) == pytest.approx(
+            2 / 3
+        )
+
+    def test_precision_empty_results(self):
+        assert precision_at([], {"a"}, 3) == 0.0
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at(["a"], {"a"}, 0)
+
+    def test_recall(self):
+        assert recall_at(["a", "b"], {"a", "c"}) == 0.5
+        assert recall_at(["a", "b", "c"], {"a", "c"}, k=1) == 0.5
+
+    def test_recall_undefined(self):
+        with pytest.raises(EvaluationError):
+            recall_at(["a"], set())
+
+    @given(ranked=items, relevant=relevant_sets)
+    def test_bounds(self, ranked, relevant):
+        assert 0.0 <= precision_at(ranked, relevant, 5) <= 1.0
+        assert 0.0 <= recall_at(ranked, relevant) <= 1.0
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(0.5, 0.5) == 0.5
+        assert f_measure(1.0, 0.0) == 0.0
+
+    def test_beta_weighting(self):
+        # beta > 1 weighs recall more heavily.
+        assert f_measure(0.2, 0.8, beta=2.0) > f_measure(0.2, 0.8, beta=0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            f_measure(-0.1, 0.5)
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_later_position(self):
+        assert reciprocal_rank(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+    def test_mrr(self):
+        runs = [(["a"], {"a"}), (["x", "a"], {"a"})]
+        assert mean_reciprocal_rank(runs) == pytest.approx(0.75)
+
+    def test_mrr_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean_reciprocal_rank([])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_partial(self):
+        # hits at ranks 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision(
+            ["a", "x", "b"], {"a", "b"}
+        ) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_missing_relevant_penalized(self):
+        assert average_precision(["a"], {"a", "b"}) == 0.5
+
+    def test_undefined(self):
+        with pytest.raises(EvaluationError):
+            average_precision(["a"], set())
+
+    @given(ranked=items, relevant=relevant_sets)
+    def test_bounds(self, ranked, relevant):
+        assert 0.0 <= average_precision(ranked, relevant) <= 1.0

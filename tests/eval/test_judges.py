@@ -1,0 +1,83 @@
+"""Tests for the simulated judge panel."""
+
+from repro.eval import Judge, JudgePanel, base_grade
+from repro.xmltree import Dewey
+
+
+def d(text):
+    return Dewey.parse(text)
+
+
+class TestBaseGrade:
+    def test_exact_intent_is_highly_relevant(self):
+        grade = base_grade(
+            ("xml", "query"), [d("0.1.2")],
+            ("xml", "query"), [d("0.1.2")],
+        )
+        assert grade == 3
+
+    def test_disjoint_is_irrelevant(self):
+        grade = base_grade(
+            ("aaa", "bbb"), [d("0.9")],
+            ("xml", "query"), [d("0.1.2")],
+        )
+        assert grade == 0
+
+    def test_partial_overlap_in_between(self):
+        grade = base_grade(
+            ("xml",), [d("0.1.2")],
+            ("xml", "query"), [d("0.1.2")],
+        )
+        assert 1 <= grade <= 2
+
+    def test_containing_result_counts(self):
+        """An SLCA that contains the intended node covers it."""
+        grade = base_grade(
+            ("xml", "query"), [d("0.1")],
+            ("xml", "query"), [d("0.1.2")],
+        )
+        assert grade == 3
+
+
+class TestJudge:
+    def test_deterministic_per_seed(self):
+        args = (("xml",), [d("0.1")], ("xml", "query"), [d("0.1")])
+        a = Judge(seed=4).grade(*args)
+        b = Judge(seed=4).grade(*args)
+        assert a == b
+
+    def test_noise_stays_in_scale(self):
+        judge = Judge(seed=1, disagreement=1.0)
+        for _ in range(40):
+            grade = judge.grade(
+                ("xml", "query"), [d("0.1")], ("xml", "query"), [d("0.1")]
+            )
+            assert 0 <= grade <= 3
+
+    def test_zero_disagreement_matches_base(self):
+        judge = Judge(seed=9, disagreement=0.0)
+        args = (("xml",), [d("0.1")], ("xml", "query"), [d("0.1")])
+        assert judge.grade(*args) == base_grade(*args)
+
+
+class TestPanel:
+    def test_panel_size(self):
+        assert len(JudgePanel(n=6).judges) == 6
+
+    def test_gain_is_average(self):
+        panel = JudgePanel(n=4, disagreement=0.0)
+        gain = panel.gain(
+            ("xml", "query"), [d("0.1")], ("xml", "query"), [d("0.1")]
+        )
+        assert gain == 3.0
+
+    def test_gain_vector_order(self, figure1_engine):
+        response = figure1_engine.search("database publication", k=3)
+        panel = JudgePanel()
+        gains = panel.gain_vector(
+            response.refinements,
+            ("database", "inproceedings"),
+            [],
+        )
+        assert len(gains) == len(response.refinements)
+        assert all(0 <= g <= 3 for g in gains)

@@ -1,0 +1,56 @@
+"""Tests for the timing harness and table rendering."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import Stopwatch, format_series, format_table, time_call
+
+
+class TestTimeCall:
+    def test_returns_value_and_samples(self):
+        calls = []
+        result = time_call(lambda: calls.append(1) or 42, repeat=3, warmup=2)
+        assert result.value == 42
+        assert len(result.samples) == 3
+        assert len(calls) == 5  # warmup + timed
+
+    def test_statistics(self):
+        result = time_call(lambda: None, repeat=5)
+        assert result.best <= result.median
+        assert result.best <= result.mean
+
+    def test_median_even_count(self):
+        result = time_call(lambda: None, repeat=4)
+        assert result.median >= 0
+
+    def test_repeat_validation(self):
+        with pytest.raises(EvaluationError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestStopwatch:
+    def test_elapsed_positive(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed > 0
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_series(self):
+        text = format_series("Fig", [(1, 0.5), (2, 0.75)], "k", "seconds")
+        assert "Fig" in text
+        assert "k" in text and "seconds" in text

@@ -1,0 +1,114 @@
+"""Tests for the lazy co-occurrence table against brute force."""
+
+import random
+from itertools import combinations
+
+from repro.index import build_document_index, node_keywords
+from repro.xmltree import build_tree, parse
+
+
+def brute_cooccur(tree, ki, kj, node_type):
+    count = 0
+    for node in tree.iter_nodes():
+        if node.node_type != node_type:
+            continue
+        terms = set()
+        for descendant in tree.iter_subtree(node.dewey):
+            terms.update(node_keywords(descendant))
+        if ki in terms and kj in terms:
+            count += 1
+    return count
+
+
+class TestCooccurrence:
+    def test_figure1_pairs(self, figure1_tree, figure1_index):
+        t_inproc = ("bib", "author", "publications", "inproceedings")
+        cases = [
+            ("database", "2003"),
+            ("database", "2006"),
+            ("xml", "twig"),
+            ("xml", "2003"),
+        ]
+        for ki, kj in cases:
+            assert figure1_index.cooccurrence.count(ki, kj, t_inproc) == (
+                brute_cooccur(figure1_tree, ki, kj, t_inproc)
+            )
+
+    def test_symmetry(self, figure1_index):
+        t = ("bib", "author")
+        table = figure1_index.cooccurrence
+        assert table.count("xml", "2004", t) == table.count("2004", "xml", t)
+
+    def test_absent_keyword(self, figure1_index):
+        t = ("bib", "author")
+        assert figure1_index.cooccurrence.count("xml", "zebra", t) == 0
+
+    def test_containing_count_matches_df(self, figure1_index):
+        t = ("bib", "author", "publications", "inproceedings")
+        for keyword in ("database", "xml", "2006", "skyline"):
+            assert figure1_index.cooccurrence.containing_count(
+                keyword, t
+            ) == figure1_index.xml_df(keyword, t)
+
+    def test_confidence_formula7(self, figure1_index):
+        t = ("bib", "author", "publications", "inproceedings")
+        table = figure1_index.cooccurrence
+        expected = table.count("database", "2003", t) / figure1_index.xml_df(
+            "database", t
+        )
+        assert table.confidence("database", "2003", t) == expected
+
+    def test_confidence_zero_denominator(self, figure1_index):
+        t = ("bib", "author")
+        assert figure1_index.cooccurrence.confidence("zebra", "xml", t) == 0.0
+
+    def test_memoization(self, figure1_index):
+        table = figure1_index.cooccurrence
+        t = ("bib", "author")
+        before = len(table)
+        table.count("online", "search", t)
+        after_first = len(table)
+        table.count("search", "online", t)  # symmetric key: cached
+        assert len(table) == after_first
+        assert after_first >= before
+
+    def test_build_pairs_eager(self, figure1_index):
+        table = figure1_index.cooccurrence
+        t = ("bib", "author")
+        keywords = ["xml", "database", "online"]
+        table.build_pairs(keywords, [t])
+        for ki, kj in combinations(keywords, 2):
+            # Already cached: count() hits the store.
+            assert table.count(ki, kj, t) >= 0
+
+    def test_clear_cache_keeps_counts(self, figure1_tree):
+        index = build_document_index(figure1_tree)
+        t = ("bib", "author")
+        value = index.cooccurrence.count("xml", "2004", t)
+        index.cooccurrence.clear_cache()
+        assert index.cooccurrence.count("xml", "2004", t) == value
+
+    def test_random_trees_against_brute(self):
+        rng = random.Random(5)
+        words = ["w1", "w2", "w3"]
+
+        def spec(depth):
+            text = " ".join(
+                rng.choice(words) for _ in range(rng.randint(0, 2))
+            )
+            if depth == 0:
+                return ("leaf", text or None)
+            return (
+                "node",
+                text or None,
+                [spec(depth - 1) for _ in range(rng.randint(1, 3))],
+            )
+
+        for _ in range(10):
+            tree = build_tree(spec(3))
+            index = build_document_index(tree)
+            for node_type in list(index.statistics.types()):
+                for ki, kj in combinations(words, 2):
+                    assert index.cooccurrence.count(ki, kj, node_type) == (
+                        brute_cooccur(tree, ki, kj, node_type)
+                    ), (node_type, ki, kj)

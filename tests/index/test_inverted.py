@@ -1,0 +1,135 @@
+"""Tests for inverted lists, cursors and scan accounting."""
+
+import pytest
+
+from repro.errors import IndexingError
+from repro.index import InvertedIndex, InvertedList, Posting
+from repro.xmltree import Dewey
+
+
+def make_list(labels, keyword="k"):
+    return InvertedList(
+        keyword,
+        [Posting(Dewey.parse(label), ("r", "x"), 1) for label in labels],
+    )
+
+
+class TestInvertedList:
+    def test_rejects_out_of_order(self):
+        with pytest.raises(IndexingError):
+            make_list(["0.1", "0.0"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(IndexingError):
+            make_list(["0.1", "0.1"])
+
+    def test_len_iter(self):
+        lst = make_list(["0.0", "0.1", "0.2"])
+        assert len(lst) == 3
+        assert [str(p.dewey) for p in lst] == ["0.0", "0.1", "0.2"]
+
+    def test_sublist(self):
+        lst = make_list(["0.0.1", "0.1.0", "0.1.5", "0.2"])
+        got = lst.sublist(Dewey.parse("0.1"))
+        assert [str(p.dewey) for p in got] == ["0.1.0", "0.1.5"]
+
+    def test_contains_under(self):
+        lst = make_list(["0.0.1", "0.2"])
+        assert lst.contains_under(Dewey.parse("0.0"))
+        assert not lst.contains_under(Dewey.parse("0.1"))
+
+    def test_first_under(self):
+        lst = make_list(["0.1.0", "0.1.5"])
+        assert str(lst.first_under(Dewey.parse("0.1")).dewey) == "0.1.0"
+        assert lst.first_under(Dewey.parse("0.3")) is None
+
+
+class TestCursor:
+    def test_sequential_scan(self):
+        cursor = make_list(["0.0", "0.1", "0.2"]).cursor()
+        seen = []
+        while not cursor.exhausted():
+            seen.append(str(cursor.advance().dewey))
+        assert seen == ["0.0", "0.1", "0.2"]
+        assert cursor.scanned == 3
+
+    def test_peek_does_not_consume(self):
+        cursor = make_list(["0.0"]).cursor()
+        assert cursor.peek() is cursor.peek()
+        assert cursor.scanned == 0
+
+    def test_advance_past_end_raises(self):
+        cursor = make_list(["0.0"]).cursor()
+        cursor.advance()
+        with pytest.raises(IndexingError):
+            cursor.advance()
+
+    def test_skip_to(self):
+        cursor = make_list(["0.0", "0.1", "0.2", "0.3"]).cursor()
+        cursor.skip_to(Dewey.parse("0.2"))
+        assert str(cursor.peek().dewey) == "0.2"
+        assert cursor.scanned == 2  # skipped postings count as scanned
+
+    def test_skip_to_never_rewinds(self):
+        cursor = make_list(["0.0", "0.1", "0.2"]).cursor()
+        cursor.advance()
+        cursor.advance()
+        cursor.skip_to(Dewey.parse("0.0"))  # target behind cursor
+        assert cursor.position == 2  # unchanged
+
+    def test_probe_does_not_move_cursor(self):
+        cursor = make_list(["0.0.1", "0.1.1"]).cursor()
+        hits = cursor.probe_partition(Dewey.parse("0.1"))
+        assert [str(p.dewey) for p in hits] == ["0.1.1"]
+        assert cursor.position == 0
+        assert cursor.probes == 1
+
+
+class TestInvertedIndex:
+    def make_index(self):
+        index = InvertedIndex()
+        index.add_postings(
+            "xml",
+            [
+                Posting(Dewey.parse("0.0.1"), ("bib", "author", "t"), 2),
+                Posting(Dewey.parse("0.1.0"), ("bib", "author", "t"), 1),
+            ],
+        )
+        index.add_postings(
+            "year", [Posting(Dewey.parse("0.0.2"), ("bib", "author", "year"), 1)]
+        )
+        return index
+
+    def test_roundtrip(self):
+        index = self.make_index()
+        postings = list(index.get("xml"))
+        assert [str(p.dewey) for p in postings] == ["0.0.1", "0.1.0"]
+        assert postings[0].count == 2
+        assert postings[0].node_type == ("bib", "author", "t")
+
+    def test_missing_keyword_empty(self):
+        assert len(self.make_index().get("nope")) == 0
+
+    def test_contains(self):
+        index = self.make_index()
+        assert "xml" in index
+        assert "nope" not in index
+
+    def test_keywords_sorted(self):
+        assert self.make_index().keywords() == ["xml", "year"]
+
+    def test_vocabulary_size(self):
+        assert self.make_index().vocabulary_size() == 2
+
+    def test_list_cached(self):
+        index = self.make_index()
+        assert index.get("xml") is index.get("xml")
+
+    def test_metadata_roundtrip(self):
+        index = self.make_index()
+        index.save_metadata()
+        table_before = index.node_type_table
+        index.load_metadata()
+        assert index.node_type_table == table_before
+        assert index.keywords() == ["xml", "year"]
+        assert index.vocabulary_size() == 2

@@ -1,0 +1,90 @@
+"""Tests for index persistence (save/load round trips)."""
+
+import pytest
+
+from repro import XRefine
+from repro.errors import IndexingError
+from repro.index import build_document_index, load_index, save_index
+from repro.xmltree import parse
+
+
+@pytest.fixture()
+def saved(tmp_path, figure1_index):
+    directory = tmp_path / "idx"
+    save_index(figure1_index, directory)
+    return directory
+
+
+class TestSaveLoad:
+    def test_files_created(self, saved):
+        names = {path.name for path in saved.iterdir()}
+        assert names == {
+            "document.xml",
+            "inverted.db",
+            "frequency.db",
+            "cooccur.db",
+            "statistics.db",
+        }
+
+    def test_tree_roundtrip(self, saved, figure1_index):
+        loaded = load_index(saved)
+        assert len(loaded.tree) == len(figure1_index.tree)
+        assert loaded.tree.root.tag == figure1_index.tree.root.tag
+
+    def test_inverted_roundtrip(self, saved, figure1_index):
+        loaded = load_index(saved)
+        assert loaded.inverted.keywords() == figure1_index.inverted.keywords()
+        for keyword in ("database", "xml", "2003"):
+            original = list(figure1_index.inverted_list(keyword))
+            restored = list(loaded.inverted_list(keyword))
+            assert original == restored
+
+    def test_frequency_roundtrip(self, saved, figure1_index):
+        loaded = load_index(saved)
+        t = ("bib", "author", "publications", "inproceedings")
+        for keyword in ("database", "xml", "skyline"):
+            assert loaded.xml_df(keyword, t) == figure1_index.xml_df(
+                keyword, t
+            )
+            assert loaded.tf(keyword, t) == figure1_index.tf(keyword, t)
+
+    def test_statistics_roundtrip(self, saved, figure1_index):
+        loaded = load_index(saved)
+        for node_type, stats in figure1_index.statistics.items():
+            assert loaded.node_count(node_type) == stats.node_count
+            assert (
+                loaded.distinct_keywords(node_type)
+                == stats.distinct_keywords
+            )
+
+    def test_cooccurrence_consistent(self, saved, figure1_index):
+        t = ("bib", "author")
+        expected = figure1_index.cooccurrence.count("xml", "2004", t)
+        loaded = load_index(saved)
+        assert loaded.cooccurrence.count("xml", "2004", t) == expected
+
+    def test_search_results_identical(self, saved, figure1_index):
+        original_engine = XRefine(figure1_index)
+        loaded_engine = XRefine(load_index(saved))
+        for query in ("on line data base", "database publication", "xml twig"):
+            a = original_engine.search(query, k=3)
+            b = loaded_engine.search(query, k=3)
+            assert a.needs_refinement == b.needs_refinement
+            assert [r.rq.key for r in a.refinements] == [
+                r.rq.key for r in b.refinements
+            ]
+            assert a.original_results == b.original_results
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(IndexingError):
+            load_index(tmp_path / "nothing")
+
+    def test_overwrite(self, tmp_path):
+        directory = tmp_path / "idx"
+        first = build_document_index(parse("<a><b>one</b></a>"))
+        save_index(first, directory)
+        second = build_document_index(parse("<a><b>two words</b></a>"))
+        save_index(second, directory)
+        loaded = load_index(directory)
+        assert loaded.has_keyword("two")
+        assert not loaded.has_keyword("one")

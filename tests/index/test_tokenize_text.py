@@ -1,0 +1,60 @@
+"""Tests for keyword extraction and query normalization."""
+
+from repro.index import extract_terms, node_keywords, normalize_term, query_terms
+from repro.xmltree import build_tree
+
+
+class TestExtractTerms:
+    def test_simple(self):
+        assert extract_terms("Holistic Twig Joins") == [
+            "holistic", "twig", "joins",
+        ]
+
+    def test_punctuation_split(self):
+        assert extract_terms("twig-joins: optimal, XML!") == [
+            "twig", "joins", "optimal", "xml",
+        ]
+
+    def test_numbers_kept(self):
+        assert extract_terms("published in 2003") == ["published", "in", "2003"]
+
+    def test_empty(self):
+        assert extract_terms("") == []
+        assert extract_terms(None) == []
+
+    def test_whitespace_only(self):
+        assert extract_terms("   \t ") == []
+
+    def test_mixed_alnum(self):
+        assert extract_terms("xpath2.0 b+tree") == ["xpath2", "0", "b", "tree"]
+
+
+class TestNodeKeywords:
+    def test_tag_plus_text(self):
+        tree = build_tree(("title", "XML search"))
+        assert node_keywords(tree.root) == ["title", "xml", "search"]
+
+    def test_tag_only(self):
+        tree = build_tree(("publications", None))
+        assert node_keywords(tree.root) == ["publications"]
+
+    def test_multiplicity_preserved(self):
+        tree = build_tree(("t", "xml xml xml"))
+        assert node_keywords(tree.root).count("xml") == 3
+
+
+class TestQueryTerms:
+    def test_from_string(self):
+        assert query_terms("XML database") == ["xml", "database"]
+
+    def test_from_comma_string(self):
+        assert query_terms("online, newspaper") == ["online", "newspaper"]
+
+    def test_from_list(self):
+        assert query_terms(["XML", "Database"]) == ["xml", "database"]
+
+    def test_empty_pieces_dropped(self):
+        assert query_terms("  a   b  ") == ["a", "b"]
+
+    def test_normalize_term(self):
+        assert normalize_term("DataBase") == "database"

@@ -1,0 +1,91 @@
+"""Tests for Levenshtein distance and spelling candidates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexicon import (
+    bounded_distance,
+    levenshtein,
+    spelling_candidates,
+    within_distance,
+)
+
+words = st.text(alphabet="abcde", max_size=10)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("mecin", "machine", 3),
+            ("databse", "database", 1),
+            ("eficient", "efficient", 1),
+            ("same", "same", 0),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestWithinDistance:
+    @given(words, words, st.integers(0, 4))
+    def test_agrees_with_exact(self, a, b, limit):
+        assert within_distance(a, b, limit) == (levenshtein(a, b) <= limit)
+
+    def test_early_exit_on_length(self):
+        assert not within_distance("ab", "abcdefgh", 2)
+
+    @given(words, words, st.integers(0, 4))
+    def test_bounded_distance(self, a, b, limit):
+        result = bounded_distance(a, b, limit)
+        exact = levenshtein(a, b)
+        if exact <= limit:
+            assert result == exact
+        else:
+            assert result is None
+
+
+class TestSpellingCandidates:
+    VOCAB = ["machine", "matching", "database", "databases", "match"]
+
+    def test_finds_typo_target(self):
+        got = spelling_candidates("machin", self.VOCAB)
+        assert got[0] == ("machine", 1)
+
+    def test_sorted_by_distance(self):
+        got = spelling_candidates("databse", self.VOCAB)
+        distances = [d for _, d in got]
+        assert distances == sorted(distances)
+
+    def test_excludes_self(self):
+        got = spelling_candidates("machine", self.VOCAB)
+        assert all(word != "machine" for word, _ in got)
+
+    def test_short_terms_skipped(self):
+        assert spelling_candidates("cat", self.VOCAB) == []
+
+    def test_limit_respected(self):
+        got = spelling_candidates("match", self.VOCAB, limit=1)
+        assert all(d <= 1 for _, d in got)

@@ -1,0 +1,111 @@
+"""Tests for query-log based rule mining."""
+
+from repro.lexicon import (
+    OP_MERGING,
+    OP_SPLIT,
+    OP_SUBSTITUTION,
+    mine_rules_from_log,
+    rule_support,
+)
+
+
+def pairs(*items):
+    return [tuple(map(tuple, pair)) for pair in items]
+
+
+class TestAlignment:
+    def test_merge_rule_mined(self):
+        rewrites = pairs(
+            ((["on", "line", "xml"]), (["online", "xml"])),
+            ((["on", "line", "search"]), (["online", "search"])),
+        )
+        rules = mine_rules_from_log(rewrites, min_support=2)
+        merges = [r for r in rules if r.operation == OP_MERGING]
+        assert any(
+            r.lhs == ("on", "line") and r.rhs == ("online",) for r in merges
+        )
+
+    def test_split_rule_mined(self):
+        rewrites = pairs(
+            ((["keyword", "fast"]), (["key", "word", "fast"])),
+            ((["keyword", "slow"]), (["key", "word", "slow"])),
+        )
+        rules = mine_rules_from_log(rewrites, min_support=2)
+        splits = [r for r in rules if r.operation == OP_SPLIT]
+        assert any(
+            r.lhs == ("keyword",) and r.rhs == ("key", "word")
+            for r in splits
+        )
+
+    def test_spelling_rule_with_distance(self):
+        rewrites = pairs(
+            ((["databse", "xml"]), (["database", "xml"])),
+            ((["databse", "web"]), (["database", "web"])),
+        )
+        rules = mine_rules_from_log(rewrites, min_support=2)
+        subs = [r for r in rules if r.operation == OP_SUBSTITUTION]
+        assert any(
+            r.lhs == ("databse",) and r.rhs == ("database",) and r.ds == 1
+            for r in subs
+        )
+
+    def test_kept_keywords_not_rules(self):
+        rewrites = pairs(
+            ((["xml", "databse"]), (["xml", "database"])),
+            ((["xml", "databse"]), (["xml", "database"])),
+        )
+        rules = mine_rules_from_log(rewrites, min_support=1)
+        assert not any("xml" in r.lhs for r in rules)
+
+    def test_deletions_not_rules(self):
+        """A dropped stray keyword needs no stored rule."""
+        rewrites = pairs(
+            ((["xml", "zzzunique"]), (["xml"])),
+            ((["xml", "zzzunique"]), (["xml"])),
+        )
+        rules = mine_rules_from_log(rewrites, min_support=1)
+        assert len(rules) == 0
+
+
+class TestSupport:
+    def test_min_support_filters_noise(self):
+        rewrites = pairs(
+            ((["databse"]), (["database"])),  # support 1 only
+        )
+        assert len(mine_rules_from_log(rewrites, min_support=2)) == 0
+        assert len(mine_rules_from_log(rewrites, min_support=1)) == 1
+
+    def test_rule_support_counts(self):
+        rewrites = pairs(
+            ((["databse"]), (["database"])),
+            ((["databse"]), (["database"])),
+            ((["machin"]), (["machine"])),
+        )
+        support = rule_support(rewrites)
+        assert support[("substitute", "databse", "database")] == 2
+        assert support[("substitute", "machin", "machine")] == 1
+
+
+class TestEndToEnd:
+    def test_mined_rules_fix_logged_queries(self, dblp_index, dblp_engine):
+        """Rules mined from a simulated log repair fresh failures."""
+        from repro.workload import simulate_log
+
+        log = simulate_log(
+            dblp_index, sessions=80, rewrite_probability=1.0, seed=13
+        )
+        rewrites = log.rewrite_pairs()
+        rules = mine_rules_from_log(rewrites, min_support=1)
+        assert len(rules) > 10
+
+        repaired = 0
+        checked = 0
+        for dirty, clean in rewrites[:10]:
+            response = dblp_engine.search(dirty, k=3, rules=rules)
+            if not response.needs_refinement:
+                continue
+            checked += 1
+            if frozenset(clean) in [r.rq.key for r in response.refinements]:
+                repaired += 1
+        if checked:
+            assert repaired >= checked * 0.5

@@ -1,0 +1,132 @@
+"""Tests for refinement rules and the rule set index."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.lexicon import (
+    OP_MERGING,
+    OP_SPLIT,
+    OP_SUBSTITUTION,
+    RefinementRule,
+    RuleSet,
+    acronym_rules,
+    merging_rule,
+    split_rule,
+    substitution_rule,
+)
+
+
+class TestRuleConstruction:
+    def test_merging_rule_r1(self):
+        rule = merging_rule(("on", "line"), "online")
+        assert rule.lhs == ("on", "line")
+        assert rule.rhs == ("online",)
+        assert rule.operation == OP_MERGING
+        assert rule.ds == 1  # one removed space
+
+    def test_merging_three_parts(self):
+        rule = merging_rule(("a", "b", "c"), "abc")
+        assert rule.ds == 2
+
+    def test_merging_spelling_mismatch(self):
+        with pytest.raises(RuleError):
+            merging_rule(("on", "line"), "offline")
+
+    def test_merging_needs_two_parts(self):
+        with pytest.raises(RuleError):
+            merging_rule(("online",), "online")
+
+    def test_split_rule_r7(self):
+        rule = split_rule("online", ("on", "line"))
+        assert rule.operation == OP_SPLIT
+        assert rule.ds == 1
+
+    def test_split_mismatch(self):
+        with pytest.raises(RuleError):
+            split_rule("online", ("off", "line"))
+
+    def test_substitution_r3(self):
+        rule = substitution_rule("article", "inproceedings")
+        assert rule.operation == OP_SUBSTITUTION
+        assert rule.ds == 1
+
+    def test_substitution_spelling_r5(self):
+        rule = substitution_rule("mecin", "machine", ds=2)
+        assert rule.ds == 2
+
+    def test_acronym_both_directions_r6(self):
+        expand, contract = acronym_rules("www", ("world", "wide", "web"))
+        assert expand.lhs == ("www",)
+        assert expand.rhs == ("world", "wide", "web")
+        assert contract.lhs == ("world", "wide", "web")
+        assert contract.rhs == ("www",)
+        assert expand.ds == contract.ds == 1
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(RuleError):
+            RefinementRule((), ("x",), OP_SUBSTITUTION, 1)
+        with pytest.raises(RuleError):
+            RefinementRule(("x",), (), OP_SUBSTITUTION, 1)
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(RuleError):
+            RefinementRule(("a",), ("b",), "teleport", 1)
+
+    def test_non_positive_ds_rejected(self):
+        with pytest.raises(RuleError):
+            RefinementRule(("a",), ("b",), OP_SUBSTITUTION, 0)
+
+    def test_equality_and_hash(self):
+        a = substitution_rule("x", "y")
+        b = substitution_rule("x", "y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRuleSet:
+    def make(self):
+        return RuleSet(
+            [
+                merging_rule(("on", "line"), "online"),
+                split_rule("online", ("on", "line")),
+                substitution_rule("article", "inproceedings"),
+            ]
+        )
+
+    def test_rules_ending_with(self):
+        rules = self.make()
+        endings = rules.rules_ending_with("line")
+        assert len(endings) == 1
+        assert endings[0].operation == OP_MERGING
+
+    def test_rules_ending_with_single_lhs(self):
+        rules = self.make()
+        assert len(rules.rules_ending_with("online")) == 1
+        assert len(rules.rules_ending_with("article")) == 1
+
+    def test_no_rules_for_unknown(self):
+        assert self.make().rules_ending_with("zebra") == []
+
+    def test_generated_keywords(self):
+        generated = self.make().generated_keywords()
+        assert generated == {"online", "on", "line", "inproceedings"}
+
+    def test_duplicates_ignored(self):
+        rules = self.make()
+        size = len(rules)
+        rules.add(substitution_rule("article", "inproceedings"))
+        assert len(rules) == size
+
+    def test_deletion_cost_default(self):
+        assert RuleSet().deletion_cost == 2
+
+    def test_deletion_cost_positive(self):
+        with pytest.raises(RuleError):
+            RuleSet(deletion_cost=0)
+
+    def test_deletion_greater_than_unit_rules(self):
+        """Section III-B: deletion outweighs the other operations."""
+        rules = self.make()
+        unit_costs = [rule.ds for rule in rules]
+        assert all(rules.deletion_cost > 0 for _ in unit_costs)
+        assert rules.deletion_cost > min(unit_costs)

@@ -1,0 +1,126 @@
+"""Tests for Formula 1 (search-for inference) and meaningful SLCA."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryError
+from repro.slca import (
+    confidence,
+    infer_search_for,
+    is_meaningful,
+    meaningful_slcas,
+    needs_refinement,
+)
+from repro.xmltree import Dewey
+
+
+class TestConfidence:
+    def test_formula1_by_hand(self, figure1_index):
+        """C_for(T, Q) = ln(1 + sum f_k^T) * r^depth(T)."""
+        t_author = ("bib", "author")
+        query = ["database", "2003"]
+        total = sum(figure1_index.xml_df(k, t_author) for k in query)
+        expected = math.log(1 + total) * 0.8 ** 2
+        assert confidence(figure1_index, t_author, query) == pytest.approx(
+            expected
+        )
+
+    def test_absent_keywords_tolerated(self, figure1_index):
+        value = confidence(
+            figure1_index, ("bib", "author"), ["zebra", "database"]
+        )
+        assert value > 0  # sum skips the missing keyword, no crash
+
+    def test_zero_when_nothing_matches(self, figure1_index):
+        assert confidence(figure1_index, ("bib", "author"), ["zebra"]) == 0.0
+
+    def test_depth_penalty(self, figure1_index):
+        """Deeper types with the same DF mass score lower."""
+        shallow = confidence(figure1_index, ("bib", "author"), ["database"])
+        deep = confidence(
+            figure1_index,
+            ("bib", "author", "publications", "inproceedings", "title"),
+            ["database"],
+        )
+        # Same f mass (every occurrence is under a title), deeper type.
+        assert deep < shallow
+
+
+class TestInferSearchFor:
+    def test_root_excluded(self, figure1_index):
+        candidates = infer_search_for(figure1_index, ["database", "2003"])
+        assert all(c.node_type != ("bib",) for c in candidates)
+
+    def test_sorted_by_confidence(self, figure1_index):
+        candidates = infer_search_for(figure1_index, ["database", "xml"])
+        scores = [c.confidence for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_query_raises(self, figure1_index):
+        with pytest.raises(QueryError):
+            infer_search_for(figure1_index, [])
+
+    def test_no_match_returns_empty(self, figure1_index):
+        assert infer_search_for(figure1_index, ["zebra", "qqq"]) == []
+
+    def test_comparable_fraction_widens(self, figure1_index):
+        strict = infer_search_for(
+            figure1_index, ["database"], comparable_fraction=0.99
+        )
+        loose = infer_search_for(
+            figure1_index, ["database"], comparable_fraction=0.5,
+            max_candidates=10,
+        )
+        assert len(loose) >= len(strict)
+
+    def test_author_like_type_wins_on_dblp(self, dblp_index):
+        candidates = infer_search_for(dblp_index, ["database", "query"])
+        assert candidates
+        top_tags = {c.node_type[-1] for c in candidates}
+        # Entity-ish types, never the root.
+        assert "bib" not in top_tags
+
+
+class TestIsMeaningful:
+    def test_self_of_search_for_type(self):
+        t = ("bib", "author")
+        assert is_meaningful(Dewey((0, 1)), t, [t])
+
+    def test_descendant_of_search_for_type(self):
+        assert is_meaningful(
+            Dewey((0, 1, 2)), ("bib", "author", "hobby"), [("bib", "author")]
+        )
+
+    def test_ancestor_rejected(self):
+        assert not is_meaningful(
+            Dewey((0,)), ("bib",), [("bib", "author")]
+        )
+
+    def test_sibling_type_rejected(self):
+        assert not is_meaningful(
+            Dewey((0, 5)), ("bib", "editor"), [("bib", "author")]
+        )
+
+    def test_empty_candidates(self):
+        assert not is_meaningful(Dewey((0, 1)), ("bib", "author"), [])
+
+
+class TestNeedsRefinement:
+    def test_definition_3_4(self, figure1_index):
+        search_for = infer_search_for(figure1_index, ["database", "2003"])
+        root_only = [Dewey.root()]
+        assert needs_refinement(figure1_index, root_only, search_for)
+
+    def test_meaningful_result_found(self, figure1_index):
+        search_for = infer_search_for(figure1_index, ["database", "2003"])
+        inproc = Dewey((0, 0, 1, 0))  # first inproceedings
+        kept = meaningful_slcas(figure1_index, [inproc], search_for)
+        assert kept == [inproc]
+        assert not needs_refinement(figure1_index, [inproc], search_for)
+
+    def test_unknown_labels_skipped(self, figure1_index):
+        search_for = infer_search_for(figure1_index, ["database"])
+        assert meaningful_slcas(
+            figure1_index, [Dewey((0, 99, 99))], search_for
+        ) == []

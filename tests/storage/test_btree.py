@@ -1,0 +1,196 @@
+"""B+ tree tests: model-based fuzzing plus structural invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BPlusTree
+
+keys = st.binary(min_size=1, max_size=6)
+
+
+def make_tree(pairs, order=4):
+    tree = BPlusTree(order=order)
+    for key, value in pairs:
+        tree.insert(key, value)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(b"x") is None
+        assert tree.first_key() is None
+
+    def test_insert_get(self):
+        tree = make_tree([(b"a", 1), (b"b", 2)])
+        assert tree.get(b"a") == 1
+        assert tree.get(b"b") == 2
+
+    def test_overwrite(self):
+        tree = make_tree([(b"a", 1), (b"a", 2)])
+        assert tree.get(b"a") == 2
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = make_tree([(b"a", None)])
+        assert b"a" in tree
+        assert b"b" not in tree
+
+    def test_contains_none_value(self):
+        """A stored None value must still count as present."""
+        tree = make_tree([(b"k", None)])
+        assert b"k" in tree
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(StorageError):
+            BPlusTree().insert("text", 1)
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+    def test_delete(self):
+        tree = make_tree([(b"a", 1), (b"b", 2)])
+        assert tree.delete(b"a") is True
+        assert tree.get(b"a") is None
+        assert len(tree) == 1
+
+    def test_delete_missing(self):
+        assert make_tree([(b"a", 1)]).delete(b"zz") is False
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        data = {bytes([b]): b for b in (5, 1, 9, 3, 7)}
+        tree = make_tree(data.items())
+        assert [k for k, _ in tree.items()] == sorted(data)
+
+    def test_range_half_open(self):
+        tree = make_tree((bytes([b]), b) for b in range(10))
+        got = [k for k, _ in tree.range(bytes([3]), bytes([7]))]
+        assert got == [bytes([b]) for b in range(3, 7)]
+
+    def test_range_open_ends(self):
+        tree = make_tree((bytes([b]), b) for b in range(5))
+        assert len(list(tree.range())) == 5
+        assert len(list(tree.range(low=bytes([3])))) == 2
+        assert len(list(tree.range(high=bytes([3])))) == 3
+
+    def test_range_missing_bounds(self):
+        tree = make_tree([(bytes([2]), 0), (bytes([6]), 0)])
+        got = [k for k, _ in tree.range(bytes([1]), bytes([7]))]
+        assert got == [bytes([2]), bytes([6])]
+
+
+class TestSplitsAndMerges:
+    def test_many_inserts_stay_valid(self):
+        tree = BPlusTree(order=4)
+        for i in range(500):
+            tree.insert(f"{i:05d}".encode(), i)
+            if i % 50 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 500
+
+    def test_reverse_inserts(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(300)):
+            tree.insert(f"{i:05d}".encode(), i)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == [
+            f"{i:05d}".encode() for i in range(300)
+        ]
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=4)
+        keys_ = [f"{i:04d}".encode() for i in range(200)]
+        for key in keys_:
+            tree.insert(key, None)
+        rng = random.Random(1)
+        rng.shuffle(keys_)
+        for i, key in enumerate(keys_):
+            assert tree.delete(key)
+            if i % 25 == 0:
+                tree.check_invariants()
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_interleaved_random_ops(self):
+        rng = random.Random(42)
+        tree = BPlusTree(order=4)
+        model = {}
+        for step in range(3000):
+            key = bytes([rng.randrange(64)])
+            if rng.random() < 0.6:
+                value = step
+                tree.insert(key, value)
+                model[key] = value
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            if step % 500 == 0:
+                tree.check_invariants()
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+
+class TestBulkLoad:
+    def test_bulk_load(self):
+        pairs = [(f"{i:03d}".encode(), i) for i in range(100)]
+        tree = BPlusTree.bulk_load(pairs, order=8)
+        tree.check_invariants()
+        assert list(tree.items()) == pairs
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load([(b"b", 1), (b"a", 2)])
+
+    def test_bulk_load_rejects_duplicates(self):
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load([(b"a", 1), (b"a", 2)])
+
+
+class TestHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=120))
+    def test_matches_dict_model(self, pairs):
+        tree = BPlusTree(order=4)
+        model = {}
+        for key, value in pairs:
+            tree.insert(key, value)
+            model[key] = value
+        assert dict(tree.items()) == model
+        assert [k for k, _ in tree.items()] == sorted(model)
+        tree.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(keys, st.booleans()), max_size=150),
+    )
+    def test_insert_delete_mix(self, operations):
+        tree = BPlusTree(order=4)
+        model = {}
+        for key, is_insert in operations:
+            if is_insert:
+                tree.insert(key, 0)
+                model[key] = 0
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        tree.check_invariants()
+        assert set(k for k, _ in tree.items()) == set(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(keys, min_size=1, max_size=80), keys, keys)
+    def test_range_matches_model(self, inserted, low, high):
+        tree = BPlusTree(order=4)
+        for key in inserted:
+            tree.insert(key, None)
+        lo, hi = min(low, high), max(low, high)
+        expected = sorted({k for k in inserted if lo <= k < hi})
+        assert [k for k, _ in tree.range(lo, hi)] == expected

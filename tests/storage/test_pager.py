@@ -1,0 +1,88 @@
+"""Tests for the fixed-size page file."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage import Pager
+
+
+class TestLifecycle:
+    def test_create(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            assert pager.page_count == 1  # header only
+
+    def test_missing_without_create(self, tmp_path):
+        with pytest.raises(PageError):
+            Pager(tmp_path / "missing.db")
+
+    def test_reopen_preserves_header(self, tmp_path):
+        path = tmp_path / "p.db"
+        with Pager(path, page_size=1024, create=True) as pager:
+            pager.allocate(3)
+        with Pager(path) as pager:
+            assert pager.page_size == 1024
+            assert pager.page_count == 4
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a page file " * 300)
+        with pytest.raises(PageError):
+            Pager(path)
+
+    def test_closed_operations_fail(self, tmp_path):
+        pager = Pager(tmp_path / "p.db", create=True)
+        pager.close()
+        with pytest.raises(PageError):
+            pager.allocate()
+
+
+class TestPageIO:
+    def test_write_read(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            page = pager.allocate()
+            pager.write_page(page, b"hello")
+            assert pager.read_page(page).rstrip(b"\x00") == b"hello"
+
+    def test_page_zero_protected(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            with pytest.raises(PageError):
+                pager.write_page(0, b"x")
+            with pytest.raises(PageError):
+                pager.read_page(0)
+
+    def test_out_of_range(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            with pytest.raises(PageError):
+                pager.read_page(5)
+
+    def test_oversized_write_rejected(self, tmp_path):
+        with Pager(tmp_path / "p.db", page_size=256, create=True) as pager:
+            page = pager.allocate()
+            with pytest.raises(PageError):
+                pager.write_page(page, b"x" * 257)
+
+
+class TestStreams:
+    def test_roundtrip_small(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            first, run = pager.write_stream(b"tiny")
+            assert pager.read_stream(first, run) == b"tiny"
+
+    def test_roundtrip_multi_page(self, tmp_path):
+        payload = bytes(range(256)) * 64  # 16 KiB > several pages
+        with Pager(tmp_path / "p.db", page_size=1024, create=True) as pager:
+            first, run = pager.write_stream(payload)
+            assert run > 1
+            assert pager.read_stream(first, run) == payload
+
+    def test_roundtrip_empty(self, tmp_path):
+        with Pager(tmp_path / "p.db", create=True) as pager:
+            first, run = pager.write_stream(b"")
+            assert pager.read_stream(first, run) == b""
+
+    def test_streams_survive_reopen(self, tmp_path):
+        path = tmp_path / "p.db"
+        with Pager(path, create=True) as pager:
+            first, run = pager.write_stream(b"persistent data")
+        with Pager(path) as pager:
+            assert pager.read_stream(first, run) == b"persistent data"

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import generate_dblp
+from repro.xmltree import write_file
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def corpus_xml(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.xml"
+    write_file(generate_dblp(num_authors=60, seed=7), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, corpus_xml):
+    directory = tmp_path_factory.mktemp("cli") / "corpus.idx"
+    code, _ = run_cli("index", corpus_xml, "-o", str(directory))
+    assert code == 0
+    return str(directory)
+
+
+class TestGenerate:
+    def test_dblp(self, tmp_path):
+        target = tmp_path / "d.xml"
+        code, output = run_cli(
+            "generate", "dblp", "-o", str(target), "--authors", "10"
+        )
+        assert code == 0
+        assert target.exists()
+        assert "nodes" in output
+
+    def test_baseball(self, tmp_path):
+        target = tmp_path / "b.xml"
+        code, _ = run_cli("generate", "baseball", "-o", str(target))
+        assert code == 0
+        assert target.exists()
+
+
+class TestIndex:
+    def test_index_builds(self, index_dir):
+        import os
+
+        assert os.path.isdir(index_dir)
+        assert "inverted.db" in os.listdir(index_dir)
+
+
+class TestSearch:
+    def test_search_saved_index(self, index_dir):
+        code, output = run_cli("search", index_dir, "online", "databse")
+        assert code == 0
+        assert "refinement" in output
+
+    def test_search_raw_xml(self, corpus_xml):
+        code, output = run_cli("search", corpus_xml, "database", "query")
+        assert code == 0
+
+    def test_search_algorithm_flag(self, index_dir):
+        for algorithm in ("partition", "sle", "stack"):
+            code, _ = run_cli(
+                "search", index_dir, "databse", "--algorithm", algorithm
+            )
+            assert code == 0
+
+    def test_hopeless_query_exit_code(self, index_dir):
+        code, output = run_cli("search", index_dir, "zzzzz", "qqqqq")
+        assert code == 1
+        assert "no refinement" in output
+
+
+class TestOtherCommands:
+    def test_slca(self, index_dir):
+        code, output = run_cli("slca", index_dir, "database", "query")
+        assert code == 0
+        assert "SLCA" in output
+
+    def test_specialize(self, index_dir):
+        code, output = run_cli(
+            "specialize", index_dir, "query", "--threshold", "5"
+        )
+        assert code == 0
+        assert "broad" in output or "focused" in output
+
+    def test_stats(self, index_dir):
+        code, output = run_cli("stats", index_dir)
+        assert code == 0
+        assert "vocabulary" in output
+        assert "partitions" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            run_cli("teleport")
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("--version")
+        assert excinfo.value.code == 0
+
+
+class TestRepl:
+    def test_scripted_session(self, index_dir):
+        import io
+
+        from repro.cli import build_parser, _cmd_repl
+
+        parser = build_parser()
+        args = parser.parse_args(["repl", index_dir, "-k", "2"])
+        out = io.StringIO()
+        code = _cmd_repl(
+            args, out,
+            lines=["database query", "databse", "", "zzz qqq", ":quit"],
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "XRefine interactive search" in text
+        assert "did you mean" in text
+        assert "no results and no viable refinement" in text
+
+    def test_error_keeps_loop_alive(self, index_dir):
+        import io
+
+        from repro.cli import build_parser, _cmd_repl
+
+        parser = build_parser()
+        args = parser.parse_args(["repl", index_dir])
+        out = io.StringIO()
+        code = _cmd_repl(args, out, lines=["   ", ":q"])
+        assert code == 0

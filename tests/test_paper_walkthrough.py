@@ -1,0 +1,248 @@
+"""End-to-end walkthrough of the paper's running examples.
+
+Each test replays one numbered example or sample query from the paper
+against a Figure-1-style document, asserting the behaviour the text
+describes.  This file doubles as executable documentation of the
+system's semantics.
+"""
+
+import pytest
+
+from repro import XRefine
+from repro.core import get_optimal_rq, get_top_optimal_rqs
+from repro.lexicon import (
+    RuleSet,
+    acronym_rules,
+    merging_rule,
+    split_rule,
+    substitution_rule,
+)
+from repro.xmltree import Dewey, parse
+
+#: A superset of the paper's Figure 1: two authors, mixed publication
+#: kinds, a hobby element, plus enough extra authors that statistics
+#: are not degenerate.
+FIGURE1 = """<bib>
+ <author>
+  <name>john smith</name>
+  <publications>
+   <inproceedings>
+     <title>online database systems</title>
+     <booktitle>sigmod</booktitle><year>2003</year>
+   </inproceedings>
+   <inproceedings>
+     <title>xml twig pattern join processing</title>
+     <booktitle>vldb</booktitle><year>2004</year>
+   </inproceedings>
+  </publications>
+ </author>
+ <author>
+  <name>mary lee</name>
+  <publications>
+   <article>
+     <title>machine learning for world wide web search</title>
+     <journal>tkde</journal><year>2005</year>
+   </article>
+   <inproceedings>
+     <title>xml keyword search efficiency</title>
+     <booktitle>icde</booktitle><year>2006</year>
+   </inproceedings>
+  </publications>
+  <hobby>reading</hobby>
+ </author>
+ <author>
+  <name>wei chen</name>
+  <publications>
+   <inproceedings>
+     <title>efficient skyline computation</title>
+     <booktitle>icde</booktitle><year>2006</year>
+   </inproceedings>
+   <article>
+     <title>database query processing</title>
+     <journal>tods</journal><year>2003</year>
+   </article>
+  </publications>
+ </author>
+</bib>"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return XRefine.from_xml(FIGURE1)
+
+
+class TestExample1:
+    """Q = {database, publication}: the data says inproceedings/article."""
+
+    def test_original_query_fails(self, engine):
+        response = engine.search("database publication", k=3)
+        assert response.needs_refinement
+
+    def test_synonyms_proposed_with_results(self, engine):
+        response = engine.search("database publication", k=3)
+        proposed = {r.rq.key for r in response.refinements}
+        synonym_fixes = {
+            frozenset({"database", "inproceedings"}),
+            frozenset({"database", "article"}),
+            frozenset({"database", "publications"}),
+        }
+        assert proposed & synonym_fixes
+        for refinement in response.refinements:
+            assert refinement.slcas
+
+
+class TestDefinition34:
+    """Meaningless root results trigger refinement (Q4-style query)."""
+
+    def test_root_only_match_needs_refinement(self, engine):
+        # All keywords exist, but only the root contains them together.
+        response = engine.search("skyline 2003 reading", k=2)
+        assert response.needs_refinement
+
+    def test_plain_slca_returns_root(self, engine):
+        slcas = engine.slca_search("skyline 2003 reading")
+        assert slcas == [Dewey.root()]
+
+
+class TestExample3DynamicProgram:
+    """getOptimalRQ on Q = {www, article, machine-typo, learning}."""
+
+    RULES = RuleSet(
+        [
+            *acronym_rules("www", ("world", "wide", "web")),
+            substitution_rule("article", "inproceedings"),
+            substitution_rule("mchin", "machine", ds=2),
+            merging_rule(("learn", "ing"), "learning"),
+        ]
+    )
+
+    def test_optimal_rq_and_cost(self):
+        available = {
+            "world", "wide", "web", "inproceedings", "machine", "learning",
+        }
+        optimal = get_optimal_rq(
+            ["www", "article", "mchin", "learning"], available, self.RULES
+        )
+        # www->world wide web (1) + article->inproceedings (1)
+        # + mchin->machine (2) + keep learning (0) = 4.
+        assert optimal.dissimilarity == 4
+        assert optimal.key == frozenset(
+            {"world", "wide", "web", "inproceedings", "machine", "learning"}
+        )
+
+    def test_intermediate_candidates_are_top_k_material(self):
+        available = {
+            "world", "wide", "web", "inproceedings", "machine", "learning",
+        }
+        candidates = get_top_optimal_rqs(
+            ["www", "article", "mchin", "learning"], available, self.RULES, 5
+        )
+        assert len(candidates) >= 3
+        costs = [c.dissimilarity for c in candidates]
+        assert costs == sorted(costs)
+
+
+class TestExample4StackRefine:
+    """Q = {on, line, data, base}: two merges beat four deletions."""
+
+    def test_stack_finds_the_merge(self, engine):
+        response = engine.search("on line data base", algorithm="stack")
+        assert response.needs_refinement
+        assert response.best.rq.key == frozenset({"online", "database"})
+        assert response.best.rq.dissimilarity == 2
+
+    def test_partial_witness_costs_more(self):
+        rules = RuleSet(
+            [
+                merging_rule(("on", "line"), "online"),
+                merging_rule(("data", "base"), "database"),
+            ]
+        )
+        partial = get_optimal_rq(
+            ["on", "line", "data", "base"], {"line", "base"}, rules
+        )
+        assert partial.dissimilarity == 4  # two deletions at cost 2
+
+
+class TestExample5PartitionTopK:
+    """Top-2 refinement of {article, onli ne, database}-style queries."""
+
+    def test_top2_have_results_and_order(self, engine):
+        response = engine.search("article onlin database", k=2)
+        assert response.needs_refinement
+        assert 1 <= len(response.refinements) <= 2
+        scores = [r.rank_score for r in response.refinements]
+        assert scores == sorted(scores, reverse=True)
+        for refinement in response.refinements:
+            assert refinement.slcas
+
+    def test_skip_optimization_observable(self, dblp_engine):
+        response = dblp_engine.search("databse query", k=1)
+        assert response.stats.partitions_visited > 0
+
+
+class TestExample6SLE:
+    """SLE anchors on the shortest list (Q4 = {XML, John, 2003})."""
+
+    def test_direct_hit_when_one_author_has_all(self, engine):
+        """Unlike the paper's Figure 1, our John has both an XML paper
+        and a 2003 paper, so Q4's analogue answers directly — the
+        engine must NOT refine a query with a meaningful result."""
+        response = engine.search("xml john 2003", algorithm="sle", k=2)
+        assert not response.needs_refinement
+        assert response.original_results
+
+    def test_sle_close_refinements(self, engine):
+        # skyline (wei) / john / 2005 (mary) never share an author, so
+        # the only conjunctive match is the meaningless root; SLE must
+        # refine, staying within deletion distance of the original.
+        response = engine.search("skyline john 2005", algorithm="sle", k=2)
+        assert response.needs_refinement
+        assert response.refinements
+        # No pair of the three keywords co-occurs in one author, and
+        # in-vocabulary terms are never spell-substituted, so deleting
+        # two terms (dSim 4) is genuinely optimal here.
+        assert response.best.rq.dissimilarity <= 4
+        full = frozenset({"skyline", "john", "2005"})
+        for refinement in response.refinements:
+            assert refinement.rq.key & full, refinement
+            assert refinement.slcas
+
+
+class TestSampleQueriesQX:
+    """The mixed-refinement queries of Section VIII."""
+
+    def test_qx1_spelling_plus_merge(self, engine):
+        # "eficient, key, word, search" (the paper's QX1): needs a
+        # spelling fix and a merge.  In our document "efficient" never
+        # co-occurs with "keyword search" (it lives in the skyline
+        # paper), so the Issue-2 guarantee forces either the spelling
+        # variant "efficiency" (which does co-occur) or a deletion —
+        # never the answerless literal fix.
+        response = engine.search("eficient key word search", k=3)
+        assert response.needs_refinement
+        assert response.best is not None
+        assert "keyword" in response.best.rq.keywords  # the merge fired
+        candidate_keys = {r.rq.key for r in response.refinements}
+        assert frozenset({"efficiency", "keyword", "search"}) in (
+            candidate_keys
+        ) or frozenset({"keyword", "search"}) in candidate_keys
+        assert not any(
+            key == frozenset({"efficient", "keyword", "search"})
+            for key in candidate_keys
+        ), "an answerless refinement must never be returned"
+
+    def test_qx2_skyline(self, engine):
+        # "efficient, sky, line, computation" -> skyline computation.
+        response = engine.search("efficient sky line computation", k=1)
+        assert response.needs_refinement
+        assert "skyline" in response.best.rq.keywords
+
+    def test_qx3_worldwide_web(self, engine):
+        # "worldwide web search engine" -> split worldwide / use www.
+        response = engine.search("worldwide web search", k=2)
+        assert response.needs_refinement
+        best_keys = {r.rq.key for r in response.refinements}
+        assert any(
+            {"world", "wide"} <= key or "web" in key for key in best_keys
+        )

@@ -1,0 +1,121 @@
+"""Tests for the query corruptors."""
+
+import random
+
+import pytest
+
+from repro.lexicon import AcronymTable, Thesaurus, levenshtein
+from repro.workload import (
+    corrupt_acronym,
+    corrupt_merge,
+    corrupt_overconstrain,
+    corrupt_split,
+    corrupt_synonym,
+    corrupt_typo,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(13)
+
+
+class TestSplit:
+    def test_splits_one_keyword(self, rng):
+        query = ["online", "newspaper"]
+        got = corrupt_split(query, rng)
+        assert got is not None
+        assert len(got) == 3
+        assert "".join(got) == "".join(query)
+
+    def test_fragments_long_enough(self, rng):
+        for _ in range(50):
+            got = corrupt_split(["online"], rng)
+            assert all(len(piece) >= 2 for piece in got)
+
+    def test_too_short_returns_none(self, rng):
+        assert corrupt_split(["abc"], rng) is None
+
+
+class TestMerge:
+    def test_merges_adjacent(self, rng):
+        got = corrupt_merge(["on", "line", "data"], rng)
+        assert got is not None
+        assert len(got) == 2
+        assert "".join(got) == "onlinedata"
+
+    def test_single_keyword_returns_none(self, rng):
+        assert corrupt_merge(["online"], rng) is None
+
+
+class TestTypo:
+    def test_one_edit_away(self, rng):
+        produced = 0
+        for _ in range(50):
+            got = corrupt_typo(["database", "search"], rng)
+            if got is None:
+                # A no-op draw (e.g. swapping identical neighbours) is
+                # reported as failure; the pool generator just retries.
+                continue
+            produced += 1
+            changed = [
+                (a, b) for a, b in zip(["database", "search"], got) if a != b
+            ]
+            assert 1 <= len(changed) <= 1
+            for original, corrupted in changed:
+                assert levenshtein(original, corrupted) <= 2
+        assert produced >= 40
+
+    def test_short_words_skipped(self, rng):
+        assert corrupt_typo(["ab", "cd"], rng) is None
+
+    def test_never_returns_original(self, rng):
+        for _ in range(50):
+            got = corrupt_typo(["database"], rng)
+            assert got != ["database"]
+
+
+class TestSynonym:
+    def test_substitutes_known_synonym(self, rng):
+        thesaurus = Thesaurus(groups=[({"paper", "article"}, 1)])
+        got = corrupt_synonym(["article", "xml"], rng, thesaurus=thesaurus)
+        assert got == ["paper", "xml"]
+
+    def test_vocabulary_filter(self, rng):
+        thesaurus = Thesaurus(groups=[({"paper", "article"}, 1)])
+        got = corrupt_synonym(
+            ["article"], rng, thesaurus=thesaurus, vocabulary={"paper"}
+        )
+        assert got is None  # the only synonym is in-corpus
+
+    def test_no_synonyms_none(self, rng):
+        got = corrupt_synonym(["qwerty"], rng, thesaurus=Thesaurus(groups=[]))
+        assert got is None
+
+
+class TestAcronym:
+    def test_contraction(self, rng):
+        got = corrupt_acronym(["world", "wide", "web", "search"], rng)
+        assert got == ["www", "search"]
+
+    def test_expansion(self, rng):
+        table = AcronymTable({"ml": ("machine", "learning")})
+        got = corrupt_acronym(["ml", "paper"], rng, acronyms=table)
+        assert got == ["machine", "learning", "paper"]
+
+    def test_no_material_none(self, rng):
+        got = corrupt_acronym(["plain", "words"], rng)
+        assert got is None
+
+
+class TestOverconstrain:
+    def test_appends_extra(self, rng):
+        got = corrupt_overconstrain(["xml"], rng, extra_terms=["rare"])
+        assert got == ["xml", "rare"]
+
+    def test_skips_existing(self, rng):
+        got = corrupt_overconstrain(["xml"], rng, extra_terms=["xml"])
+        assert got is None
+
+    def test_no_extras_none(self, rng):
+        assert corrupt_overconstrain(["xml"], rng, extra_terms=[]) is None

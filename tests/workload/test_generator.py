@@ -1,0 +1,101 @@
+"""Tests for the workload pool generator and query log simulator."""
+
+import pytest
+
+from repro.workload import (
+    ALL_KINDS,
+    WorkloadGenerator,
+    pool_statistics,
+    simulate_log,
+)
+
+
+@pytest.fixture(scope="module")
+def generator(dblp_index):
+    return WorkloadGenerator(dblp_index, seed=41)
+
+
+class TestIntents:
+    def test_intent_has_meaningful_results(self, generator):
+        for _ in range(10):
+            intent = generator.sample_intent()
+            assert 2 <= len(intent) <= 4
+            # keywords drawn from one subtree -> all in corpus
+            for term in intent:
+                assert generator.index.has_keyword(term)
+
+    def test_clean_query_has_results(self, generator):
+        query = generator.clean_query()
+        assert not query.refinable
+        assert query.query == query.intent
+        assert query.intent_results
+
+
+class TestRefinableQueries:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_each_kind(self, generator, kind):
+        query = generator.refinable_query(kinds=[kind])
+        assert query.refinable
+        assert query.kinds == (kind,)
+        assert query.query != query.intent
+        assert query.intent_results
+
+    def test_mixed_kinds(self, generator):
+        query = generator.refinable_query(kinds=["typo", "overconstrain"])
+        assert set(query.kinds) == {"typo", "overconstrain"}
+
+    def test_refinable_query_truly_fails(self, generator, dblp_engine):
+        for _ in range(5):
+            query = generator.refinable_query()
+            response = dblp_engine.search(query.query, k=1)
+            assert response.needs_refinement, query
+
+    def test_determinism(self, dblp_index):
+        a = WorkloadGenerator(dblp_index, seed=5).refinable_query()
+        b = WorkloadGenerator(dblp_index, seed=5).refinable_query()
+        assert a.query == b.query
+        assert a.intent == b.intent
+
+
+class TestPool:
+    def test_pool_composition(self, generator):
+        pool = generator.pool(refinable=12, clean=4)
+        stats = pool_statistics(pool)
+        assert stats["total"] == 16
+        assert stats["refinable"] == 12
+        assert stats["clean"] == 4
+        assert stats["avg_length"] > 1
+
+    def test_kind_counts_recorded(self, generator):
+        pool = generator.pool(refinable=10, clean=0)
+        stats = pool_statistics(pool)
+        assert sum(stats["kind_counts"].values()) >= 10
+
+
+class TestQueryLog:
+    def test_log_shape(self, dblp_index):
+        log = simulate_log(dblp_index, sessions=20, seed=3)
+        assert len(log) >= 20
+        timestamps = [entry.timestamp for entry in log]
+        assert timestamps == sorted(timestamps)
+
+    def test_rewrite_pairs(self, dblp_index):
+        log = simulate_log(
+            dblp_index, sessions=20, rewrite_probability=1.0, seed=3
+        )
+        pairs = log.rewrite_pairs()
+        assert len(pairs) == 20
+        for dirty, clean in pairs:
+            assert dirty != clean
+
+    def test_failing_queries(self, dblp_index):
+        log = simulate_log(
+            dblp_index, sessions=10, rewrite_probability=1.0, seed=3
+        )
+        assert len(log.failing_queries()) == 10
+
+    def test_no_rewrites(self, dblp_index):
+        log = simulate_log(
+            dblp_index, sessions=5, rewrite_probability=0.0, seed=3
+        )
+        assert log.rewrite_pairs() == []

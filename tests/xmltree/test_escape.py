@@ -1,0 +1,79 @@
+"""Tests for XML entity escaping/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.escape import (
+    decode_entity,
+    escape_attribute,
+    escape_text,
+    unescape,
+)
+
+
+class TestEscape:
+    def test_text_escapes_markup(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_text_leaves_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_noop_fast_path(self):
+        text = "plain words only"
+        assert escape_text(text) is text
+
+
+class TestDecodeEntity:
+    @pytest.mark.parametrize(
+        "body, expected",
+        [
+            ("lt", "<"),
+            ("gt", ">"),
+            ("amp", "&"),
+            ("apos", "'"),
+            ("quot", '"'),
+            ("#65", "A"),
+            ("#x41", "A"),
+            ("#X41", "A"),
+        ],
+    )
+    def test_known(self, body, expected):
+        assert decode_entity(body) == expected
+
+    def test_unknown_named(self):
+        with pytest.raises(XMLSyntaxError):
+            decode_entity("nbsp")
+
+    def test_bad_numeric(self):
+        with pytest.raises(XMLSyntaxError):
+            decode_entity("#zz")
+
+    def test_out_of_range(self):
+        with pytest.raises(XMLSyntaxError):
+            decode_entity("#99999999999")
+
+
+class TestUnescape:
+    def test_mixed(self):
+        assert unescape("a&lt;b &amp;&#33;") == "a<b &!"
+
+    def test_no_entities_fast_path(self):
+        text = "no entities"
+        assert unescape(text) is text
+
+    def test_unterminated(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("broken &amp")
+
+    @given(st.text(alphabet="abc<>&\"' 123", max_size=30))
+    def test_roundtrip_text(self, value):
+        assert unescape(escape_text(value)) == value
+
+    @given(st.text(alphabet="abc<>&\"' 123", max_size=30))
+    def test_roundtrip_attribute(self, value):
+        assert unescape(escape_attribute(value)) == value

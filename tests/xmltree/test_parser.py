@@ -1,0 +1,141 @@
+"""Tests for the DOM builder (Dewey/node-type assignment, events)."""
+
+import pytest
+
+from repro.errors import XMLError, XMLSyntaxError
+from repro.xmltree import (
+    EVENT_END,
+    EVENT_START,
+    Dewey,
+    iterparse,
+    parse,
+)
+
+
+class TestParse:
+    def test_root_label(self):
+        tree = parse("<bib><author/></bib>")
+        assert tree.root.dewey == Dewey.root()
+        assert tree.root.tag == "bib"
+
+    def test_children_labels(self):
+        tree = parse("<a><b/><c/><d/></a>")
+        assert [child.dewey for child in tree.root.children] == [
+            Dewey((0, 0)),
+            Dewey((0, 1)),
+            Dewey((0, 2)),
+        ]
+
+    def test_node_types_are_prefix_paths(self):
+        tree = parse("<bib><author><name>x</name></author></bib>")
+        name = tree.node(Dewey((0, 0, 0)))
+        assert name.node_type == ("bib", "author", "name")
+
+    def test_text_collected(self):
+        tree = parse("<a><b>hello world</b></a>")
+        assert tree.node(Dewey((0, 0))).text == "hello world"
+
+    def test_mixed_text_concatenated(self):
+        tree = parse("<a>one<b/>two</a>")
+        assert tree.root.text == "one two"
+
+    def test_whitespace_only_text_dropped(self):
+        tree = parse("<a>\n  <b/>\n</a>")
+        assert tree.root.text == ""
+
+    def test_attributes_become_children(self):
+        tree = parse('<a key="v"><b/></a>')
+        first = tree.root.children[0]
+        assert first.tag == "key"
+        assert first.text == "v"
+        assert first.node_type == ("a", "key")
+
+    def test_attributes_can_be_dropped(self):
+        tree = parse('<a key="v"><b/></a>', keep_attributes=False)
+        assert [child.tag for child in tree.root.children] == ["b"]
+
+    def test_figure1_shape(self, figure1_tree):
+        partitions = figure1_tree.partitions()
+        assert [p.tag for p in partitions] == ["author", "author", "author"]
+        assert partitions[0].dewey == Dewey((0, 0))
+
+
+class TestParseErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b></a></b>")
+
+    def test_unclosed(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b>")
+
+    def test_stray_end(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("</a>")
+
+    def test_two_roots(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/><b/>")
+
+    def test_empty_document(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("   ")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("junk<a/>")
+
+
+class TestIterparse:
+    def test_event_order(self):
+        events = [
+            (event, node.tag)
+            for event, node in iterparse("<a><b/><c><d/></c></a>")
+        ]
+        assert events == [
+            (EVENT_START, "a"),
+            (EVENT_START, "b"),
+            (EVENT_END, "b"),
+            (EVENT_START, "c"),
+            (EVENT_START, "d"),
+            (EVENT_END, "d"),
+            (EVENT_END, "c"),
+            (EVENT_END, "a"),
+        ]
+
+    def test_end_event_nodes_complete(self):
+        for event, node in iterparse("<a><b>x</b></a>"):
+            if event == EVENT_END and node.tag == "b":
+                assert node.text == "x"
+
+
+class TestTreeAccess:
+    def test_len(self, figure1_tree):
+        assert len(figure1_tree) == sum(
+            1 for _ in figure1_tree.root.iter_subtree()
+        )
+
+    def test_node_lookup_missing(self, figure1_tree):
+        with pytest.raises(XMLError):
+            figure1_tree.node(Dewey((0, 99)))
+
+    def test_get_default(self, figure1_tree):
+        assert figure1_tree.get(Dewey((0, 99))) is None
+
+    def test_iter_nodes_document_order(self, figure1_tree):
+        labels = [node.dewey.components for node in figure1_tree.iter_nodes()]
+        assert labels == sorted(labels)
+
+    def test_iter_subtree_scoped(self, figure1_tree):
+        root = Dewey((0, 1))
+        for node in figure1_tree.iter_subtree(root):
+            assert root.is_ancestor_or_self_of(node.dewey)
+
+    def test_partition_of(self, figure1_tree):
+        node = figure1_tree.partition_of(Dewey((0, 1, 1, 0)))
+        assert node.dewey == Dewey((0, 1))
+
+    def test_node_types_count(self, figure1_tree):
+        counts = figure1_tree.node_types()
+        assert counts[("bib",)] == 1
+        assert counts[("bib", "author")] == 3

@@ -1,0 +1,96 @@
+"""Round-trip tests: build/parse -> serialize -> parse."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmltree import build_tree, parse, serialize
+
+tags = st.sampled_from(["a", "b", "title", "year", "name"])
+# Texts are pre-stripped: the parser normalizes leading/trailing
+# whitespace of character data, so only stripped text round-trips.
+texts = st.one_of(
+    st.none(),
+    st.text(
+        alphabet="abcxyz<>&'\" 0123456789",
+        min_size=1,
+        max_size=12,
+    ).map(str.strip).filter(bool),
+)
+
+
+def specs(depth):
+    if depth == 0:
+        return st.tuples(tags, texts)
+    return st.one_of(
+        st.tuples(tags, texts),
+        st.tuples(
+            tags,
+            st.none(),
+            st.lists(specs(depth - 1), min_size=1, max_size=3),
+        ),
+    )
+
+
+def _normalized(spec):
+    tag = spec[0]
+    text = spec[1] if len(spec) > 1 else None
+    children = spec[2] if len(spec) > 2 else []
+    return (tag, (text or "").strip(), [_normalized(c) for c in children])
+
+
+def _tree_spec(node):
+    return (node.tag, node.text, [_tree_spec(c) for c in node.children])
+
+
+class TestSerialize:
+    def test_simple_roundtrip(self):
+        tree = parse("<a><b>x &amp; y</b><c/></a>")
+        again = parse(serialize(tree))
+        assert _tree_spec(again.root) == _tree_spec(tree.root)
+
+    def test_declaration_emitted(self):
+        tree = parse("<a/>")
+        assert serialize(tree).startswith("<?xml")
+
+    def test_declaration_optional(self):
+        tree = parse("<a/>")
+        assert serialize(tree, declaration=False).startswith("<a")
+
+    def test_escaping(self):
+        tree = build_tree(("a", "x < y & z"))
+        text = serialize(tree)
+        assert "&lt;" in text and "&amp;" in text
+        assert parse(text).root.text == "x < y & z"
+
+    @given(specs(3))
+    def test_build_serialize_parse_roundtrip(self, spec):
+        tree = build_tree(spec)
+        again = parse(serialize(tree))
+        assert _tree_spec(again.root) == _tree_spec(tree.root)
+
+    @given(specs(2))
+    def test_deweys_regenerated_identically(self, spec):
+        tree = build_tree(spec)
+        again = parse(serialize(tree))
+        assert [n.dewey for n in tree.iter_nodes()] == [
+            n.dewey for n in again.iter_nodes()
+        ]
+
+
+class TestBuildTree:
+    def test_minimal(self):
+        tree = build_tree(("root", "text"))
+        assert tree.root.tag == "root"
+        assert tree.root.text == "text"
+
+    def test_node_types_assigned(self):
+        tree = build_tree(("a", None, [("b", None, [("c", "x")])]))
+        nodes = {node.tag: node for node in tree.iter_nodes()}
+        assert nodes["c"].node_type == ("a", "b", "c")
+
+    def test_deep_tree_stack_safe(self):
+        spec = ("n0", None)
+        for i in range(1, 2000):
+            spec = (f"n{i}", None, [spec])
+        tree = build_tree(spec)
+        assert len(tree) == 2000

@@ -1,0 +1,139 @@
+"""Tests for the streaming XML tokenizer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.tokenizer import (
+    COMMENT,
+    EMPTY,
+    END,
+    PI,
+    START,
+    TEXT,
+    Token,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def tokens(text):
+    return list(tokenize(text))
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        result = tokens("<a>hi</a>")
+        assert result == [
+            Token(START, "a"),
+            Token(TEXT, "hi"),
+            Token(END, "a"),
+        ]
+
+    def test_empty_element(self):
+        assert tokens("<a/>") == [Token(EMPTY, "a")]
+
+    def test_nested(self):
+        assert kinds("<a><b>x</b></a>") == [START, START, TEXT, END, END]
+
+    def test_attributes_double_quoted(self):
+        (token,) = tokens('<a key="v1" other="v2"/>')
+        assert token.attributes == {"key": "v1", "other": "v2"}
+
+    def test_attributes_single_quoted(self):
+        (token,) = tokens("<a key='v'/>")
+        assert token.attributes == {"key": "v"}
+
+    def test_whitespace_in_tag(self):
+        result = tokens('<a   key = "v"  >x</a>')
+        assert result[0].attributes == {"key": "v"}
+
+    def test_names_with_punctuation(self):
+        assert tokens("<ns:tag-1.x/>")[0].value == "ns:tag-1.x"
+
+
+class TestEntities:
+    def test_named_entities_in_text(self):
+        result = tokens("<a>&lt;&amp;&gt;</a>")
+        assert result[1].value == "<&>"
+
+    def test_numeric_entity(self):
+        assert tokens("<a>&#65;</a>")[1].value == "A"
+
+    def test_hex_entity(self):
+        assert tokens("<a>&#x41;</a>")[1].value == "A"
+
+    def test_entity_in_attribute(self):
+        (token,) = tokens('<a k="a&amp;b"/>')
+        assert token.attributes == {"k": "a&b"}
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a>&nope;</a>")
+
+
+class TestStructuralPieces:
+    def test_comment(self):
+        result = tokens("<a><!-- note --></a>")
+        assert result[1].kind == COMMENT
+        assert result[1].value == " note "
+
+    def test_pi(self):
+        result = tokens('<?xml version="1.0"?><a/>')
+        assert result[0].kind == PI
+
+    def test_cdata(self):
+        result = tokens("<a><![CDATA[<raw>&stuff;]]></a>")
+        assert result[1] == Token(TEXT, "<raw>&stuff;")
+
+    def test_doctype_skipped(self):
+        assert kinds("<!DOCTYPE bib SYSTEM 'x.dtd'><a/>") == [EMPTY]
+
+    def test_doctype_internal_subset_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+
+
+class TestErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a><!-- oops</a>")
+
+    def test_unterminated_start_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a")
+
+    def test_missing_attribute_value(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a k></a>")
+
+    def test_unquoted_attribute_value(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a k=v></a>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens('<a k="1" k="2"/>')
+
+    def test_bad_end_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens("<a></a b>")
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            tokens("<a>\n<b k=></b></a>")
+        assert excinfo.value.line == 2
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        result = tokens("<a>\n  <b/>\n</a>")
+        b_token = result[1] if result[1].kind == EMPTY else result[2]
+        assert b_token.line == 2
+
+    def test_text_between_tags_preserved(self):
+        result = tokens("<a>one<b/>two</a>")
+        texts = [t.value for t in result if t.kind == TEXT]
+        assert texts == ["one", "two"]
