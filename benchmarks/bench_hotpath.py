@@ -1,0 +1,207 @@
+"""Hot-path serving benchmark: cold vs. warm vs. batch latency.
+
+Serves a skewed, repetitive query log (Zipf-weighted repeats of a small
+unique pool — the shape of real keyword traffic) through three
+configurations of the same engine:
+
+* **cold** — result caching disabled; every request pays the full
+  inverted-list scan + DP + ranking cost;
+* **warm** — the default engine; the first pass populates the LRU
+  result cache, the second pass is served from it;
+* **batch** — one ``XRefine.search_many`` call over the whole log on a
+  fresh engine.
+
+Writes ``BENCH_hotpath.json`` (repo root by default) so later PRs have
+a perf trajectory to compare against, and exits non-zero when the
+warm-over-cold speedup drops below the 3x acceptance floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import XRefine, build_document_index  # noqa: E402
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.workload import WorkloadGenerator  # noqa: E402
+
+#: Minimum acceptable warm-over-cold speedup on the skewed log.
+SPEEDUP_FLOOR = 3.0
+
+
+def build_query_log(index, unique, requests, seed):
+    """A skewed log: ``requests`` draws over ``unique`` pool queries.
+
+    Queries are Zipf-weighted (weight 1/rank), the canonical skew of
+    production keyword logs; roughly 60% of the pool needs refinement.
+    """
+    generator = WorkloadGenerator(index, seed=seed)
+    pool = []
+    for position in range(unique):
+        if position % 5 < 3:
+            pool.append(list(generator.refinable_query().query))
+        else:
+            pool.append(list(generator.clean_query().query))
+    rng = random.Random(seed + 1)
+    weights = [1.0 / rank for rank in range(1, len(pool) + 1)]
+    log = rng.choices(pool, weights=weights, k=requests)
+    return pool, log
+
+
+def timed(label, action):
+    started = time.perf_counter()
+    result = action()
+    elapsed = time.perf_counter() - started
+    print(f"  {label:<28} {elapsed * 1000:9.1f} ms total")
+    return elapsed, result
+
+
+def serve(engine, log, k, algorithm):
+    for query in log:
+        engine.search(query, k=k, algorithm=algorithm)
+
+
+def run(args):
+    print(
+        f"corpus: dblp authors={args.authors}; "
+        f"log: {args.requests} requests over {args.unique} unique queries"
+    )
+    tree = generate_dblp(num_authors=args.authors, seed=7)
+    index = build_document_index(tree)
+    pool, log = build_query_log(index, args.unique, args.requests, args.seed)
+
+    # Cold: result caching off; every request does the full work.
+    cold_engine = XRefine(index, cache_size=0)
+    cold_seconds, _ = timed(
+        "cold (cache disabled)",
+        lambda: serve(cold_engine, log, args.k, args.algorithm),
+    )
+
+    # Warm: first pass fills the LRU, second pass is the hot path.
+    warm_engine = XRefine(index)
+    fill_seconds, _ = timed(
+        "warm fill (first pass)",
+        lambda: serve(warm_engine, log, args.k, args.algorithm),
+    )
+    warm_seconds, _ = timed(
+        "warm serve (second pass)",
+        lambda: serve(warm_engine, log, args.k, args.algorithm),
+    )
+
+    # Batch: one search_many call on a fresh engine.
+    batch_engine = XRefine(index)
+    batch_seconds, _ = timed(
+        "batch (search_many)",
+        lambda: batch_engine.search_many(log, k=args.k,
+                                         algorithm=args.algorithm),
+    )
+
+    requests = len(log)
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    fill_speedup = cold_seconds / fill_seconds if fill_seconds else float("inf")
+    batch_speedup = cold_seconds / batch_seconds if batch_seconds else float("inf")
+    report = {
+        "benchmark": "hotpath",
+        "config": {
+            "smoke": args.smoke,
+            "authors": args.authors,
+            "unique_queries": args.unique,
+            "requests": requests,
+            "k": args.k,
+            "algorithm": args.algorithm,
+            "seed": args.seed,
+            "corpus_nodes": len(tree),
+            "vocabulary": index.inverted.vocabulary_size(),
+        },
+        "cold": {
+            "total_seconds": cold_seconds,
+            "per_request_ms": cold_seconds / requests * 1000,
+        },
+        "warm_fill": {
+            "total_seconds": fill_seconds,
+            "per_request_ms": fill_seconds / requests * 1000,
+            "speedup_over_cold": fill_speedup,
+        },
+        "warm": {
+            "total_seconds": warm_seconds,
+            "per_request_ms": warm_seconds / requests * 1000,
+            "speedup_over_cold": warm_speedup,
+            "cache": warm_engine.cache_stats(),
+        },
+        "batch": {
+            "total_seconds": batch_seconds,
+            "per_request_ms": batch_seconds / requests * 1000,
+            "speedup_over_cold": batch_speedup,
+            "cache": batch_engine.cache_stats(),
+        },
+    }
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"speedups over cold: warm x{warm_speedup:.1f}, "
+        f"fill x{fill_speedup:.1f}, batch x{batch_speedup:.1f}"
+    )
+
+    if warm_speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: warm-over-cold speedup x{warm_speedup:.2f} is below "
+            f"the x{SPEEDUP_FLOOR:.0f} acceptance floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: warm-over-cold speedup meets the x{SPEEDUP_FLOOR:.0f} floor")
+    return 0
+
+
+def main(argv=None):
+    default_output = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_hotpath.json"
+    )
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small corpus and log)")
+    parser.add_argument("--authors", type=int, default=None,
+                        help="DBLP corpus size (default 300; smoke 50)")
+    parser.add_argument("--unique", type=int, default=None,
+                        help="unique queries in the pool (default 25; smoke 8)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total log requests (default 300; smoke 48)")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--algorithm", default="partition",
+                        choices=("partition", "sle", "stack"))
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--output",
+                        default=os.path.normpath(default_output))
+    args = parser.parse_args(argv)
+    if args.authors is None:
+        args.authors = 50 if args.smoke else 300
+    if args.unique is None:
+        args.unique = 8 if args.smoke else 25
+    if args.requests is None:
+        args.requests = 48 if args.smoke else 300
+    for name in ("authors", "unique", "requests", "k"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name} must be >= 1")
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,8 @@ from ..errors import QueryError
 from ..index.builder import build_document_index
 from ..index.tokenize_text import query_terms
 from ..lexicon.mining import RuleMiner
+from ..perf.packed import PackedListStore
+from ..perf.result_cache import DEFAULT_CAPACITY, QueryResultCache
 from ..slca.elca import elca
 from ..slca.indexed_lookup import indexed_lookup_slca
 from ..slca.multiway import multiway_slca
@@ -64,14 +66,30 @@ class XRefine:
         Ranking model (Formula 10); the full RS0 model by default.
     miner:
         Rule miner; constructed over the corpus vocabulary by default.
+        An auto-constructed miner is rebuilt whenever the index version
+        changes (partition appends/removals alter the vocabulary); a
+        caller-supplied miner is never replaced.
+    cache_size:
+        Capacity of the query-result LRU cache
+        (:class:`~repro.perf.result_cache.QueryResultCache`); ``0``
+        disables result caching.  Cached answers are version-checked
+        against the index, so partition updates can never serve stale
+        results.
     """
 
-    def __init__(self, index, model=None, miner=None):
+    def __init__(self, index, model=None, miner=None,
+                 cache_size=DEFAULT_CAPACITY):
         self.index = index
         self.model = model if model is not None else full_model()
+        self._auto_miner = miner is None
         if miner is None:
             miner = RuleMiner(index.inverted.keywords())
         self.miner = miner
+        self._miner_version = getattr(index, "version", 0)
+        #: Per-engine packed posting arrays (repro.perf.packed).
+        self.packed = PackedListStore(index)
+        #: Complete-answer LRU cache (repro.perf.result_cache).
+        self.result_cache = QueryResultCache(cache_size)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -93,10 +111,53 @@ class XRefine:
             return cls.from_xml(handle.read(), model=model, miner=miner)
 
     # ------------------------------------------------------------------
+    # Hot-path plumbing (repro.perf)
+    # ------------------------------------------------------------------
+    def _refresh_miner(self):
+        """Rebuild an auto-constructed miner after index updates.
+
+        The vocabulary the rules are mined from changes with every
+        partition append/remove; keeping the miner in lockstep with the
+        index version makes warm answers equal a from-scratch engine.
+        """
+        version = getattr(self.index, "version", 0)
+        if self._auto_miner and version != self._miner_version:
+            self.miner = RuleMiner(self.index.inverted.keywords())
+        self._miner_version = version
+
+    def _model_key(self):
+        """The model parameters that affect a query's answer."""
+        model = self.model
+        return (
+            model.alpha,
+            model.beta,
+            model.decay,
+            model.use_g1,
+            model.use_g2,
+            model.use_g3,
+            model.use_g4,
+            model.g2_domain,
+        )
+
+    def clear_caches(self):
+        """Explicitly drop the engine-level caches (results + packed)."""
+        self.result_cache.clear()
+        self.packed.clear()
+
+    def cache_stats(self):
+        """Monitoring snapshot of every hot-path cache layer."""
+        return {
+            "results": self.result_cache.stats(),
+            "packed_keywords": len(self.packed),
+            "index_version": getattr(self.index, "version", 0),
+        }
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def mine_rules(self, query):
         """The pertinent rule set for a query (terms are normalized)."""
+        self._refresh_miner()
         return self.miner.mine(query_terms(query))
 
     def search(self, query, k=1, algorithm="partition", rules=None,
@@ -127,6 +188,25 @@ class XRefine:
         terms = query_terms(query)
         if not terms:
             raise QueryError("the keyword query is empty")
+        # Repeated-query fast path: answers are cached only for engine-
+        # mined rules (a caller-supplied RuleSet is part of the answer
+        # but not hashable into a key) and returned as the same object —
+        # treat responses as read-only.
+        cache_key = None
+        if rules is None and self.result_cache.enabled:
+            cache_key = (
+                "search",
+                tuple(terms),
+                k,
+                algorithm,
+                bool(rank_results),
+                self._model_key(),
+            )
+            cached = self.result_cache.get(
+                cache_key, getattr(self.index, "version", 0)
+            )
+            if cached is not None:
+                return cached
         if rules is None:
             rules = self.mine_rules(terms)
         if algorithm == "partition":
@@ -150,7 +230,36 @@ class XRefine:
             from .ranking.results import rank_response_results
 
             rank_response_results(self.index, response)
+        if cache_key is not None:
+            self.result_cache.put(
+                cache_key, response, getattr(self.index, "version", 0)
+            )
         return response
+
+    def search_many(self, queries, k=1, algorithm="partition",
+                    rank_results=False):
+        """Batch refinement search: one response per input query.
+
+        The hot-path batch API: per-keyword decoded lists (packed
+        arrays, inverted-list cache) are shared across the whole call,
+        and duplicate queries within the batch are evaluated once even
+        when the LRU result cache is disabled or thrashing.  Responses
+        for duplicate queries are the same object.
+        """
+        self._refresh_miner()
+        responses = []
+        batch = {}  # normalized terms -> response
+        for query in queries:
+            terms = tuple(query_terms(query))
+            response = batch.get(terms)
+            if response is None:
+                response = self.search(
+                    terms, k=k, algorithm=algorithm,
+                    rank_results=rank_results,
+                )
+                batch[terms] = response
+            responses.append(response)
+        return responses
 
     def slca_search(self, query, algorithm="scan"):
         """Plain SLCA search of the original query (no refinement).
@@ -168,11 +277,20 @@ class XRefine:
                 f"unknown SLCA algorithm {algorithm!r}; "
                 f"expected one of {sorted(SLCA_ALGORITHMS)}"
             ) from None
-        label_lists = [
-            [posting.dewey for posting in self.index.inverted_list(term)]
-            for term in terms
-        ]
-        return implementation(label_lists)
+        cache_key = None
+        version = getattr(self.index, "version", 0)
+        if self.result_cache.enabled:
+            cache_key = ("slca", tuple(terms), algorithm)
+            cached = self.result_cache.get(cache_key, version)
+            if cached is not None:
+                return list(cached)
+        # Packed posting arrays: each keyword's list is decoded and
+        # flattened once per engine, not once per query.
+        label_lists = [self.packed.get(term) for term in terms]
+        results = implementation(label_lists)
+        if cache_key is not None:
+            self.result_cache.put(cache_key, tuple(results), version)
+        return results
 
     def node(self, dewey):
         """Fetch the tree node for a result label."""

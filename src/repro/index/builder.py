@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from ..perf.stats_cache import SearchForCache
 from .cooccur import CooccurrenceTable
 from .frequency import FrequencyTable
 from .inverted import InvertedIndex, Posting
@@ -37,6 +38,24 @@ class DocumentIndex:
         self.frequency = frequency
         self.statistics = statistics
         self.cooccurrence = cooccurrence
+        #: Monotonic content version.  Bumped by every index update so
+        #: that engine-level caches (query results, packed lists) can
+        #: detect staleness with one integer comparison.
+        self.version = 0
+        #: Memoized Formula-1 search-for inference (repro.perf).
+        self.search_for_cache = SearchForCache(self)
+
+    def invalidate_caches(self):
+        """Bump the version and drop every derived-statistics cache.
+
+        The single entry point index mutations must call; anything
+        keyed on the old version (engine result caches) self-evicts on
+        its next read.
+        """
+        self.version += 1
+        self.frequency.clear_memo()
+        self.search_for_cache.clear()
+        self.cooccurrence.invalidate()
 
     # Convenience passthroughs used throughout the engine -------------
     def inverted_list(self, keyword):

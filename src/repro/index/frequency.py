@@ -31,6 +31,10 @@ class FrequencyTable:
         self._type_ids = type_ids if type_ids is not None else {}
         self._type_table = type_table if type_table is not None else []
         self._pending = {}
+        # Hot-path memos over the store: (keyword, type) -> (df, tf)
+        # lookups and per-keyword prefix scans.  Cleared on any write.
+        self._memo = {}
+        self._types_memo = {}
 
     def _intern(self, node_type):
         type_id = self._type_ids.get(node_type)
@@ -56,6 +60,7 @@ class FrequencyTable:
                 encode_key((keyword, type_id)), _VALUE.pack(df, tf)
             )
         self._pending.clear()
+        self.clear_memo()
 
     def adjust(self, keyword, node_type, df_delta=0, tf_delta=0):
         """Read-modify-write one (keyword, type) entry (index updates)."""
@@ -65,18 +70,30 @@ class FrequencyTable:
         raw = self._store.get(key)
         df, tf = _VALUE.unpack(raw) if raw is not None else (0, 0)
         self._store.put(key, _VALUE.pack(df + df_delta, tf + tf_delta))
+        self._memo.pop((keyword, node_type), None)
+        self._types_memo.pop(keyword, None)
+
+    def clear_memo(self):
+        """Drop the lookup memos (after any bulk store mutation)."""
+        self._memo.clear()
+        self._types_memo.clear()
 
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------
     def _lookup(self, keyword, node_type):
+        memo_key = (keyword, node_type)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
         type_id = self._type_ids.get(node_type)
         if type_id is None:
-            return (0, 0)
-        raw = self._store.get(encode_key((keyword, type_id)))
-        if raw is None:
-            return (0, 0)
-        return _VALUE.unpack(raw)
+            value = (0, 0)
+        else:
+            raw = self._store.get(encode_key((keyword, type_id)))
+            value = _VALUE.unpack(raw) if raw is not None else (0, 0)
+        self._memo[memo_key] = value
+        return value
 
     def xml_df(self, keyword, node_type):
         """``f_k^T``: T-typed nodes containing ``keyword`` in the subtree."""
@@ -87,13 +104,21 @@ class FrequencyTable:
         return self._lookup(keyword, node_type)[1]
 
     def types_for(self, keyword):
-        """All (node_type, f_k^T, tf) triples for one keyword."""
+        """All (node_type, f_k^T, tf) triples for one keyword.
+
+        The prefix scan is memoized per keyword; a fresh list is
+        returned each call so callers may mutate their copy.
+        """
+        cached = self._types_memo.get(keyword)
+        if cached is not None:
+            return list(cached)
         prefix = encode_key((keyword,))
         result = []
         for key, raw in self._store.scan_prefix(prefix):
             _, type_id = decode_key(key)
             df, tf = _VALUE.unpack(raw)
             result.append((self._type_table[type_id], df, tf))
+        self._types_memo[keyword] = tuple(result)
         return result
 
     def __len__(self):

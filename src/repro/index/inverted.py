@@ -294,9 +294,11 @@ class InvertedIndex:
             components = previous[:shared] + tuple(suffix)
             type_id, pos = decode_uvarint(raw, pos)
             occurrence_count, pos = decode_uvarint(raw, pos)
+            # Components were validated when the list was encoded, so
+            # the decode loop takes the trusted constructor fast path.
             postings.append(
                 Posting(
-                    Dewey(components),
+                    Dewey.from_trusted(components),
                     self._type_table[type_id],
                     occurrence_count,
                 )

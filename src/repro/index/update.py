@@ -134,7 +134,9 @@ def append_partition(index, spec):
     for keyword, new_postings in postings.items():
         index.inverted.append_postings(keyword, new_postings)
     _apply_deltas(index, df, tf, type_counts, sign=+1)
-    index.cooccurrence.invalidate()
+    # Bumps the index version: every query-result / statistics cache
+    # keyed on the old state self-invalidates (includes co-occurrence).
+    index.invalidate_caches()
     return node
 
 
@@ -149,5 +151,5 @@ def remove_partition(index, dewey):
     for keyword in postings:
         index.inverted.remove_postings_under(keyword, dewey)
     _apply_deltas(index, df, tf, type_counts, sign=-1)
-    index.cooccurrence.invalidate()
+    index.invalidate_caches()
     return node

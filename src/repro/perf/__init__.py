@@ -1,0 +1,28 @@
+"""Hot-path serving layer: caches for the repeated-query fast path.
+
+Production keyword traffic is skewed and repetitive; this subpackage
+makes the repeat path cheap while leaving the paper's algorithms (and
+their one-scan guarantees for *cold* queries) untouched:
+
+``repro.perf.packed``
+    :class:`PackedPostings` / :class:`PackedListStore` — each keyword's
+    inverted list decoded once per engine into flat component/label
+    arrays, consumed directly by the SLCA algorithms.
+``repro.perf.stats_cache``
+    :class:`SearchForCache` — memoized Formula-1 search-for inference,
+    owned by the document index next to the frequency-table memo.
+``repro.perf.result_cache``
+    :class:`QueryResultCache` — version-checked LRU over complete query
+    answers, invalidated by the partition append/remove entry points.
+"""
+
+from .packed import PackedListStore, PackedPostings
+from .result_cache import QueryResultCache
+from .stats_cache import SearchForCache
+
+__all__ = [
+    "PackedPostings",
+    "PackedListStore",
+    "QueryResultCache",
+    "SearchForCache",
+]

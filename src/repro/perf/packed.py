@@ -1,0 +1,87 @@
+"""Packed posting arrays: decode each inverted list once per engine.
+
+``XRefine.slca_search`` used to rebuild a fresh ``[posting.dewey ...]``
+label list from the decoded postings on *every* query.  A
+:class:`PackedPostings` materializes one keyword's list once into flat,
+parallel arrays — component tuples, trusted ``Dewey`` labels, node
+types and occurrence counts — and is itself a read-only sequence of
+labels, so every SLCA algorithm consumes it directly.  The precomputed
+``components`` array additionally feeds the fast ingestion path of
+:func:`repro.slca.lca.label_components`, sparing the algorithms their
+per-query attribute-unpacking loop.
+
+Coherence with index updates needs no bookkeeping: the underlying
+:class:`~repro.index.inverted.InvertedIndex` caches one decoded
+:class:`~repro.index.inverted.InvertedList` object per keyword and
+drops it on any mutation, so an identity check against the current
+decoded list detects staleness exactly.
+"""
+
+from __future__ import annotations
+
+
+class PackedPostings:
+    """Flat decoded arrays for one keyword's inverted list.
+
+    Behaves as an immutable document-ordered sequence of
+    :class:`~repro.xmltree.dewey.Dewey` labels (what the SLCA
+    algorithms expect) while exposing the parallel arrays for code that
+    wants column access.  All arrays are shared, never copied — treat
+    them as read-only.
+    """
+
+    __slots__ = ("keyword", "source", "components", "labels", "node_types", "counts")
+
+    def __init__(self, source):
+        postings = source.postings
+        self.keyword = source.keyword
+        #: The InvertedList this was packed from (identity = freshness).
+        self.source = source
+        self.components = [p.dewey.components for p in postings]
+        self.labels = [p.dewey for p in postings]
+        self.node_types = [p.node_type for p in postings]
+        self.counts = [p.count for p in postings]
+
+    def __len__(self):
+        return len(self.labels)
+
+    def __iter__(self):
+        return iter(self.labels)
+
+    def __getitem__(self, idx):
+        return self.labels[idx]
+
+    def __repr__(self):
+        return f"PackedPostings({self.keyword!r}, n={len(self.labels)})"
+
+
+class PackedListStore:
+    """Per-engine cache of :class:`PackedPostings`, one per keyword."""
+
+    __slots__ = ("_index", "_packed")
+
+    def __init__(self, index):
+        self._index = index
+        self._packed = {}
+
+    def get(self, keyword):
+        """The packed list for ``keyword``; rebuilt if the index changed."""
+        source = self._index.inverted.get(keyword)
+        packed = self._packed.get(keyword)
+        if packed is None or packed.source is not source:
+            packed = PackedPostings(source)
+            self._packed[keyword] = packed
+        return packed
+
+    def labels(self, keyword):
+        """The shared doc-ordered label list for ``keyword``."""
+        return self.get(keyword).labels
+
+    def clear(self):
+        self._packed.clear()
+
+    def __len__(self):
+        return len(self._packed)
+
+    def __repr__(self):
+        return f"PackedListStore({len(self._packed)} keywords)"

@@ -1,0 +1,108 @@
+"""Invalidating LRU cache for fully evaluated query results.
+
+Real keyword workloads are heavily skewed: a handful of queries make up
+most of the traffic.  :class:`QueryResultCache` keeps the complete
+answer of recently served queries keyed by the *normalized* query plus
+every parameter that can change the answer (``k``, algorithm, ranking
+weights), so a repeated query costs one dict lookup instead of a full
+inverted-list scan, DP beam and ranking pass.
+
+Staleness is handled by versioning, not by callback plumbing: every
+entry records the :class:`~repro.index.builder.DocumentIndex` version
+it was computed against, and the index-maintenance entry points
+(:func:`repro.index.update.append_partition` /
+:func:`repro.index.update.remove_partition`) bump that version.  A hit
+whose recorded version no longer matches is discarded on read, so a
+cached answer can never outlive the index state it was derived from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Default number of distinct (query, parameters) answers retained.
+DEFAULT_CAPACITY = 512
+
+
+class QueryResultCache:
+    """LRU map from query cache keys to served results.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries; ``0`` disables the cache entirely
+        (every :meth:`get` misses, :meth:`put` is a no-op).
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "invalidations")
+
+    def __init__(self, maxsize=DEFAULT_CAPACITY):
+        if maxsize < 0:
+            raise ValueError(f"cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries = OrderedDict()  # key -> (version, value)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self):
+        return self.maxsize > 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key, version):
+        """The cached value for ``key`` at ``version``, or ``None``.
+
+        An entry computed against a different index version is evicted
+        (it is unreachable for good — versions never repeat).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_version, value = entry
+        if cached_version != version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value, version):
+        """Store ``value`` for ``key``, evicting the LRU entry if full."""
+        if not self.maxsize:
+            return
+        self._entries[key] = (version, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self):
+        """Drop every entry (explicit invalidation)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+
+    def stats(self):
+        """Counters for monitoring / the benchmark report."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self):
+        return (
+            f"QueryResultCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -12,6 +12,7 @@ from .indexed_lookup import indexed_lookup_slca
 from .lca import (
     brute_force_slca,
     closest_match,
+    label_components,
     lca_candidate,
     merge_lists,
     remove_ancestors,
@@ -40,6 +41,7 @@ __all__ = [
     "brute_force_slca",
     "remove_ancestors",
     "closest_match",
+    "label_components",
     "lca_candidate",
     "merge_lists",
     "SearchForCandidate",

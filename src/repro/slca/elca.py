@@ -59,7 +59,7 @@ def elca(keyword_label_lists):
         entry = stack.pop()
         if entry.live_mask == full_mask:
             results.append(
-                Dewey(
+                Dewey.from_trusted(
                     tuple(e.component for e in stack) + (entry.component,)
                 )
             )

@@ -10,7 +10,7 @@ the long lists, which is why the paper's Fig. 4 baselines include it.
 
 from __future__ import annotations
 
-from .lca import lca_candidate, remove_ancestors
+from .lca import label_components, lca_candidate, remove_ancestors
 
 
 def indexed_lookup_slca(keyword_label_lists):
@@ -28,8 +28,10 @@ def indexed_lookup_slca(keyword_label_lists):
         key=lambda i: len(keyword_label_lists[i]),
     )
     anchor_list = keyword_label_lists[shortest_index]
+    # Input lists are doc-ordered (== sorted), so the packed component
+    # arrays can be consumed as-is; sorted() still guards ad-hoc input.
     other_lists = [
-        sorted(label.components for label in labels)
+        sorted(label_components(labels))
         for i, labels in enumerate(keyword_label_lists)
         if i != shortest_index
     ]

@@ -13,6 +13,20 @@ from ..errors import QueryError
 from ..xmltree.dewey import Dewey
 
 
+def label_components(labels):
+    """Doc-ordered component tuples for a label list.
+
+    Packed posting lists (:class:`repro.perf.packed.PackedPostings`)
+    carry their component array precomputed; plain ``Dewey`` lists are
+    unpacked on the fly.  The returned list must be treated as
+    read-only — it may be shared with the packed cache.
+    """
+    packed = getattr(labels, "components", None)
+    if packed is not None:
+        return packed
+    return [label.components for label in labels]
+
+
 def remove_ancestors(candidates):
     """Keep only the smallest (deepest) candidates.
 
@@ -45,12 +59,14 @@ def closest_match(sorted_components, target):
     left = sorted_components[idx - 1] if idx > 0 else None
     right = sorted_components[idx] if idx < len(sorted_components) else None
     if left is None:
-        return Dewey(right)
+        return Dewey.from_trusted(right)
     if right is None:
-        return Dewey(left)
+        return Dewey.from_trusted(left)
     left_depth = _shared_prefix_len(left, target_key)
     right_depth = _shared_prefix_len(right, target_key)
-    return Dewey(left) if left_depth >= right_depth else Dewey(right)
+    if left_depth >= right_depth:
+        return Dewey.from_trusted(left)
+    return Dewey.from_trusted(right)
 
 
 def _shared_prefix_len(a, b):

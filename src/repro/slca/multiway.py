@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 
-from .lca import lca_candidate, remove_ancestors
+from .lca import label_components, lca_candidate, remove_ancestors
 
 
 def multiway_slca(keyword_label_lists):
@@ -29,7 +29,7 @@ def multiway_slca(keyword_label_lists):
 
     lists = [list(labels) for labels in keyword_label_lists]
     sorted_components = [
-        [label.components for label in labels] for labels in lists
+        label_components(labels) for labels in keyword_label_lists
     ]
     positions = [0] * len(lists)
     candidates = []

@@ -13,7 +13,7 @@ every list: ``O(sum |Si|)`` plus the candidate filtering.
 from __future__ import annotations
 
 from ..xmltree.dewey import Dewey
-from .lca import remove_ancestors
+from .lca import label_components, remove_ancestors
 
 
 class _ForwardMatcher:
@@ -22,7 +22,7 @@ class _ForwardMatcher:
     __slots__ = ("components", "position")
 
     def __init__(self, labels):
-        self.components = [label.components for label in labels]
+        self.components = label_components(labels)
         self.position = 0
 
     def match(self, target):
@@ -44,8 +44,8 @@ class _ForwardMatcher:
             # current is the right match; previous is the left match.
             left = components[self.position - 1]
             if _shared(left, target_key) >= _shared(current, target_key):
-                return Dewey(left)
-            return Dewey(current)
+                return Dewey.from_trusted(left)
+            return Dewey.from_trusted(current)
         if current <= target_key:
             nxt = (
                 components[self.position + 1]
@@ -55,9 +55,9 @@ class _ForwardMatcher:
             if nxt is not None and _shared(nxt, target_key) > _shared(
                 current, target_key
             ):
-                return Dewey(nxt)
-            return Dewey(current)
-        return Dewey(current)
+                return Dewey.from_trusted(nxt)
+            return Dewey.from_trusted(current)
+        return Dewey.from_trusted(current)
 
 
 def _shared(a, b):

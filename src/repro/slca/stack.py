@@ -64,7 +64,9 @@ def stack_slca(keyword_label_lists):
             return
         if entry.mask == full_mask:
             results.append(
-                Dewey(tuple(e.component for e in stack) + (entry.component,))
+                Dewey.from_trusted(
+                    tuple(e.component for e in stack) + (entry.component,)
+                )
             )
             if stack:
                 stack[-1].blocked = True

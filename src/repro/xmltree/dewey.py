@@ -67,6 +67,22 @@ class Dewey:
             raise DeweyError(f"cannot parse Dewey label {text!r}") from exc
 
     @classmethod
+    def from_trusted(cls, components):
+        """Wrap an already-validated component tuple without any checks.
+
+        Internal fast path for hot loops (inverted-list decoding, SLCA
+        inner loops) where ``components`` is a non-empty tuple of
+        non-negative ints by construction — typically sliced or copied
+        from an existing label.  Passing anything else yields a label
+        whose behaviour is undefined; every public construction route
+        (``Dewey(...)``, :meth:`parse`, :meth:`child`) stays validated.
+        """
+        label = object.__new__(cls)
+        object.__setattr__(label, "components", components)
+        object.__setattr__(label, "_hash", hash(components))
+        return label
+
+    @classmethod
     def root(cls):
         """The label of the document root, ``0``."""
         return cls((0,))
@@ -119,7 +135,7 @@ class Dewey:
                 f"labels {self} and {other} share no prefix; "
                 "they come from different documents"
             )
-        return Dewey(mine[:shared])
+        return Dewey.from_trusted(mine[:shared])
 
     def partition_id(self):
         """The document partition containing this node (Def. 6.1).
@@ -130,7 +146,7 @@ class Dewey:
         """
         if len(self.components) < 2:
             return None
-        return Dewey(self.components[:2])
+        return Dewey.from_trusted(self.components[:2])
 
     # ------------------------------------------------------------------
     # Ordering / container protocol

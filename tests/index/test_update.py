@@ -160,6 +160,69 @@ class TestRemove:
         assert_equivalent_to_rebuild(small_index)
 
 
+class TestCachedEngineEquivalence:
+    """The engine's result cache must never outlive an index update:
+    warm answers always equal a cold engine over a rebuilt document."""
+
+    QUERIES = ["xml search", "database query", "john xml", "mary database"]
+
+    @staticmethod
+    def _texts(engine, labels):
+        # A rebuild renumbers partitions after removals, so results are
+        # compared by subtree content, not by raw Dewey labels.
+        return sorted(
+            engine.index.tree.node(label).subtree_text() for label in labels
+        )
+
+    def _assert_warm_equals_rebuild(self, engine):
+        fresh = XRefine(
+            build_document_index(parse(serialize(engine.index.tree))),
+            cache_size=0,
+        )
+        for query in self.QUERIES:
+            warm = engine.search(query, k=2)
+            cold = fresh.search(query, k=2)
+            assert warm.needs_refinement == cold.needs_refinement, query
+            assert self._texts(engine, warm.original_results) == self._texts(
+                fresh, cold.original_results
+            ), query
+            assert [r.rq.key for r in warm.refinements] == [
+                r.rq.key for r in cold.refinements
+            ], query
+            assert self._texts(engine, engine.slca_search(query)) == (
+                self._texts(fresh, fresh.slca_search(query))
+            ), query
+
+    def test_append_invalidates_cached_answers(self, small_index):
+        engine = XRefine(small_index)
+        for query in self.QUERIES:
+            engine.search(query, k=2)
+        assert len(engine.result_cache) > 0
+        append_partition(
+            small_index, author_spec("alice", ["xml query tuning"])
+        )
+        self._assert_warm_equals_rebuild(engine)
+
+    def test_remove_invalidates_cached_answers(self, small_index):
+        engine = XRefine(small_index)
+        for query in self.QUERIES:
+            engine.search(query, k=2)
+        remove_partition(small_index, Dewey((0, 0)))
+        self._assert_warm_equals_rebuild(engine)
+
+    def test_churn_with_warm_cache_between_steps(self, small_index):
+        engine = XRefine(small_index)
+        for step in range(3):
+            for query in self.QUERIES:
+                engine.search(query, k=1)
+            append_partition(
+                small_index, author_spec(f"gen{step}", ["xml churn data"])
+            )
+            self._assert_warm_equals_rebuild(engine)
+        remove_partition(small_index, Dewey((0, 2)))
+        self._assert_warm_equals_rebuild(engine)
+
+
 class TestRandomizedChurn:
     def test_mixed_operations_stay_equivalent(self, small_index):
         rng = random.Random(31)

@@ -1,0 +1,84 @@
+"""Unit tests for the invalidating LRU query-result cache."""
+
+import pytest
+
+from repro.perf import QueryResultCache
+
+
+class TestLRU:
+    def test_hit_after_put(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put("a", 1, version=0)
+        assert cache.get("a", version=0) == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_on_absent(self):
+        cache = QueryResultCache(maxsize=4)
+        assert cache.get("a", version=0) is None
+        assert cache.misses == 1
+
+    def test_capacity_evicts_least_recent(self):
+        cache = QueryResultCache(maxsize=2)
+        cache.put("a", 1, version=0)
+        cache.put("b", 2, version=0)
+        assert cache.get("a", version=0) == 1  # refresh "a"
+        cache.put("c", 3, version=0)           # evicts "b"
+        assert cache.get("b", version=0) is None
+        assert cache.get("a", version=0) == 1
+        assert cache.get("c", version=0) == 3
+
+    def test_put_overwrites(self):
+        cache = QueryResultCache(maxsize=2)
+        cache.put("a", 1, version=0)
+        cache.put("a", 2, version=0)
+        assert cache.get("a", version=0) == 2
+        assert len(cache) == 1
+
+    def test_zero_size_disables(self):
+        cache = QueryResultCache(maxsize=0)
+        assert not cache.enabled
+        cache.put("a", 1, version=0)
+        assert cache.get("a", version=0) is None
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(maxsize=-1)
+
+
+class TestVersioning:
+    def test_version_mismatch_invalidates(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put("a", 1, version=0)
+        assert cache.get("a", version=1) is None
+        assert cache.invalidations == 1
+        assert "a" not in cache  # evicted for good, not retried
+
+    def test_entries_at_new_version_coexist(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put("a", 1, version=0)
+        cache.put("b", 2, version=1)
+        assert cache.get("b", version=1) == 2
+        assert cache.get("a", version=1) is None
+
+    def test_clear_counts_invalidations(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put("a", 1, version=0)
+        cache.put("b", 2, version=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_stats_snapshot(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put("a", 1, version=0)
+        cache.get("a", version=0)
+        cache.get("zzz", version=0)
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "maxsize": 4,
+            "hits": 1,
+            "misses": 1,
+            "invalidations": 0,
+        }

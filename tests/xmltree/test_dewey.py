@@ -44,6 +44,38 @@ class TestConstruction:
     def test_child(self):
         assert Dewey((0,)).child(3) == Dewey((0, 3))
 
+    def test_from_trusted_equals_validated(self):
+        trusted = Dewey.from_trusted((0, 1, 2))
+        assert trusted == Dewey((0, 1, 2))
+        assert hash(trusted) == hash(Dewey((0, 1, 2)))
+        assert trusted.components == (0, 1, 2)
+
+    def test_from_trusted_is_immutable(self):
+        trusted = Dewey.from_trusted((0, 4))
+        with pytest.raises(AttributeError):
+            trusted.components = (0,)
+
+    def test_from_trusted_interoperates(self):
+        trusted = Dewey.from_trusted((0, 1, 2))
+        assert Dewey((0, 1)).is_ancestor_of(trusted)
+        assert trusted.lca(Dewey((0, 1, 5))) == Dewey((0, 1))
+        assert trusted.partition_id() == Dewey((0, 1))
+
+    def test_public_constructors_still_validate(self):
+        """from_trusted must not loosen the public construction routes."""
+        with pytest.raises(DeweyError):
+            Dewey(())
+        with pytest.raises(DeweyError):
+            Dewey((0, -3))
+        with pytest.raises(DeweyError):
+            Dewey((0, 1.5))
+        with pytest.raises(DeweyError):
+            Dewey.parse("")
+        with pytest.raises(DeweyError):
+            Dewey.parse("0..1")
+        with pytest.raises(DeweyError):
+            Dewey((0,)).child(-1)
+
     def test_child_negative_rejected(self):
         with pytest.raises(DeweyError):
             Dewey((0,)).child(-1)
