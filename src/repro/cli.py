@@ -24,6 +24,7 @@ from . import __version__
 from .core.engine import ALGORITHMS, SLCA_ALGORITHMS, XRefine
 from .core.specialize import specialize_query
 from .datasets import generate_baseball, generate_dblp
+from .errors import ReproError
 from .index.builder import build_document_index
 from .index.persist import load_index, save_index
 from .xmltree.parser import parse_file
@@ -172,6 +173,26 @@ def _cmd_repl(args, out, lines=None):
     return 0
 
 
+def _cmd_verify_diff(args, out):
+    from .verify.runner import verify_diff
+
+    report = verify_diff(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        k=args.k,
+        queries_per_doc=args.queries,
+        shrink=not args.no_shrink,
+        fixtures_dir=args.fixtures_dir,
+        out=(lambda line: print(line, file=out)) if args.verbose else None,
+    )
+    print(report.summary(), file=out)
+    if not report.ok:
+        for divergence in report.divergences[: args.show]:
+            print(divergence.describe(), file=out)
+        return 1
+    return 0
+
+
 def _cmd_stats(args, out):
     engine = _load_engine(args.source)
     index = engine.index
@@ -252,6 +273,34 @@ def build_parser():
     stats.add_argument("source")
     stats.set_defaults(handler=_cmd_stats)
 
+    verify = commands.add_parser(
+        "verify-diff",
+        help="differential correctness harness: cross-check every "
+        "SLCA/refinement code path over seeded random documents",
+    )
+    verify.add_argument("--seeds", type=int, default=50)
+    verify.add_argument("--base-seed", type=int, default=0)
+    verify.add_argument("-k", type=int, default=2)
+    verify.add_argument(
+        "--queries", type=int, default=4,
+        help="queries evaluated per generated document",
+    )
+    verify.add_argument(
+        "--fixtures-dir", default=None,
+        help="write shrunken divergence fixtures here "
+        "(e.g. tests/verify/fixtures)",
+    )
+    verify.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without delta-debugging them",
+    )
+    verify.add_argument(
+        "--show", type=int, default=5,
+        help="divergences printed in full on failure",
+    )
+    verify.add_argument("--verbose", action="store_true")
+    verify.set_defaults(handler=_cmd_verify_diff)
+
     repl = commands.add_parser("repl", help="interactive search loop")
     repl.add_argument("source")
     repl.add_argument("-k", type=int, default=3)
@@ -267,6 +316,9 @@ def main(argv=None, out=None):
     args = parser.parse_args(argv)
     try:
         return args.handler(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early; treat
         # as success like standard unix tools do.

@@ -10,6 +10,13 @@ derivation order.
 :class:`RQSortedList` is the paper's Top-2K working list: a list kept
 sorted by dissimilarity (the paper uses a B-tree; ``bisect`` gives the
 same O(log n) insert) plus a hash table for O(1) ``hasRQ`` membership.
+
+Entries are totally ordered by ``(dissimilarity, sorted keyword set)``
+rather than arrival order, so the kept set is a pure function of the
+candidates offered — Partition (document order) and SLE (shortest-list
+order) explore in different orders yet must converge on byte-identical
+Top-K answers, which the differential harness (``repro.verify``)
+asserts.
 """
 
 from __future__ import annotations
@@ -67,9 +74,13 @@ class RQSortedList:
         if capacity < 1:
             raise RefinementError("RQSortedList capacity must be >= 1")
         self.capacity = capacity
-        self._entries = []      # [(dissimilarity, seq, RefinedQuery)]
+        self._entries = []      # [(dissimilarity, key_order, RefinedQuery)]
         self._by_key = {}       # frozenset -> RefinedQuery
-        self._seq = 0
+
+    @staticmethod
+    def _key_order(refined_query):
+        """Deterministic tiebreak for equal dissimilarities."""
+        return tuple(sorted(refined_query.key))
 
     def __len__(self):
         return len(self._entries)
@@ -101,13 +112,28 @@ class RQSortedList:
             return float("inf")
         return self._entries[k - 1][0]
 
+    def would_admit(self, refined_query):
+        """True when :meth:`insert` could keep this candidate.
+
+        The algorithms use this as the cheap pre-check before paying
+        for the candidate's SLCA computation; it must therefore agree
+        exactly with :meth:`insert`'s admission order.
+        """
+        if refined_query.key in self._by_key:
+            return True
+        if not self.is_full:
+            return True
+        worst_ds, worst_key, _ = self._entries[-1]
+        order = (refined_query.dissimilarity, self._key_order(refined_query))
+        return order < (worst_ds, worst_key)
+
     def insert(self, refined_query):
         """Try to admit a candidate.
 
         Returns True when the candidate is now in the list (either
         newly admitted, or already present — in which case the smaller
-        dissimilarity is kept).  When the list overflows, the worst
-        entry is evicted.
+        dissimilarity is kept).  When the list overflows, the entry
+        greatest in ``(dissimilarity, keyword set)`` order is evicted.
         """
         existing = self._by_key.get(refined_query.key)
         if existing is not None:
@@ -115,13 +141,14 @@ class RQSortedList:
                 self._remove(existing)
             else:
                 return True
+        key_order = self._key_order(refined_query)
         if (
             self.is_full
-            and refined_query.dissimilarity >= self._entries[-1][0]
+            and (refined_query.dissimilarity, key_order)
+            >= (self._entries[-1][0], self._entries[-1][1])
         ):
             return False
-        entry = (refined_query.dissimilarity, self._seq, refined_query)
-        self._seq += 1
+        entry = (refined_query.dissimilarity, key_order, refined_query)
         bisect.insort(self._entries, entry)
         self._by_key[refined_query.key] = refined_query
         while len(self._entries) > self.capacity:
@@ -131,7 +158,8 @@ class RQSortedList:
 
     def _remove(self, refined_query):
         idx = bisect.bisect_left(
-            self._entries, (refined_query.dissimilarity, -1, None)
+            self._entries,
+            (refined_query.dissimilarity, self._key_order(refined_query)),
         )
         while idx < len(self._entries):
             if self._entries[idx][2].key == refined_query.key:

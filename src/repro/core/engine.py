@@ -55,6 +55,22 @@ SLCA_ALGORITHMS = {
 }
 
 
+def _validate_k(k):
+    """Reject non-integral or non-positive Top-K requests up front.
+
+    ``k=0`` used to return a silently empty refinement list and a
+    float ``k`` crashed deep inside list slicing; both now fail fast
+    with a typed :class:`~repro.errors.QueryError`.  Integral floats
+    and ``bool`` are intentionally rejected too — a caller passing
+    ``k=True`` has a bug.
+    """
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise QueryError(f"k must be an integer >= 1, got {k!r}")
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    return k
+
+
 class XRefine:
     """The automatic XML keyword query refinement engine.
 
@@ -185,9 +201,13 @@ class XRefine:
         -------
         RefinementResponse
         """
+        k = _validate_k(k)
         terms = query_terms(query)
         if not terms:
-            raise QueryError("the keyword query is empty")
+            raise QueryError(
+                "the keyword query is empty (no indexable terms after "
+                "normalization)"
+            )
         # Repeated-query fast path: answers are cached only for engine-
         # mined rules (a caller-supplied RuleSet is part of the answer
         # but not hashable into a key) and returned as the same object —
@@ -246,6 +266,7 @@ class XRefine:
         when the LRU result cache is disabled or thrashing.  Responses
         for duplicate queries are the same object.
         """
+        k = _validate_k(k)
         self._refresh_miner()
         responses = []
         batch = {}  # normalized terms -> response
@@ -269,7 +290,10 @@ class XRefine:
         """
         terms = query_terms(query)
         if not terms:
-            raise QueryError("the keyword query is empty")
+            raise QueryError(
+                "the keyword query is empty (no indexable terms after "
+                "normalization)"
+            )
         try:
             implementation = SLCA_ALGORITHMS[algorithm]
         except KeyError:

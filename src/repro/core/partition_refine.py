@@ -125,15 +125,45 @@ def partition_refine(index, query, rules=None, model=None, k=1,
         if not present:
             continue
 
+        def accumulate_kept(computed_keys):
+            """Partition-local results for already-kept candidates.
+
+            A kept candidate's result set accumulates across *every*
+            partition containing all its keywords; pruning only decides
+            whether new candidates are searched for.  Without this pass
+            a partition skipped by the dissimilarity bound (or a kept
+            RQ crowded out of the local DP beam by better local
+            candidates) silently loses results, diverging from SLE's
+            whole-list step 2.
+            """
+            for kept in sorted_list.queries():
+                if kept.key in computed_keys or kept.key == query_key:
+                    continue
+                if not kept.key <= present:
+                    continue
+                stats.slca_invocations += 1
+                slcas = scan_eager_slca(
+                    [sublists[keyword] for keyword in kept.keywords]
+                )
+                meaningful = context.meaningful_only(slcas)
+                if meaningful:
+                    record = candidate_map.setdefault(kept.key, (kept, []))
+                    record[1].extend(meaningful)
+
         # Optimization 2: if even the best possible candidate here
         # cannot enter the Top-2K list, skip DP + SLCA entirely.  The
         # cheap bound is a 1-beam DP; when the full list's threshold is
         # infinite the bound can never prune, so run the beam directly.
+        # The bound is strict: at equal dissimilarity a candidate can
+        # still displace a kept entry under the deterministic
+        # ``(dissimilarity, keyword set)`` admission order, so tie
+        # partitions must run the full beam.
         threshold = sorted_list.max_dissimilarity()
         if skip_optimization and sorted_list.is_full:
             stats.dp_invocations += 1
             probe = get_top_optimal_rqs(context.query, present, rules, 1)
-            if not probe or probe[0].dissimilarity >= threshold:
+            if not probe or probe[0].dissimilarity > threshold:
+                accumulate_kept(frozenset())
                 stats.partitions_skipped += 1
                 continue
 
@@ -141,11 +171,12 @@ def partition_refine(index, query, rules=None, model=None, k=1,
         local_candidates = get_top_optimal_rqs(
             context.query, present, rules, sorted_list.capacity
         )
+        computed_keys = set()
         for rq in local_candidates:
             if rq.key == query_key:
                 continue
             already_kept = sorted_list.has_key(rq.key)
-            if not already_kept and rq.dissimilarity >= sorted_list.max_dissimilarity():
+            if not already_kept and not sorted_list.would_admit(rq):
                 continue
             # Compute this RQ's SLCAs within the partition first: only
             # candidates with a *meaningful* match may enter the list.
@@ -153,12 +184,14 @@ def partition_refine(index, query, rules=None, model=None, k=1,
             slcas = scan_eager_slca(
                 [sublists[keyword] for keyword in rq.keywords]
             )
+            computed_keys.add(rq.key)
             meaningful = context.meaningful_only(slcas)
             if not meaningful:
                 continue
             if sorted_list.insert(rq) or already_kept:
                 record = candidate_map.setdefault(rq.key, (rq, []))
                 record[1].extend(meaningful)
+        accumulate_kept(computed_keys)
 
     # Keep only candidates that survived in the Top-2K list, then apply
     # the full ranking model (line 19).  Pair each key's accumulated

@@ -153,10 +153,7 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
                 if rq.key == query_key:
                     continue
                 already_kept = sorted_list.has_key(rq.key)
-                if (
-                    not already_kept
-                    and rq.dissimilarity >= sorted_list.max_dissimilarity()
-                ):
+                if not already_kept and not sorted_list.would_admit(rq):
                     continue
                 if not already_kept:
                     # Issue 2: a candidate may only occupy a Top-2K slot

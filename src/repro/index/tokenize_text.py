@@ -12,11 +12,29 @@ the index must preserve surface forms.
 
 from __future__ import annotations
 
-_SPLIT_TABLE = {}
+
+class _SplitTable(dict):
+    """Translate table splitting on *any* non-alphanumeric codepoint.
+
+    A plain dict over ``range(128)`` silently passes non-ASCII
+    punctuation through (en-dash, curly quotes, NBSP, ellipsis ...),
+    so indexed terms diverge from query normalization and matches are
+    missed.  ``str.translate`` consults ``__missing__`` for unseen
+    codepoints: each is classified once via :meth:`str.isalnum` over
+    the actual character and memoized, so accented letters and CJK
+    text are kept while every flavour of punctuation splits.
+    """
+
+    def __missing__(self, code):
+        ch = chr(code)
+        mapped = ch if ch.isalnum() else " "
+        self[code] = mapped
+        return mapped
+
+
+_SPLIT_TABLE = _SplitTable()
 for _code in range(128):
-    _ch = chr(_code)
-    if not _ch.isalnum():
-        _SPLIT_TABLE[_code] = " "
+    _SPLIT_TABLE[_code]  # pre-classify ASCII eagerly
 
 
 def normalize_term(term):
@@ -52,10 +70,17 @@ def query_terms(query):
     """Normalize a user query into keyword terms.
 
     Accepts either an iterable of keywords or a whitespace/comma
-    separated string.
+    separated string.  Every piece runs through the *same* splitter as
+    indexed text (:func:`extract_terms`), so a query like
+    ``"twig-joins"`` or one pasted with typographic punctuation matches
+    exactly what indexing produced for that text.
     """
     if isinstance(query, str):
-        pieces = query.replace(",", " ").split()
+        pieces = [query]
     else:
         pieces = list(query)
-    return [normalize_term(piece) for piece in pieces if piece]
+    terms = []
+    for piece in pieces:
+        if piece:
+            terms.extend(extract_terms(piece))
+    return terms

@@ -1,0 +1,46 @@
+"""Differential correctness harness (``python -m repro verify-diff``).
+
+Eight-plus code paths — five SLCA variants, three refinement
+algorithms, and the packed/warm-cached fast paths layered over them —
+must all return byte-identical answers.  This subsystem keeps them
+honest:
+
+* :mod:`~repro.verify.generate` — seeded random documents (deeply
+  nested, duplicate-tag, ancestor-chain-heavy) and queries biased
+  toward empty/near-empty result sets;
+* :mod:`~repro.verify.oracle` — runs every SLCA variant and every
+  refinement algorithm on the same ``(document, query, rules)`` triple
+  cold, warm-cached and packed, and diffs the full responses against
+  each other and a brute-force reference;
+* :mod:`~repro.verify.invariants` — metamorphic properties from the
+  paper: query-order insensitivity, SLCA ancestor-freeness, Top-K
+  prefix monotonicity, ``append_partition``/``remove_partition``
+  round-trip identity, warm == cold;
+* :mod:`~repro.verify.shrink` — delta-debugging reducer that shrinks
+  any divergence to a minimal XML + query fixture;
+* :mod:`~repro.verify.runner` — the seed-sweep driver behind the CLI
+  entry and the fixed-seed CI smoke job.
+
+Every divergence the harness finds is committed as a shrunken fixture
+under ``tests/verify/fixtures/`` and fixed in the same change — see
+the "Correctness" section of the README.
+"""
+
+from .generate import DocumentGenerator, QueryGenerator
+from .invariants import check_invariants
+from .oracle import Divergence, response_fingerprint, run_oracle
+from .runner import VerifyReport, verify_diff
+from .shrink import shrink_divergence, write_fixture
+
+__all__ = [
+    "DocumentGenerator",
+    "QueryGenerator",
+    "Divergence",
+    "response_fingerprint",
+    "run_oracle",
+    "check_invariants",
+    "shrink_divergence",
+    "write_fixture",
+    "VerifyReport",
+    "verify_diff",
+]

@@ -1,0 +1,128 @@
+"""Seeded random documents and queries for the differential harness.
+
+The document generator is deliberately adversarial rather than
+realistic: related SLCA work (Quasi-SLCA, ELCA evaluation) shows that
+variants drift on *nested and ancestor-heavy* matches and on LCAs at
+tie depths, so the profiles below bias toward long single-child
+chains, duplicated tags (``a`` under ``a`` under ``a``), and a tiny
+keyword vocabulary that forces the same term to appear on many
+ancestor/descendant pairs.
+
+The query generator is biased toward empty and near-empty result
+sets — the regime the refinement algorithms exist for — by mixing
+in-vocabulary terms, one-edit typos of vocabulary terms (which the
+rule miner can repair), and terms absent from the document.
+
+Everything is driven by an explicit :class:`random.Random` seed:
+``DocumentGenerator(seed=7).spec()`` is reproducible forever, which is
+what lets a CI smoke job pin its corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmltree.build import build_tree
+
+#: Small tag alphabet -> duplicate-tag chains appear constantly.
+DEFAULT_TAGS = ("a", "b", "c", "item")
+#: Small vocabulary -> every term occurs on many nested nodes.
+DEFAULT_WORDS = (
+    "xml", "web", "data", "database", "query", "index", "tree", "node",
+)
+#: Structure profiles; chain-heavy ones dominate deliberately.
+PROFILES = ("chain", "chain", "bushy", "mixed")
+
+
+class DocumentGenerator:
+    """Random ``(tag, text, children)`` spec trees from a fixed seed."""
+
+    def __init__(self, seed, tags=DEFAULT_TAGS, words=DEFAULT_WORDS,
+                 max_depth=8, max_partitions=4):
+        self.seed = seed
+        self.tags = tuple(tags)
+        self.words = tuple(words)
+        self.max_depth = max_depth
+        self.max_partitions = max_partitions
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def spec(self):
+        """One random document spec (root tag is always ``root``)."""
+        rng = self._rng
+        profile = rng.choice(PROFILES)
+        partitions = [
+            self._subtree(rng, profile, rng.randint(1, self.max_depth))
+            for _ in range(rng.randint(1, self.max_partitions))
+        ]
+        return ("root", None, partitions)
+
+    def tree(self):
+        """One random document as a parsed :class:`XMLTree`."""
+        return build_tree(self.spec())
+
+    # ------------------------------------------------------------------
+    def _text(self, rng):
+        count = rng.choice((0, 0, 1, 1, 2))
+        if count == 0:
+            return None
+        return " ".join(rng.choice(self.words) for _ in range(count))
+
+    def _children_count(self, rng, profile):
+        if profile == "chain":
+            # Long single-child spines with rare branches.
+            return rng.choice((0, 1, 1, 1, 1, 2))
+        if profile == "bushy":
+            return rng.choice((0, 1, 2, 2, 3))
+        return rng.choice((0, 1, 1, 2, 3))
+
+    def _subtree(self, rng, profile, depth):
+        tag = rng.choice(self.tags)
+        text = self._text(rng)
+        children = []
+        if depth > 0:
+            for _ in range(self._children_count(rng, profile)):
+                children.append(self._subtree(rng, profile, depth - 1))
+        return (tag, text, children)
+
+
+class QueryGenerator:
+    """Random keyword queries biased toward empty/near-empty results."""
+
+    def __init__(self, seed, vocabulary, absent=("zzzq", "qqqz")):
+        self.seed = seed
+        self.vocabulary = sorted(vocabulary)
+        self.absent = tuple(absent)
+        self._rng = random.Random(seed)
+
+    def query(self, max_terms=3):
+        """One random query as a tuple of raw keyword strings."""
+        rng = self._rng
+        terms = []
+        for _ in range(rng.randint(1, max_terms)):
+            kind = rng.random()
+            if not self.vocabulary or kind < 0.15:
+                terms.append(rng.choice(self.absent))
+            elif kind < 0.55:
+                terms.append(self._typo(rng, rng.choice(self.vocabulary)))
+            else:
+                terms.append(rng.choice(self.vocabulary))
+        return tuple(terms)
+
+    def queries(self, count, max_terms=3):
+        return [self.query(max_terms) for _ in range(count)]
+
+    @staticmethod
+    def _typo(rng, word):
+        """One random edit — the typos spelling rules can repair."""
+        if len(word) < 3:
+            return word
+        pos = rng.randrange(len(word))
+        op = rng.choice(("delete", "double", "swap"))
+        if op == "delete":
+            return word[:pos] + word[pos + 1:]
+        if op == "double":
+            return word[:pos] + word[pos] + word[pos:]
+        if pos + 1 < len(word):
+            return word[:pos] + word[pos + 1] + word[pos] + word[pos + 2:]
+        return word[:-1]

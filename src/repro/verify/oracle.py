@@ -1,0 +1,301 @@
+"""Cross-algorithm differential oracle.
+
+One ``(document, query, rules)`` triple is pushed through every code
+path that must agree:
+
+* **SLCA layer** — ``stack``, ``scan``, ``indexed``, ``multiway`` on
+  plain label lists (cold) and on packed posting arrays, plus the
+  engine's cached ``slca_search`` (warm); all diffed against a
+  brute-force subtree-check reference.  The ELCA-adjacent path is
+  cross-checked through the containment laws that relate the two
+  semantics: every SLCA is an ELCA, and pruning ancestors from the
+  ELCA set yields exactly the SLCA set.
+* **Refinement layer** — ``partition`` and ``sle`` must produce
+  byte-identical :class:`~repro.core.result.RefinementResponse`
+  fingerprints (stats excluded); ``stack`` (Top-1) must agree on the
+  refinement flag, the original results and the optimal dissimilarity;
+  the partition skip bound must not change answers; and a warm
+  (result-cached) engine must answer exactly like a cold one.
+
+A failed comparison is a :class:`Divergence` — a plain record carrying
+enough context for the shrinker to reproduce and reduce it.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import XRefine
+from ..core.partition_refine import partition_refine
+from ..core.short_list_eager import short_list_eager
+from ..core.stack_refine import stack_refine
+from ..index.builder import build_document_index
+from ..index.tokenize_text import query_terms
+from ..slca.elca import elca
+from ..slca.indexed_lookup import indexed_lookup_slca
+from ..slca.lca import brute_force_slca, remove_ancestors
+from ..slca.multiway import multiway_slca
+from ..slca.scan_eager import scan_eager_slca
+from ..slca.stack import stack_slca
+from ..xmltree.build import build_tree
+
+#: SLCA variants diffed against the brute-force reference.
+SLCA_VARIANTS = {
+    "stack": stack_slca,
+    "scan": scan_eager_slca,
+    "indexed": indexed_lookup_slca,
+    "multiway": multiway_slca,
+}
+
+
+class Divergence:
+    """One disagreement between code paths on one (document, query)."""
+
+    __slots__ = ("kind", "detail", "spec", "query", "expected", "actual")
+
+    def __init__(self, kind, detail, spec, query, expected, actual):
+        self.kind = kind
+        self.detail = detail
+        self.spec = spec
+        self.query = tuple(query)
+        self.expected = expected
+        self.actual = actual
+
+    def __repr__(self):
+        return f"Divergence({self.kind}, query={self.query!r})"
+
+    def describe(self):
+        return (
+            f"[{self.kind}] query={' '.join(self.query)!r}: {self.detail}\n"
+            f"  expected: {self.expected}\n"
+            f"  actual:   {self.actual}"
+        )
+
+
+def response_fingerprint(response):
+    """Canonical, comparable form of a RefinementResponse.
+
+    Everything a caller can observe is included; scan accounting and
+    timings (legitimately different across algorithms) are not.
+    """
+    return (
+        tuple(response.query),
+        response.needs_refinement,
+        tuple(str(d) for d in response.original_results),
+        tuple(
+            (
+                tuple(r.rq.keywords),
+                r.rq.dissimilarity,
+                tuple(str(d) for d in r.slcas),
+                r.rank_score,
+                r.similarity_score,
+                r.dependence_score,
+            )
+            for r in response.refinements
+        ),
+        tuple(
+            (tuple(c.node_type), c.confidence) for c in response.search_for
+        ),
+    )
+
+
+class DocumentOracle:
+    """All cross-checks for one document; reusable across queries."""
+
+    def __init__(self, spec, k=2):
+        self.spec = spec
+        self.k = k
+        self.tree = build_tree(spec)
+        self.index = build_document_index(self.tree)
+        #: Warm engine: result cache + packed arrays enabled.
+        self.engine = XRefine(self.index)
+
+    # ------------------------------------------------------------------
+    # SLCA layer
+    # ------------------------------------------------------------------
+    def check_slca(self, query):
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        lists = [
+            [p.dewey for p in self.index.inverted.get(term)]
+            for term in terms
+        ]
+        reference = [str(d) for d in brute_force_slca(self.tree, lists)]
+
+        def diff(kind, got, detail):
+            labels = [str(d) for d in got]
+            if labels != reference:
+                divergences.append(
+                    Divergence(
+                        kind, detail, self.spec, query, reference, labels
+                    )
+                )
+
+        for name, implementation in SLCA_VARIANTS.items():
+            diff(
+                f"slca:{name}:cold",
+                implementation(lists),
+                f"{name} on plain label lists != brute force",
+            )
+            packed = [self.engine.packed.get(term) for term in terms]
+            diff(
+                f"slca:{name}:packed",
+                implementation(packed),
+                f"{name} on packed posting arrays != brute force",
+            )
+        for name in SLCA_VARIANTS:
+            self.engine.slca_search(terms, algorithm=name)  # prime cache
+            diff(
+                f"slca:{name}:warm",
+                self.engine.slca_search(terms, algorithm=name),
+                f"{name} served from the result cache != brute force",
+            )
+
+        # ELCA adjacency: SLCA ⊆ ELCA and min(ELCA) == SLCA.
+        elcas = elca(lists)
+        elca_labels = {str(d) for d in elcas}
+        if not set(reference) <= elca_labels:
+            divergences.append(
+                Divergence(
+                    "slca:elca:containment",
+                    "an SLCA is missing from the ELCA answer set",
+                    self.spec, query, reference, sorted(elca_labels),
+                )
+            )
+        minimal = [str(d) for d in remove_ancestors(elcas)]
+        if minimal != reference:
+            divergences.append(
+                Divergence(
+                    "slca:elca:minimal",
+                    "ancestor-pruned ELCA set != SLCA set",
+                    self.spec, query, reference, minimal,
+                )
+            )
+        return divergences
+
+    # ------------------------------------------------------------------
+    # Refinement layer
+    # ------------------------------------------------------------------
+    def check_refinement(self, query):
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        rules = self.engine.mine_rules(terms)
+        model = self.engine.model
+        k = self.k
+
+        cold = {
+            "partition": partition_refine(
+                self.index, terms, rules=rules, model=model, k=k
+            ),
+            "sle": short_list_eager(
+                self.index, terms, rules=rules, model=model, k=k
+            ),
+            "stack": stack_refine(
+                self.index, terms, rules=rules, model=model
+            ),
+        }
+        fingerprints = {
+            name: response_fingerprint(r) for name, r in cold.items()
+        }
+
+        if fingerprints["partition"] != fingerprints["sle"]:
+            divergences.append(
+                Divergence(
+                    "refine:partition-vs-sle",
+                    "Algorithm 2 and Algorithm 3 disagree",
+                    self.spec, query,
+                    fingerprints["partition"], fingerprints["sle"],
+                )
+            )
+
+        # Stack is Top-1 only: flags, original results, optimal dSim.
+        flags = {name: r.needs_refinement for name, r in cold.items()}
+        if len(set(flags.values())) != 1:
+            divergences.append(
+                Divergence(
+                    "refine:needs-flag",
+                    "algorithms disagree on whether refinement is needed",
+                    self.spec, query, flags, flags,
+                )
+            )
+        originals = {
+            name: tuple(str(d) for d in r.original_results)
+            for name, r in cold.items()
+        }
+        if len(set(originals.values())) != 1:
+            divergences.append(
+                Divergence(
+                    "refine:original-results",
+                    "algorithms disagree on the original query's results",
+                    self.spec, query,
+                    originals["partition"], originals,
+                )
+            )
+        optimal = {
+            name: min(
+                (c.rq.dissimilarity for c in r.candidates),
+                default=None,
+            )
+            for name, r in cold.items()
+            if r.needs_refinement
+        }
+        if len(set(optimal.values())) > 1:
+            divergences.append(
+                Divergence(
+                    "refine:optimal-dsim",
+                    "algorithms disagree on the optimal dissimilarity",
+                    self.spec, query, optimal, optimal,
+                )
+            )
+
+        # The skip bound is an optimization, never a semantic change.
+        unpruned = partition_refine(
+            self.index, terms, rules=rules, model=model, k=k,
+            skip_optimization=False,
+        )
+        if response_fingerprint(unpruned) != fingerprints["partition"]:
+            divergences.append(
+                Divergence(
+                    "refine:partition-skip",
+                    "partition answers change with the skip bound off",
+                    self.spec, query,
+                    response_fingerprint(unpruned),
+                    fingerprints["partition"],
+                )
+            )
+
+        # Warm path: second engine.search must hit the result cache and
+        # equal the cold direct call byte for byte.
+        for algorithm in ("partition", "sle", "stack"):
+            first = self.engine.search(terms, k=k, algorithm=algorithm)
+            second = self.engine.search(terms, k=k, algorithm=algorithm)
+            if second is not first:
+                divergences.append(
+                    Divergence(
+                        f"refine:{algorithm}:cache-miss",
+                        "repeated query did not hit the result cache",
+                        self.spec, query, "cache hit", "cache miss",
+                    )
+                )
+            if response_fingerprint(second) != fingerprints[algorithm]:
+                divergences.append(
+                    Divergence(
+                        f"refine:{algorithm}:warm-vs-cold",
+                        "cached answer differs from a cold evaluation",
+                        self.spec, query,
+                        fingerprints[algorithm],
+                        response_fingerprint(second),
+                    )
+                )
+        return divergences
+
+    def check_query(self, query):
+        """Every oracle check for one query; list of divergences."""
+        return self.check_slca(query) + self.check_refinement(query)
+
+
+def run_oracle(spec, query, k=2):
+    """Build a fresh oracle for ``spec`` and check one query."""
+    return DocumentOracle(spec, k=k).check_query(query)

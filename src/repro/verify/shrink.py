@@ -1,0 +1,188 @@
+"""Delta-debugging shrinker: reduce a divergence to a minimal fixture.
+
+Given a failing ``(document spec, query)`` pair and a predicate that
+re-checks "does the divergence still reproduce?", the shrinker applies
+four reduction operators to a fixpoint:
+
+1. drop a subtree;
+2. hoist a node's children into its place;
+3. shrink a node's text (drop it, or drop single words);
+4. drop a query term.
+
+Each operator preserves spec well-formedness, so every intermediate
+candidate is a valid document.  The result is 1-minimal with respect
+to these operators: applying any single reduction to the output makes
+the divergence disappear.  :func:`write_fixture` serializes the
+reduced pair into ``tests/verify/fixtures/`` as an XML document plus a
+JSON sidecar, ready to be committed as a regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..xmltree.build import build_tree
+from ..xmltree.serialize import serialize
+
+#: Safety valve: predicate evaluations per shrink.
+DEFAULT_MAX_EVALS = 400
+
+
+def _normalize(spec):
+    """Deep-normalize a spec into ``(tag, text, (children...))``."""
+    tag = spec[0]
+    text = spec[1] if len(spec) > 1 else None
+    children = spec[2] if len(spec) > 2 else []
+    return (tag, text, tuple(_normalize(child) for child in children))
+
+
+def _iter_paths(spec, path=()):
+    """All node paths (tuples of child indices), root first."""
+    yield path
+    for i, child in enumerate(spec[2]):
+        yield from _iter_paths(child, path + (i,))
+
+
+def _get(spec, path):
+    node = spec
+    for i in path:
+        node = node[2][i]
+    return node
+
+
+def _replace(spec, path, replacement):
+    """New spec with the node at ``path`` replaced by ``replacement``.
+
+    ``replacement`` is a tuple of nodes (empty = delete, several =
+    splice), so the same primitive implements drop and hoist.
+    """
+    if not path:
+        assert len(replacement) == 1
+        return replacement[0]
+    head, rest = path[0], path[1:]
+    children = spec[2]
+    if rest:
+        new_child = _replace(children[head], rest, replacement)
+        new_children = children[:head] + (new_child,) + children[head + 1:]
+    else:
+        new_children = children[:head] + replacement + children[head + 1:]
+    return (spec[0], spec[1], new_children)
+
+
+def _candidates(spec, query):
+    """All single-step reductions, most aggressive first."""
+    # Drop query terms.
+    if len(query) > 1:
+        for i in range(len(query)):
+            yield spec, query[:i] + query[i + 1:]
+    # Drop whole subtrees (deepest-last ordering keeps big cuts first).
+    paths = [p for p in _iter_paths(spec) if p]
+    paths.sort(key=len)
+    for path in paths:
+        yield _replace(spec, path, ()), query
+    # Hoist children over their parent.
+    for path in paths:
+        node = _get(spec, path)
+        if node[2]:
+            yield _replace(spec, path, node[2]), query
+    # Shrink text: drop entirely, then word by word.
+    for path in [()] + paths:
+        node = _get(spec, path)
+        if not node[1]:
+            continue
+        yield _replace(
+            spec, path, ((node[0], None, node[2]),)
+        ), query
+        words = node[1].split()
+        if len(words) > 1:
+            for i in range(len(words)):
+                kept = " ".join(words[:i] + words[i + 1:])
+                yield _replace(
+                    spec, path, ((node[0], kept, node[2]),)
+                ), query
+
+
+def shrink_divergence(spec, query, predicate, max_evals=DEFAULT_MAX_EVALS):
+    """Greedily reduce ``(spec, query)`` while ``predicate`` holds.
+
+    ``predicate(spec, query) -> bool`` re-runs whatever check found
+    the divergence; an exception inside it counts as "gone" so the
+    shrinker never trades one bug for a different one.  Returns the
+    reduced ``(spec, query)`` pair (1-minimal under the operators, or
+    the best reduction found within ``max_evals``).
+    """
+    spec = _normalize(spec)
+    query = tuple(query)
+    evals = 0
+
+    def holds(candidate_spec, candidate_query):
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        try:
+            return bool(predicate(candidate_spec, candidate_query))
+        except Exception:
+            return False
+
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate_spec, candidate_query in _candidates(spec, query):
+            if holds(candidate_spec, candidate_query):
+                spec, query = candidate_spec, candidate_query
+                progress = True
+                break
+    return spec, query
+
+
+def fixture_name(kind, spec, query):
+    """Stable, filesystem-safe fixture name for a divergence."""
+    slug = kind.replace(":", "_").replace("/", "_")
+    digest = hashlib.sha256(
+        repr((_normalize(spec), tuple(query))).encode("utf-8")
+    ).hexdigest()[:10]
+    return f"{slug}_{digest}"
+
+
+def write_fixture(directory, kind, spec, query, detail=""):
+    """Write ``<name>.xml`` + ``<name>.json`` and return the name."""
+    os.makedirs(directory, exist_ok=True)
+    name = fixture_name(kind, spec, query)
+    tree = build_tree(spec)
+    with open(os.path.join(directory, f"{name}.xml"), "w",
+              encoding="utf-8") as handle:
+        handle.write(serialize(tree))
+    sidecar = {
+        "kind": kind,
+        "query": list(query),
+        "detail": detail,
+        "spec": _spec_as_json(_normalize(spec)),
+    }
+    with open(os.path.join(directory, f"{name}.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(sidecar, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return name
+
+
+def _spec_as_json(spec):
+    return [spec[0], spec[1], [_spec_as_json(c) for c in spec[2]]]
+
+
+def load_fixture(directory, name):
+    """Load a fixture sidecar back into ``(spec, query, kind)``."""
+    with open(os.path.join(directory, f"{name}.json"),
+              encoding="utf-8") as handle:
+        sidecar = json.load(handle)
+
+    def from_json(item):
+        return (item[0], item[1], tuple(from_json(c) for c in item[2]))
+
+    return (
+        from_json(sidecar["spec"]),
+        tuple(sidecar["query"]),
+        sidecar["kind"],
+    )

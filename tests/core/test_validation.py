@@ -1,0 +1,72 @@
+"""Input validation at the public engine API boundary."""
+
+import pytest
+
+from repro.core.engine import XRefine
+from repro.errors import QueryError, ReproError
+from repro.index.builder import build_document_index
+from repro.xmltree.build import build_tree
+
+
+@pytest.fixture(scope="module")
+def engine():
+    tree = build_tree(
+        ("root", None, [("item", "xml database", []), ("b", "query", [])])
+    )
+    return XRefine(build_document_index(tree))
+
+
+class TestKValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -3])
+    def test_non_positive_k_rejected(self, engine, bad):
+        with pytest.raises(QueryError, match=">= 1"):
+            engine.search("xml", k=bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "3", None, True])
+    def test_non_integer_k_rejected(self, engine, bad):
+        with pytest.raises(QueryError, match="integer"):
+            engine.search("xml", k=bad)
+
+    def test_search_many_validates_k(self, engine):
+        with pytest.raises(QueryError):
+            engine.search_many(["xml"], k=0)
+
+    def test_valid_k_accepted(self, engine):
+        assert engine.search("xml", k=1) is not None
+        assert engine.search_many(["xml"], k=2)
+
+
+class TestEmptyQueryValidation:
+    @pytest.mark.parametrize("bad", ["", "   ", "\t\n", [], [""], ["  "]])
+    def test_empty_queries_rejected(self, engine, bad):
+        with pytest.raises(QueryError, match="empty"):
+            engine.search(bad)
+
+    @pytest.mark.parametrize("bad", ["", "  "])
+    def test_slca_search_rejects_empty(self, engine, bad):
+        with pytest.raises(QueryError, match="empty"):
+            engine.slca_search(bad)
+
+    def test_punctuation_only_query_rejected(self, engine):
+        # Normalizes to zero terms — same typed error, not a crash.
+        with pytest.raises(QueryError, match="empty"):
+            engine.search("--- … !!!")
+
+    def test_error_is_a_repro_error(self, engine):
+        with pytest.raises(ReproError):
+            engine.search("", k=1)
+
+
+class TestCliValidation:
+    def test_cli_reports_validation_error_cleanly(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        from repro.xmltree import build_tree, write_file
+
+        document = tmp_path / "d.xml"
+        write_file(build_tree(("root", "xml", [])), document)
+        code = main(
+            ["search", str(document), "xml", "-k", "0"], out=io.StringIO()
+        )
+        assert code == 2

@@ -29,6 +29,55 @@ class TestExtractTerms:
         assert extract_terms("xpath2.0 b+tree") == ["xpath2", "0", "b", "tree"]
 
 
+class TestUnicodeSplitting:
+    """Non-ASCII separators must split exactly like ASCII ones.
+
+    The original split table only classified codepoints below 128, so
+    ``twig–joins`` (en dash) indexed as one unsplittable token
+    while the query side saw two — the terms could never match.
+    """
+
+    def test_en_dash_splits(self):
+        assert extract_terms("twig–joins") == ["twig", "joins"]
+
+    def test_em_dash_splits(self):
+        assert extract_terms("xml—database") == ["xml", "database"]
+
+    def test_curly_quotes_split(self):
+        assert extract_terms("“holistic” ‘twig’") == [
+            "holistic", "twig",
+        ]
+
+    def test_nbsp_and_ellipsis_split(self):
+        assert extract_terms("xml query…index") == [
+            "xml", "query", "index",
+        ]
+
+    def test_accented_letters_kept(self):
+        assert extract_terms("Sébastien Groß") == [
+            "sébastien", "groß",
+        ]
+
+    def test_accented_letters_lowercased(self):
+        assert normalize_term("SÉBASTIEN") == "sébastien"
+
+    def test_cjk_kept(self):
+        assert extract_terms("数据库 query") == [
+            "数据库", "query",
+        ]
+
+    def test_query_and_index_normalization_agree(self):
+        # The same unicode text must tokenize identically whether it
+        # arrives as document content or as a keyword query.
+        text = "twig–joins “XML” Sébastien"
+        assert query_terms(text) == extract_terms(text)
+
+    def test_query_list_pieces_are_split_too(self):
+        assert query_terms(["twig–joins", "xml"]) == [
+            "twig", "joins", "xml",
+        ]
+
+
 class TestNodeKeywords:
     def test_tag_plus_text(self):
         tree = build_tree(("title", "XML search"))

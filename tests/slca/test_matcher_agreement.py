@@ -1,0 +1,69 @@
+"""Scan Eager's forward matcher must equal Indexed Lookup's bisect.
+
+``_ForwardMatcher.match`` (forward pointers, amortized O(1)) and
+``closest_match`` (binary search) implement the same "deepest LCA,
+ties to the left neighbor" contract.  If their tie-breaking ever
+drifts apart, Scan Eager and Indexed Lookup can anchor SLCA candidates
+on different witnesses and the higher layers stop agreeing — so the
+equivalence is pinned here element-for-element, not just depth-for-
+depth.
+"""
+
+import random
+
+from repro.slca.lca import closest_match, label_components
+from repro.slca.scan_eager import _ForwardMatcher
+from repro.xmltree.dewey import Dewey
+
+
+def _random_components(rng, count, max_depth=5, fanout=3):
+    seen = set()
+    while len(seen) < count:
+        depth = rng.randint(1, max_depth)
+        seen.add(tuple(rng.randint(0, fanout) for _ in range(depth)))
+    return sorted(seen)
+
+
+def _labels(components):
+    return [Dewey.from_trusted(c) for c in components]
+
+
+class TestMatcherAgreement:
+    def test_random_lists_agree_exactly(self):
+        rng = random.Random(42)
+        for trial in range(200):
+            list_components = _random_components(
+                rng, rng.randint(1, 12)
+            )
+            targets = _labels(
+                _random_components(rng, rng.randint(1, 12))
+            )
+            labels = _labels(list_components)
+            matcher = _ForwardMatcher(labels)
+            sorted_components = label_components(labels)
+            # Targets non-decreasing, as the anchor scan guarantees.
+            for target in targets:
+                forward = matcher.match(target)
+                bisected = closest_match(sorted_components, target)
+                assert str(forward) == str(bisected), (
+                    f"trial {trial}: target {target} matched "
+                    f"{forward} (scan) vs {bisected} (indexed) over "
+                    f"{[str(l) for l in labels]}"
+                )
+
+    def test_tie_breaks_left(self):
+        # Equidistant neighbors: both must pick the left one.
+        labels = _labels([(0, 0), (0, 2)])
+        target = Dewey.from_trusted((0, 1))
+        forward = _ForwardMatcher(labels).match(target)
+        bisected = closest_match(label_components(labels), target)
+        assert str(forward) == str(bisected) == "0.0"
+
+    def test_repeated_target(self):
+        # The forward pointer must not overshoot on duplicate targets.
+        labels = _labels([(0, 0), (0, 1), (0, 2)])
+        matcher = _ForwardMatcher(labels)
+        target = Dewey.from_trusted((0, 1))
+        first = matcher.match(target)
+        second = matcher.match(target)
+        assert str(first) == str(second) == "0.1"

@@ -1,0 +1,43 @@
+"""Replay every committed shrunken fixture.
+
+Each fixture in ``tests/verify/fixtures/`` is a delta-debugged
+(document, query) pair that exposed a real divergence before its fix
+landed.  A healthy build replays all of them with zero divergences;
+a regression resurfaces as the original divergence kind.
+"""
+
+import os
+
+import pytest
+
+from repro.verify.runner import replay_fixture
+from repro.verify.shrink import load_fixture
+
+FIXTURES_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+FIXTURE_NAMES = sorted(
+    name[:-5]
+    for name in os.listdir(FIXTURES_DIR)
+    if name.endswith(".json")
+)
+
+
+def test_fixtures_exist():
+    # The harness has found (and this PR fixed) real divergences; the
+    # reduced witnesses must stay committed.
+    assert FIXTURE_NAMES
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_replays_clean(name):
+    spec, query, kind = load_fixture(FIXTURES_DIR, name)
+    divergences = replay_fixture(spec, query)
+    assert divergences == [], (
+        f"fixture {name} (originally {kind}) diverges again:\n"
+        + "\n".join(d.describe() for d in divergences)
+    )
+
+
+@pytest.mark.parametrize("name", FIXTURE_NAMES)
+def test_fixture_has_xml_witness(name):
+    assert os.path.exists(os.path.join(FIXTURES_DIR, f"{name}.xml"))

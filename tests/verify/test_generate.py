@@ -1,0 +1,91 @@
+"""Tests for the seeded document and query generators."""
+
+from repro.verify.generate import DocumentGenerator, QueryGenerator
+from repro.xmltree.serialize import serialize
+
+
+def _depth(spec):
+    children = spec[2] if len(spec) > 2 else []
+    return 1 + max((_depth(c) for c in children), default=0)
+
+
+def _tags(spec):
+    yield spec[0]
+    for child in spec[2] if len(spec) > 2 else []:
+        yield from _tags(child)
+
+
+class TestDocumentGenerator:
+    def test_same_seed_same_document(self):
+        assert DocumentGenerator(7).spec() == DocumentGenerator(7).spec()
+
+    def test_different_seeds_differ(self):
+        specs = {repr(DocumentGenerator(seed).spec()) for seed in range(8)}
+        assert len(specs) > 1
+
+    def test_specs_are_buildable(self):
+        for seed in range(10):
+            tree = DocumentGenerator(seed).tree()
+            assert len(tree) >= 2
+
+    def test_depth_respects_bound(self):
+        # A partition budgeted depth d has height d + 1, plus the root.
+        for seed in range(10):
+            generator = DocumentGenerator(seed, max_depth=5)
+            assert _depth(generator.spec()) <= 5 + 2
+
+    def test_duplicate_tags_occur(self):
+        # The generators bias toward repeated tags along ancestor
+        # chains — the regime where SLCA algorithms disagree if buggy.
+        duplicated = 0
+        for seed in range(20):
+            tags = list(_tags(DocumentGenerator(seed).spec()))
+            if len(tags) != len(set(tags)):
+                duplicated += 1
+        assert duplicated >= 15
+
+    def test_tree_call_is_deterministic(self):
+        first = DocumentGenerator(3).tree()
+        second = DocumentGenerator(3).tree()
+        assert serialize(first) == serialize(second)
+
+
+class TestQueryGenerator:
+    def test_same_seed_same_queries(self):
+        vocabulary = ["xml", "data", "query", "index"]
+        first = QueryGenerator(5, vocabulary).queries(10)
+        second = QueryGenerator(5, vocabulary).queries(10)
+        assert first == second
+
+    def test_queries_nonempty(self):
+        vocabulary = ["xml", "data", "query"]
+        for query in QueryGenerator(1, vocabulary).queries(20):
+            assert query
+            assert all(term for term in query)
+
+    def test_absent_terms_injected(self):
+        # The generator is biased toward empty/near-empty results: some
+        # queries must contain terms outside the document vocabulary.
+        vocabulary = ["xml", "data", "query", "index", "tree"]
+        queries = QueryGenerator(2, vocabulary).queries(40)
+        in_vocab = set(vocabulary)
+        assert any(
+            any(term not in in_vocab for term in query)
+            for query in queries
+        )
+
+    def test_typos_injected(self):
+        # Some queries must perturb vocabulary words (near-miss terms
+        # that exercise the spelling-rule refinement path).
+        vocabulary = ["database", "querying", "indexing", "structure"]
+        queries = QueryGenerator(3, vocabulary).queries(60)
+        exact = set(vocabulary)
+        near = [
+            term
+            for query in queries
+            for term in query
+            if term not in exact and any(v in term or term in v or
+                                         len(term) == len(v)
+                                         for v in vocabulary)
+        ]
+        assert near

@@ -1,0 +1,79 @@
+"""The oracle must pass on healthy code and catch planted faults."""
+
+import repro.verify.oracle as oracle_module
+from repro.verify.invariants import check_invariants
+from repro.verify.oracle import DocumentOracle, run_oracle
+
+SPEC = (
+    "root",
+    None,
+    [
+        ("item", "xml database", [("a", "query index", [])]),
+        ("item", "xml", [("b", "database", [])]),
+        ("c", "tree web data", []),
+    ],
+)
+
+
+class TestHealthyOracle:
+    def test_no_divergences_on_hit_query(self):
+        assert run_oracle(SPEC, ("xml", "database")) == []
+
+    def test_no_divergences_on_typo_query(self):
+        assert run_oracle(SPEC, ("xml", "databse")) == []
+
+    def test_no_divergences_on_absent_term(self):
+        assert run_oracle(SPEC, ("zzzq",)) == []
+
+    def test_invariants_clean(self):
+        oracle = DocumentOracle(SPEC)
+        assert check_invariants(oracle, ("xml", "database")) == []
+
+    def test_empty_query_is_skipped(self):
+        assert run_oracle(SPEC, ("", "  ")) == []
+
+
+class TestPlantedFaults:
+    def test_slca_fault_detected(self, monkeypatch):
+        # Plant: the "scan" variant silently drops its last answer.
+        real = oracle_module.SLCA_VARIANTS["scan"]
+        monkeypatch.setitem(
+            oracle_module.SLCA_VARIANTS, "scan",
+            lambda lists: real(lists)[:-1],
+        )
+        oracle = DocumentOracle(SPEC)
+        divergences = oracle.check_slca(("xml", "database"))
+        kinds = {d.kind for d in divergences}
+        assert "slca:scan:cold" in kinds
+        # The other variants stay clean: the diff localizes the fault.
+        assert not any(k.startswith("slca:stack") for k in kinds)
+
+    def test_refinement_fault_detected(self, monkeypatch):
+        # Plant: Algorithm 2 drops its lowest-ranked refined query.
+        real = oracle_module.partition_refine
+
+        def faulty(index, terms, **kwargs):
+            response = real(index, terms, **kwargs)
+            if response.refinements:
+                del response.refinements[-1]
+            return response
+
+        monkeypatch.setattr(oracle_module, "partition_refine", faulty)
+        oracle = DocumentOracle(SPEC)
+        divergences = oracle.check_refinement(("xml", "databse"))
+        assert "refine:partition-vs-sle" in {d.kind for d in divergences}
+
+    def test_divergence_carries_repro_context(self, monkeypatch):
+        real = oracle_module.SLCA_VARIANTS["indexed"]
+        monkeypatch.setitem(
+            oracle_module.SLCA_VARIANTS, "indexed",
+            lambda lists: real(lists)[:-1],
+        )
+        (divergence, *_) = DocumentOracle(SPEC).check_slca(
+            ("xml", "database")
+        )
+        # Everything the shrinker needs to reproduce the failure.
+        assert divergence.spec == SPEC
+        assert divergence.query == ("xml", "database")
+        assert divergence.expected != divergence.actual
+        assert "indexed" in divergence.describe()

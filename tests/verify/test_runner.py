@@ -1,0 +1,51 @@
+"""Smoke tests for the verify-diff sweep driver and its CLI entry."""
+
+import io
+
+from repro.cli import main
+from repro.verify.oracle import Divergence
+from repro.verify.runner import VerifyReport, verify_diff
+
+
+class TestVerifyDiff:
+    def test_small_sweep_is_clean(self):
+        report = verify_diff(seeds=3, queries_per_doc=2)
+        assert report.ok
+        assert report.seeds == 3
+        assert report.documents == 3
+        assert report.queries == 6
+        assert report.checks > 0
+        assert "OK" in report.summary()
+
+    def test_sweep_is_deterministic(self):
+        first = verify_diff(seeds=2, queries_per_doc=2)
+        second = verify_diff(seeds=2, queries_per_doc=2)
+        assert first.ok == second.ok
+        assert first.queries == second.queries
+
+    def test_report_flags_divergences(self):
+        report = VerifyReport()
+        assert report.ok
+        report.divergences.append(
+            Divergence("demo:kind", "detail", ("root", None, []),
+                       ("q",), 1, 2)
+        )
+        assert not report.ok
+        assert "DIVERGED" in report.summary()
+        assert "demo:kind" in report.summary()
+
+
+class TestVerifyDiffCli:
+    def test_cli_smoke(self):
+        out = io.StringIO()
+        code = main(["verify-diff", "--seeds", "2", "--queries", "2"],
+                    out=out)
+        assert code == 0
+        assert "verify-diff: OK" in out.getvalue()
+
+    def test_cli_no_shrink_flag(self):
+        out = io.StringIO()
+        code = main(
+            ["verify-diff", "--seeds", "1", "--no-shrink"], out=out
+        )
+        assert code == 0

@@ -1,0 +1,111 @@
+"""Tests for the delta-debugging shrinker."""
+
+from repro.verify.shrink import (
+    _normalize,
+    fixture_name,
+    load_fixture,
+    shrink_divergence,
+    write_fixture,
+)
+
+
+def _count_nodes(spec):
+    return 1 + sum(_count_nodes(c) for c in spec[2])
+
+
+WIDE_SPEC = (
+    "root",
+    None,
+    [
+        ("a", "xml data", [("b", "query", []), ("c", "noise", [])]),
+        ("d", "filler words here", [("e", "target", [])]),
+        ("f", None, [("g", "unrelated", [])]),
+    ],
+)
+
+
+class TestShrinkDivergence:
+    def test_reaches_minimal_document(self):
+        # Predicate: the word "target" survives somewhere in the spec.
+        def predicate(spec, query):
+            def has(s):
+                return (s[1] and "target" in s[1]) or any(
+                    has(c) for c in s[2]
+                )
+            return has(_normalize(spec))
+
+        spec, query = shrink_divergence(WIDE_SPEC, ("q1", "q2"), predicate)
+        # 1-minimal: the root plus one leaf carrying only the word
+        # (no operator can move text onto the root), one query term.
+        assert _count_nodes(spec) == 2
+        assert spec[2][0][1] == "target"
+        assert len(query) == 1
+
+    def test_query_terms_dropped(self):
+        def predicate(spec, query):
+            return "keep" in query
+
+        _, query = shrink_divergence(
+            WIDE_SPEC, ("drop1", "keep", "drop2"), predicate
+        )
+        assert query == ("keep",)
+
+    def test_result_still_fails_predicate(self):
+        def predicate(spec, query):
+            def nodes(s):
+                return 1 + sum(nodes(c) for c in s[2])
+            return nodes(_normalize(spec)) >= 3
+
+        spec, query = shrink_divergence(WIDE_SPEC, ("q",), predicate)
+        assert predicate(spec, query)
+        assert _count_nodes(spec) == 3
+
+    def test_predicate_exception_counts_as_gone(self):
+        # A reduction that crashes the checker must not be accepted —
+        # the shrinker never trades one bug for a different one.
+        def predicate(spec, query):
+            if _count_nodes(_normalize(spec)) < 4:
+                raise RuntimeError("different bug")
+            return True
+
+        spec, _ = shrink_divergence(WIDE_SPEC, ("q",), predicate)
+        assert _count_nodes(spec) >= 4
+
+    def test_eval_budget_respected(self):
+        calls = []
+
+        def predicate(spec, query):
+            calls.append(1)
+            return True
+
+        shrink_divergence(WIDE_SPEC, ("q1", "q2"), predicate, max_evals=17)
+        assert len(calls) <= 17
+
+    def test_terminates_when_nothing_reproduces(self):
+        spec, query = shrink_divergence(
+            WIDE_SPEC, ("q1", "q2"), lambda s, q: False
+        )
+        # No reduction holds, so the (normalized) input comes back.
+        assert spec == _normalize(WIDE_SPEC)
+        assert query == ("q1", "q2")
+
+
+class TestFixtureRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        spec = ("root", "xml", [("a", "data", [])])
+        name = write_fixture(
+            str(tmp_path), "refine:example", spec, ("xml", "data"),
+            detail="demo",
+        )
+        loaded_spec, loaded_query, kind = load_fixture(str(tmp_path), name)
+        assert loaded_spec == _normalize(spec)
+        assert loaded_query == ("xml", "data")
+        assert kind == "refine:example"
+        assert (tmp_path / f"{name}.xml").exists()
+
+    def test_name_is_stable_and_safe(self):
+        spec = ("root", None, [])
+        first = fixture_name("slca:scan:cold", spec, ("a",))
+        second = fixture_name("slca:scan:cold", spec, ("a",))
+        assert first == second
+        assert "/" not in first and ":" not in first
