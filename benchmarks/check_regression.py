@@ -1,0 +1,107 @@
+"""Latency-regression gate for the hot-path benchmark.
+
+Runs the smoke-sized hot-path benchmark fresh (or accepts a
+pre-computed report via ``--current``) and compares its cold
+per-request latency with the committed baseline
+``benchmarks/BENCH_hotpath_smoke.json``.  Exits non-zero when the cold
+path regressed by more than ``--threshold`` (default 50%) — small
+enough to catch an accidental O(n) slip on the miss path, large enough
+to absorb host-to-host speed differences within a CI fleet.
+
+The baseline is regenerated with::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \
+        --output benchmarks/BENCH_hotpath_smoke.json
+
+and must be re-committed whenever the smoke configuration changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(_HERE, "BENCH_hotpath_smoke.json")
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def run_smoke_bench():
+    """Run the smoke benchmark into a temp file; return its report."""
+    import bench_hotpath
+
+    handle, path = tempfile.mkstemp(suffix=".json", prefix="bench_hotpath_")
+    os.close(handle)
+    try:
+        status = bench_hotpath.main(["--smoke", "--output", path])
+        if status not in (0, None):
+            # The smoke speedup floors are advisory here; the gate this
+            # script enforces is latency-vs-baseline only.
+            print(f"note: smoke benchmark exited with status {status}")
+        return load_report(path)
+    finally:
+        os.unlink(path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed smoke report to compare against")
+    parser.add_argument("--current", default=None,
+                        help="existing report to check (default: run the "
+                             "smoke benchmark now)")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="maximum tolerated fractional regression "
+                             "(0.5 = latency may grow 50%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    current = (
+        load_report(args.current) if args.current else run_smoke_bench()
+    )
+
+    for name in ("config", "cold"):
+        if name not in baseline or name not in current:
+            print(f"malformed report: missing {name!r} section",
+                  file=sys.stderr)
+            return 2
+    for key in ("authors", "unique_queries", "requests", "k", "algorithm"):
+        if baseline["config"].get(key) != current["config"].get(key):
+            print(
+                f"config mismatch on {key!r}: baseline "
+                f"{baseline['config'].get(key)!r} vs current "
+                f"{current['config'].get(key)!r} — regenerate the baseline",
+                file=sys.stderr,
+            )
+            return 2
+
+    reference = baseline["cold"]["per_request_ms"]
+    measured = current["cold"]["per_request_ms"]
+    limit = reference * (1.0 + args.threshold)
+    print(
+        f"cold per-request latency: baseline {reference:.3f} ms, "
+        f"current {measured:.3f} ms, limit {limit:.3f} ms "
+        f"(+{args.threshold:.0%})"
+    )
+    if measured > limit:
+        print(
+            f"FAIL: cold per-request latency regressed "
+            f"{measured / reference - 1.0:+.0%} over the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: cold per-request latency is within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

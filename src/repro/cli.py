@@ -62,7 +62,19 @@ def _cmd_index(args, out):
 
 def _cmd_search(args, out):
     engine = _load_engine(args.source)
-    response = engine.search(args.keywords, k=args.k, algorithm=args.algorithm)
+    try:
+        return _print_search(engine, args, out)
+    finally:
+        # Releases the shard pool + shared-memory segment when
+        # --parallel was used; a no-op otherwise.
+        engine.close()
+
+
+def _print_search(engine, args, out):
+    response = engine.search(
+        args.keywords, k=args.k, algorithm=args.algorithm,
+        parallelism=args.parallel,
+    )
     if not response.needs_refinement:
         print(
             f"direct hit: {len(response.original_results)} meaningful "
@@ -249,6 +261,11 @@ def build_parser():
     search.add_argument("-k", type=int, default=3)
     search.add_argument(
         "--algorithm", choices=ALGORITHMS, default="partition"
+    )
+    search.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="evaluate the query over N shard workers "
+        "(partition algorithm only; answers are identical)",
     )
     search.set_defaults(handler=_cmd_search)
 

@@ -55,6 +55,17 @@ SLCA_ALGORITHMS = {
 }
 
 
+def _validate_parallelism(parallelism):
+    """Worker-count validation mirroring :func:`_validate_k`."""
+    if isinstance(parallelism, bool) or not isinstance(parallelism, int):
+        raise QueryError(
+            f"parallelism must be an integer >= 1, got {parallelism!r}"
+        )
+    if parallelism < 1:
+        raise QueryError(f"parallelism must be >= 1, got {parallelism}")
+    return parallelism
+
+
 def _validate_k(k):
     """Reject non-integral or non-positive Top-K requests up front.
 
@@ -91,10 +102,18 @@ class XRefine:
         disables result caching.  Cached answers are version-checked
         against the index, so partition updates can never serve stale
         results.
+    parallelism:
+        Default worker count for cache-miss evaluation of
+        ``algorithm="partition"`` queries (``repro.shard``).  ``1``
+        (default) keeps the serial path; ``N > 1`` publishes the
+        posting lists into shared memory and fans each miss out over a
+        persistent ``N``-process pool, returning byte-identical
+        answers.  Call :meth:`close` (or use the engine as a context
+        manager) to release the pool and its shared-memory segment.
     """
 
     def __init__(self, index, model=None, miner=None,
-                 cache_size=DEFAULT_CAPACITY):
+                 cache_size=DEFAULT_CAPACITY, parallelism=1):
         self.index = index
         self.model = model if model is not None else full_model()
         self._auto_miner = miner is None
@@ -106,6 +125,11 @@ class XRefine:
         self.packed = PackedListStore(index)
         #: Complete-answer LRU cache (repro.perf.result_cache).
         self.result_cache = QueryResultCache(cache_size)
+        #: Default shard fan-out for cache misses (repro.shard).
+        self.parallelism = _validate_parallelism(parallelism)
+        self._shard_runtime = None
+        #: Auto-mined rule sets per query (pure function of the miner).
+        self._rules_memo = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -169,15 +193,68 @@ class XRefine:
         }
 
     # ------------------------------------------------------------------
+    # Parallel execution plumbing (repro.shard)
+    # ------------------------------------------------------------------
+    def _shard_runtime_for(self, workers):
+        """The persistent shard runtime, (re)built to ``workers``."""
+        from ..shard.pool import ShardRuntime
+
+        runtime = self._shard_runtime
+        if runtime is not None and runtime.workers != workers:
+            runtime.close()
+            runtime = None
+        if runtime is None:
+            runtime = ShardRuntime(self.index, workers)
+            self._shard_runtime = runtime
+        return runtime
+
+    def close(self):
+        """Release the worker pool and its shared-memory segment.
+
+        Idempotent; a no-op for engines that never ran in parallel.
+        The engine stays usable afterwards — the next parallel query
+        transparently rebuilds the pool.
+        """
+        if self._shard_runtime is not None:
+            self._shard_runtime.close()
+            self._shard_runtime = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    #: Distinct queries whose mined rules are memoized before reset.
+    _RULES_MEMO_LIMIT = 1024
+
     def mine_rules(self, query):
-        """The pertinent rule set for a query (terms are normalized)."""
+        """The pertinent rule set for a query (terms are normalized).
+
+        Mining is deterministic for a fixed miner, so auto-mined rule
+        sets are memoized per query (the memo keys on miner identity —
+        a version rebuild starts fresh).  Treat the returned
+        :class:`~repro.lexicon.rules.RuleSet` as read-only.
+        """
         self._refresh_miner()
-        return self.miner.mine(query_terms(query))
+        terms = tuple(query_terms(query))
+        if not self._auto_miner:
+            return self.miner.mine(terms)
+        cached = self._rules_memo.get(terms)
+        if cached is not None and cached[0] is self.miner:
+            return cached[1]
+        rules = self.miner.mine(terms)
+        if len(self._rules_memo) >= self._RULES_MEMO_LIMIT:
+            self._rules_memo.clear()
+        self._rules_memo[terms] = (self.miner, rules)
+        return rules
 
     def search(self, query, k=1, algorithm="partition", rules=None,
-               rank_results=False):
+               rank_results=False, parallelism=None):
         """Automatic refinement search (Issues 1–4 of the introduction).
 
         Parameters
@@ -196,12 +273,27 @@ class XRefine:
         rank_results:
             When True, each result list is reordered by the XML TF*IDF
             result ranking of [6] instead of document order.
+        parallelism:
+            Worker count for this call; defaults to the engine's
+            ``parallelism``.  Values above 1 evaluate cache misses on
+            the shard pool (``repro.shard``) and require the default
+            ``"partition"`` algorithm; answers (and therefore the
+            result cache) are identical at every level.
 
         Returns
         -------
         RefinementResponse
         """
         k = _validate_k(k)
+        parallelism = (
+            self.parallelism if parallelism is None
+            else _validate_parallelism(parallelism)
+        )
+        if parallelism > 1 and algorithm != "partition":
+            raise QueryError(
+                "parallel execution is only implemented for the "
+                f"'partition' algorithm, not {algorithm!r}"
+            )
         terms = query_terms(query)
         if not terms:
             raise QueryError(
@@ -229,7 +321,15 @@ class XRefine:
                 return cached
         if rules is None:
             rules = self.mine_rules(terms)
-        if algorithm == "partition":
+        if algorithm == "partition" and parallelism > 1:
+            from ..shard.refine import sharded_partition_refine
+
+            response = sharded_partition_refine(
+                self.index, terms, rules=rules, model=self.model, k=k,
+                shards=parallelism,
+                executor=self._shard_runtime_for(parallelism),
+            )
+        elif algorithm == "partition":
             response = partition_refine(
                 self.index, terms, rules=rules, model=self.model, k=k
             )
@@ -257,14 +357,17 @@ class XRefine:
         return response
 
     def search_many(self, queries, k=1, algorithm="partition",
-                    rank_results=False):
+                    rank_results=False, parallelism=None):
         """Batch refinement search: one response per input query.
 
         The hot-path batch API: per-keyword decoded lists (packed
         arrays, inverted-list cache) are shared across the whole call,
-        and duplicate queries within the batch are evaluated once even
-        when the LRU result cache is disabled or thrashing.  Responses
-        for duplicate queries are the same object.
+        and duplicate queries are deduplicated *before dispatch* — each
+        distinct normalized query is evaluated exactly once per batch
+        even when the LRU result cache is disabled or thrashing.
+        Responses for duplicate queries are the same object.
+        ``parallelism`` is forwarded to :meth:`search` per unique
+        query.
         """
         k = _validate_k(k)
         self._refresh_miner()
@@ -276,7 +379,7 @@ class XRefine:
             if response is None:
                 response = self.search(
                     terms, k=k, algorithm=algorithm,
-                    rank_results=rank_results,
+                    rank_results=rank_results, parallelism=parallelism,
                 )
                 batch[terms] = response
             responses.append(response)

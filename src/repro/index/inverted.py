@@ -174,6 +174,42 @@ class ListCursor:
         return self.source.sublist(partition_dewey)
 
 
+def decode_posting_payload(keyword, raw, type_table):
+    """Decode one keyword's packed posting payload.
+
+    ``raw`` is the value stored under ``(keyword,)`` by
+    :meth:`InvertedIndex.add_postings`; ``type_table`` maps interned
+    type ids back to node-type tuples.  Shared between the index's own
+    lazy decode and the shard workers (``repro.shard``), which attach
+    to the raw payload bytes over shared memory and decode lists
+    locally without re-pickling postings.
+    """
+    count, pos = decode_uvarint(raw)
+    postings = []
+    previous = ()
+    for _ in range(count):
+        shared, pos = decode_uvarint(raw, pos)
+        suffix_len, pos = decode_uvarint(raw, pos)
+        suffix = []
+        for _ in range(suffix_len):
+            part, pos = decode_uvarint(raw, pos)
+            suffix.append(part)
+        components = previous[:shared] + tuple(suffix)
+        type_id, pos = decode_uvarint(raw, pos)
+        occurrence_count, pos = decode_uvarint(raw, pos)
+        # Components were validated when the list was encoded, so
+        # the decode loop takes the trusted constructor fast path.
+        postings.append(
+            Posting(
+                Dewey.from_trusted(components),
+                type_table[type_id],
+                occurrence_count,
+            )
+        )
+        previous = components
+    return InvertedList(keyword, postings)
+
+
 class InvertedIndex:
     """All inverted lists of a document, persisted in a KV store.
 
@@ -281,30 +317,15 @@ class InvertedIndex:
         return decoded
 
     def _decode(self, keyword, raw):
-        count, pos = decode_uvarint(raw)
-        postings = []
-        previous = ()
-        for _ in range(count):
-            shared, pos = decode_uvarint(raw, pos)
-            suffix_len, pos = decode_uvarint(raw, pos)
-            suffix = []
-            for _ in range(suffix_len):
-                part, pos = decode_uvarint(raw, pos)
-                suffix.append(part)
-            components = previous[:shared] + tuple(suffix)
-            type_id, pos = decode_uvarint(raw, pos)
-            occurrence_count, pos = decode_uvarint(raw, pos)
-            # Components were validated when the list was encoded, so
-            # the decode loop takes the trusted constructor fast path.
-            postings.append(
-                Posting(
-                    Dewey.from_trusted(components),
-                    self._type_table[type_id],
-                    occurrence_count,
-                )
-            )
-            previous = components
-        return InvertedList(keyword, postings)
+        return decode_posting_payload(keyword, raw, self._type_table)
+
+    def raw_payload(self, keyword):
+        """Packed posting payload bytes for ``keyword`` (None if absent).
+
+        Used by the shard layer to publish posting lists into shared
+        memory without a decode/re-encode round trip.
+        """
+        return self._store.get(encode_key((keyword,)))
 
     # ------------------------------------------------------------------
     # Persistence of the node-type table

@@ -141,6 +141,16 @@ class RuleSet:
     def all_rules(self):
         return list(self._rules)
 
+    def fingerprint(self):
+        """Hashable identity of the rule set, including rule order.
+
+        Two rule sets with equal fingerprints drive the refinement DP
+        identically, so pure-function caches (e.g. the shard workers'
+        cross-request beam memo) can key on it.  Order is part of the
+        identity: at equal cost the DP keeps the first derivation seen.
+        """
+        return (self.deletion_cost, tuple(self._rules))
+
     def generated_keywords(self):
         """Every keyword appearing on some RHS (``getNewKeywords``).
 

@@ -1,0 +1,35 @@
+"""Sharded parallel query execution (cache-miss path scaling).
+
+The serial hot path (PR 1) made warm answers nearly free; this package
+makes the *miss* path scale: posting payloads are published once into
+shared memory (:mod:`.shm`), a persistent fork pool attaches zero-copy
+(:mod:`.pool`), each worker runs a faster partition-range kernel
+(:mod:`.worker`), and the coordinator merges per-shard Top-2K lists
+into the byte-identical serial answer (:mod:`.refine`).  Entry points:
+``XRefine(..., parallelism=N)`` / ``XRefine.search(parallelism=N)``
+upstream, or :func:`sharded_partition_refine` directly.
+"""
+
+from .pool import (
+    InProcessExecutor,
+    ShardError,
+    ShardPool,
+    ShardPoolBroken,
+    ShardRuntime,
+    ShardTaskError,
+)
+from .refine import sharded_partition_refine
+from .shm import SEGMENT_PREFIX, SharedPostingBlob, live_segments
+
+__all__ = [
+    "InProcessExecutor",
+    "SEGMENT_PREFIX",
+    "ShardError",
+    "ShardPool",
+    "ShardPoolBroken",
+    "ShardRuntime",
+    "ShardTaskError",
+    "SharedPostingBlob",
+    "live_segments",
+    "sharded_partition_refine",
+]

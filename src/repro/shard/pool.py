@@ -1,0 +1,374 @@
+"""Persistent worker pool attached to a shared-memory posting blob.
+
+A :class:`ShardPool` publishes the engine's posting payloads into one
+shared-memory segment (:mod:`repro.shard.shm`), forks ``workers``
+long-lived processes that attach to it by name, and feeds them
+phase-1/phase-2 tasks (:mod:`repro.shard.worker`) over pipes.  The
+``fork`` start method is required — the document tree and rule objects
+reach the children through copy-on-write page sharing, never through
+pickling — so on platforms without it :func:`create_executor` silently
+degrades to the :class:`InProcessExecutor`, which runs the identical
+kernel (with full pickle transport fidelity) in the calling process.
+
+Failure containment: a worker raising inside a task is a deterministic
+bug and surfaces as :class:`ShardTaskError` with the child traceback;
+a worker *dying* (or a torn pipe) is :class:`ShardPoolBroken`, on
+which :class:`ShardRuntime` tears the whole pool down — unlinking the
+segment — rebuilds it once, and retries.  Segments are version-stamped
+with the publishing index version; the runtime re-publishes whenever
+``append_partition`` / ``remove_partition`` bumped it, so workers can
+never serve stale postings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+import weakref
+from collections import deque
+from multiprocessing import connection
+
+from ..errors import ReproError
+from .shm import SharedPostingBlob
+from .worker import WorkerState, dispatch
+
+#: Seconds between liveness checks while awaiting worker results.
+_POLL_SECONDS = 5.0
+
+
+class ShardError(ReproError):
+    """Base class for parallel-execution failures."""
+
+
+class ShardPoolBroken(ShardError):
+    """A worker process died or its pipe tore; the pool is unusable."""
+
+
+class ShardTaskError(ShardError):
+    """A task raised inside a worker; carries the child traceback."""
+
+
+def _worker_main(conn, blob_name, layout, type_table, version, tree,
+                 bound_value):
+    """Child entry point: attach, serve tasks until the None sentinel."""
+    import gc
+
+    # The child's heap is one big copy-on-write snapshot of the parent
+    # (tree, index, interned strings).  Moving it to the permanent
+    # generation keeps cyclic-GC passes from touching — and therefore
+    # privately copying — those shared pages on every collection; the
+    # kernel's own allocations are overwhelmingly acyclic (tuples,
+    # lists, dicts torn down by refcounting), so collections can also
+    # be much rarer than the default without memory growth.
+    gc.freeze()
+    gc.set_threshold(50_000, 50, 50)
+    blob = SharedPostingBlob.attach(blob_name, layout, type_table, version)
+    state = WorkerState(blob.decoded, tree)
+    state.shared_bound = bound_value
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message is None:
+                break
+            task_id, kind, request, payload = message
+            try:
+                result = (task_id, "ok", dispatch(state, kind, request, payload))
+            except Exception:
+                result = (task_id, "error", traceback.format_exc())
+            try:
+                conn.send(result)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        blob.close()
+        conn.close()
+
+
+def _cleanup(processes, conns, blob):
+    """Finalizer shared by shutdown() and the GC/exit backstop."""
+    for conn in conns:
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for process in processes:
+        process.join(timeout=1.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    blob.close()
+
+
+class ShardPool:
+    """Fixed-size fork pool over one published posting blob."""
+
+    def __init__(self, index, workers):
+        if workers < 1:
+            raise ShardError(f"worker count must be >= 1, got {workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardError("the fork start method is unavailable")
+        context = multiprocessing.get_context("fork")
+        self.workers = workers
+        self.version = getattr(index, "version", 0)
+        #: Coordinator-side cache of per-keyword partition breakdowns
+        #: (pure function of the published index version).
+        self.partition_cache = {}
+        self._blob = SharedPostingBlob.publish(index.inverted, self.version)
+        # Within-round skip-bound mailbox: an aligned raw double (torn
+        # 8-byte accesses do not occur on supported platforms, and a
+        # lost concurrent min-update only costs pruning, so no lock).
+        self._bound = context.Value("d", float("inf"), lock=False)
+        self._conns = []
+        self._processes = []
+        self._closed = False
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        self._blob.name,
+                        self._blob.layout,
+                        self._blob.type_table,
+                        self._blob.version,
+                        index.tree,
+                        self._bound,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+        self._finalizer = weakref.finalize(
+            self, _cleanup, list(self._processes), list(self._conns),
+            self._blob,
+        )
+
+    @property
+    def closed(self):
+        return self._closed
+
+    @property
+    def segment_name(self):
+        """Name of the published shared-memory segment (tests)."""
+        return self._blob.name
+
+    # ------------------------------------------------------------------
+    def run(self, tasks):
+        """Execute ``tasks`` (``(kind, request, payload)`` triples).
+
+        Results come back in task order.  Tasks are distributed
+        round-robin with at most one outstanding task per worker, so a
+        busy worker can always flush its result before the parent
+        writes its next task (no pipe-buffer deadlock).
+        """
+        if self._closed:
+            raise ShardPoolBroken("the shard pool is closed")
+        if not tasks:
+            return []
+        # Fresh mailbox per fan-out: bounds never leak across requests
+        # (no worker holds a task between run() calls).
+        self._bound.value = float("inf")
+        queues = [deque() for _ in range(self.workers)]
+        for task_id, task in enumerate(tasks):
+            queues[task_id % self.workers].append((task_id, task))
+        results = [None] * len(tasks)
+        outstanding = {}  # conn -> worker idx
+
+        def send_next(worker_idx):
+            if not queues[worker_idx]:
+                return
+            task_id, (kind, request, payload) = queues[worker_idx].popleft()
+            conn = self._conns[worker_idx]
+            try:
+                conn.send((task_id, kind, request, payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardPoolBroken(
+                    f"worker {worker_idx} pipe is broken: {exc}"
+                ) from exc
+            outstanding[conn] = worker_idx
+
+        for worker_idx in range(self.workers):
+            send_next(worker_idx)
+        remaining = len(tasks)
+        while remaining:
+            ready = connection.wait(
+                list(outstanding), timeout=_POLL_SECONDS
+            )
+            if not ready:
+                for conn, worker_idx in outstanding.items():
+                    if not self._processes[worker_idx].is_alive():
+                        raise ShardPoolBroken(
+                            f"worker {worker_idx} died mid-task"
+                        )
+                continue
+            for conn in ready:
+                worker_idx = outstanding.pop(conn)
+                try:
+                    task_id, status, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardPoolBroken(
+                        f"worker {worker_idx} hung up mid-task: {exc}"
+                    ) from exc
+                if status == "error":
+                    raise ShardTaskError(
+                        f"shard task failed in worker {worker_idx}:\n"
+                        f"{payload}"
+                    )
+                results[task_id] = payload
+                remaining -= 1
+                send_next(worker_idx)
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Stop the workers and unlink the segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        finalizer = getattr(self, "_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+        _cleanup(self._processes, self._conns, self._blob)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return f"ShardPool({self.workers} workers, v{self.version}, {state})"
+
+
+class _BoundCell:
+    """Single-process stand-in for the pool's shared bound double."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = float("inf")
+
+
+class InProcessExecutor:
+    """Transport-faithful single-process executor.
+
+    Runs the same kernel as the pool workers, over payload bytes read
+    straight from the index's KV store, round-tripping every task and
+    result through :mod:`pickle` so anything that would not survive
+    the real pipe fails here too.  Used on fork-less platforms, by the
+    differential oracle (process startup would dominate its runtime),
+    and as the ``shards > 1, workers = 1`` reference.
+    """
+
+    def __init__(self, index):
+        from ..index.inverted import decode_posting_payload
+
+        inverted = index.inverted
+        type_table = tuple(inverted.node_type_table)
+
+        def decode_list(keyword):
+            raw = inverted.raw_payload(keyword)
+            return decode_posting_payload(
+                keyword, raw if raw is not None else b"\x00", type_table
+            )
+
+        self.workers = 1
+        self.version = getattr(index, "version", 0)
+        self.partition_cache = {}
+        self._state = WorkerState(decode_list, index.tree)
+        # Same bound mailbox as the pool's, minus the process sharing:
+        # chunks run sequentially here, so each sees every earlier
+        # chunk's published bound (the pool's best case, made
+        # deterministic — and exercised by the differential oracle).
+        self._state.shared_bound = _BoundCell()
+        self._closed = False
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def run(self, tasks):
+        self._state.shared_bound.value = float("inf")
+        results = []
+        for task in tasks:
+            kind, request, payload = pickle.loads(pickle.dumps(task))
+            result = dispatch(self._state, kind, request, payload)
+            results.append(pickle.loads(pickle.dumps(result)))
+        return results
+
+    def close(self):
+        self._closed = True
+
+
+def create_executor(index, workers):
+    """A :class:`ShardPool` when real processes are possible, else the
+    in-process executor (identical answers, no parallelism)."""
+    if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        return ShardPool(index, workers)
+    return InProcessExecutor(index)
+
+
+class ShardRuntime:
+    """Engine-facing wrapper: staleness checks + crash recovery.
+
+    Owns at most one executor; before every request the index version
+    is compared with the executor's publication stamp and the pool is
+    rebuilt on mismatch (the same invalidation trigger as the result
+    cache).  A :class:`ShardPoolBroken` run is retried exactly once on
+    a fresh pool — the broken pool's segment is unlinked first.
+    """
+
+    def __init__(self, index, workers):
+        self.index = index
+        self.workers = workers
+        self._executor = None
+
+    def executor(self):
+        executor = self._executor
+        version = getattr(self.index, "version", 0)
+        if executor is not None and (
+            executor.closed or executor.version != version
+        ):
+            executor.close()
+            executor = None
+        if executor is None:
+            executor = create_executor(self.index, self.workers)
+            self._executor = executor
+        return executor
+
+    @property
+    def partition_cache(self):
+        """Coordinator cache of the current (version-checked) executor."""
+        return self.executor().partition_cache
+
+    def run(self, tasks):
+        try:
+            return self.executor().run(tasks)
+        except ShardPoolBroken:
+            self.close()
+            return self.executor().run(tasks)
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __repr__(self):
+        return f"ShardRuntime(workers={self.workers}, {self._executor!r})"

@@ -1,0 +1,295 @@
+"""Scatter–gather coordinator for parallel Algorithm 2.
+
+:func:`sharded_partition_refine` splits the document's partition
+sequence into per-worker shard ranges, runs the partition-local kernel
+(:mod:`repro.shard.worker`) on each, and merges the per-shard Top-2K
+candidate lists into the byte-identical answer the serial
+:func:`~repro.core.partition_refine.partition_refine` produces.
+
+Why the merge is exact (DESIGN.md has the full argument):
+
+* PR 2 made the :class:`~repro.core.candidates.RQSortedList` kept set
+  a pure function of the offered ``(dissimilarity, keyword set)``
+  candidates under the content total order.  Every shard keeps its
+  local Top-2K under that order; a locally evicted candidate is
+  dominated by ``2K`` locally better ones that all reach the merge, so
+  re-inserting the union of shard survivors into a fresh list yields
+  exactly the serial Top-2K.
+* The serial list's *representative* for a key is the instance from
+  the earliest partition achieving its minimum dissimilarity; shards
+  stamp offers with that partition id, and the merge takes the per-key
+  minimum of ``(dissimilarity, first_partition)`` — partition ids are
+  globally ordered, so the winner is the serial representative.
+* A survivor's result set is "every partition-local meaningful SLCA in
+  every partition containing all its keywords, in document order" —
+  the whole-list semantics of SLE's step 2, which the differential
+  oracle already proves equal to serial Partition's accumulation.
+  Phase 1 reports which ``(candidate, partition)`` results each shard
+  computed; phase 2 backfills only the missing pairs.
+* Between rounds the coordinator broadcasts the merged list's worst
+  kept dissimilarity as a cross-shard skip bound (the ``C_potential``
+  analogue): a partition or candidate pruned by it is strictly worse
+  than ``2K`` already-merged candidates and could never survive.
+
+``shards``/``rounds`` shape the work split; the ``executor`` (a
+:class:`~repro.shard.pool.ShardPool`, :class:`ShardRuntime`, or the
+in-process fallback) supplies the transport.  Answers are independent
+of all three — the differential oracle enforces it.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+
+from ..core.candidates import RQSortedList, RefinedQuery
+from ..core.common import QueryContext, rank_candidates
+from ..core.result import RefinementResponse, ScanStats
+from ..lexicon.rules import RuleSet
+from ..xmltree.dewey import Dewey
+from .pool import InProcessExecutor
+from .worker import Phase1Request, rebuild_labels
+
+
+def _enumerate_partitions(context, cache=None):
+    """Document-ordered ``(pid, weight)`` pairs over the query's lists.
+
+    ``weight`` is the total posting count under the partition across
+    the keyword space — the work estimate the chunker balances on.
+    Enumeration jumps partition-to-partition by binary search on each
+    list, so its cost is O(partitions x keywords x log n), not a scan.
+
+    ``cache``, when provided, memoizes each keyword's breakdown — a
+    pure function of the index version; callers pass the executor's
+    ``partition_cache``, which is discarded on republish.
+    """
+    weights = {}
+    for keyword in context.keyword_space:
+        pairs = cache.get(keyword) if cache is not None else None
+        if pairs is None:
+            source = context.lists[keyword]
+            components = source._dewey_keys
+            position = bisect_left(components, (0, 0))
+            size = len(components)
+            pairs = []
+            while position < size:
+                pid = components[position][:2]
+                upper = bisect_left(
+                    components, (pid[0], pid[1] + 1), position
+                )
+                pairs.append((pid, upper - position))
+                position = upper
+            if cache is not None:
+                cache[keyword] = pairs
+        for pid, count in pairs:
+            weights[pid] = weights.get(pid, 0) + count
+    return sorted(weights.items())
+
+
+def _split_weighted(items, pieces):
+    """Split ``(pid, weight)`` pairs into ≤``pieces`` contiguous runs
+    of roughly equal total weight (empty runs are dropped)."""
+    if not items or pieces <= 1:
+        return [items] if items else []
+    total = sum(weight for _, weight in items)
+    target = total / pieces
+    runs = []
+    current = []
+    accumulated = 0.0
+    remaining_pieces = pieces
+    for index, (pid, weight) in enumerate(items):
+        current.append((pid, weight))
+        accumulated += weight
+        remaining_items = len(items) - index - 1
+        if (
+            accumulated >= target
+            and remaining_pieces > 1
+            and remaining_items >= 1
+        ):
+            runs.append(current)
+            current = []
+            accumulated = 0.0
+            remaining_pieces -= 1
+    if current:
+        runs.append(current)
+    return runs
+
+
+def sharded_partition_refine(index, query, rules=None, model=None, k=1,
+                             shards=2, rounds=1, executor=None,
+                             skip_optimization=True):
+    """Parallel Algorithm 2; byte-identical to the serial function.
+
+    Parameters mirror :func:`partition_refine` plus:
+
+    shards:
+        Number of partition ranges processed concurrently per round.
+    rounds:
+        Sequential round count; with ``rounds > 1`` the merged Top-2K
+        bound from completed rounds is broadcast into later ones, so
+        shards prune exactly when a serial run would (modulo timing).
+    executor:
+        Object with ``run(tasks)`` — a pool, runtime, or None for a
+        transient in-process executor.
+    """
+    from ..core.ranking.model import full_model
+
+    rules = rules if rules is not None else RuleSet()
+    model = model if model is not None else full_model()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    started = time.perf_counter()
+
+    context = QueryContext(index, query, rules)
+    stats = ScanStats()
+    stats.lists_opened = len(context.keyword_space)
+    own_executor = executor is None
+    if own_executor:
+        executor = InProcessExecutor(index)
+
+    try:
+        partitions = _enumerate_partitions(
+            context, getattr(executor, "partition_cache", None)
+        )
+        round_runs = _split_weighted(partitions, rounds)
+
+        capacity = max(2 * k, 2)
+        merged = RQSortedList(capacity=capacity)
+        # key -> (dissimilarity, first_pid, RefinedQuery): the best
+        # known instance of each candidate across all completed chunks.
+        best = {}
+        computed = {}        # wire key -> {pid: [components]}
+        present_masks = {}   # pid -> bitmask over keyword_space
+        chunk_pids = []      # chunk index -> [pid] (phase-2 routing)
+        originals = []
+        found_original = False
+        bound = None
+
+        for round_runs_items in round_runs:
+            chunks = _split_weighted(round_runs_items, shards)
+            request = Phase1Request(
+                context.query,
+                context.keyword_space,
+                rules,
+                capacity,
+                context.search_for_types,
+                skip_optimization=skip_optimization,
+                bound=bound,
+                found_original=found_original,
+            )
+            tasks = []
+            for chunk in chunks:
+                pids = [pid for pid, _ in chunk]
+                tasks.append(("phase1", request, pids))
+                chunk_pids.append(pids)
+            for result in executor.run(tasks):
+                originals.extend(rebuild_labels(result["originals"]))
+                found_original = found_original or result["found_original"]
+                present_masks.update(result["present"])
+                for wire_key, per_pid in result["computed"].items():
+                    computed.setdefault(wire_key, {}).update(per_pid)
+                for keywords, dissimilarity, first_pid in result["offers"]:
+                    rq = RefinedQuery(keywords, dissimilarity)
+                    held = best.get(rq.key)
+                    candidate = (dissimilarity, first_pid, rq)
+                    if held is None or candidate[:2] < held[:2]:
+                        best[rq.key] = candidate
+                for name, value in result["stats"].items():
+                    if name != "elapsed_seconds":
+                        setattr(stats, name, getattr(stats, name) + value)
+            # Re-merge and refresh the broadcast state for later rounds.
+            merged = RQSortedList(capacity=capacity)
+            for dissimilarity, _, rq in sorted(
+                best.values(),
+                key=lambda item: (item[0], tuple(sorted(item[2].key))),
+            ):
+                merged.insert(rq)
+            bound = (
+                merged.max_dissimilarity() if merged.is_full else None
+            )
+
+        needs_refine = not found_original
+
+        ranked = []
+        if needs_refine:
+            # Same order-preserving dedup as the worker's mask layout.
+            keyword_bits = {
+                keyword: 1 << bit
+                for bit, keyword in enumerate(
+                    dict.fromkeys(context.keyword_space)
+                )
+            }
+            survivors = []
+            backfill = {}  # chunk idx -> [(wire_key, keywords, [pids])]
+            pid_owner = None  # built on the first miss (phase 2 is rare)
+            for rq in merged.queries():
+                wire_key = tuple(sorted(rq.key))
+                key_mask = 0
+                for keyword in wire_key:
+                    key_mask |= keyword_bits[keyword]
+                needed = sorted(
+                    pid
+                    for pid, mask in present_masks.items()
+                    if mask & key_mask == key_mask
+                )
+                have = computed.get(wire_key, {})
+                missing = {}
+                for pid in needed:
+                    if pid not in have:
+                        if pid_owner is None:
+                            pid_owner = {
+                                pid_: owner
+                                for owner, pids in enumerate(chunk_pids)
+                                for pid_ in pids
+                            }
+                        missing.setdefault(pid_owner[pid], []).append(pid)
+                for owner, pids in missing.items():
+                    backfill.setdefault(owner, []).append(
+                        (wire_key, rq.keywords, pids)
+                    )
+                survivors.append((rq, wire_key, needed))
+            if backfill:
+                request = Phase1Request(
+                    context.query, context.keyword_space, rules, capacity,
+                    context.search_for_types,
+                )
+                tasks = [
+                    ("phase2", request, items)
+                    for _, items in sorted(backfill.items())
+                ]
+                for result in executor.run(tasks):
+                    for wire_key, pid, labels in result["results"]:
+                        computed.setdefault(wire_key, {})[pid] = labels
+                    for name, value in result["stats"].items():
+                        if name != "elapsed_seconds":
+                            setattr(
+                                stats, name, getattr(stats, name) + value
+                            )
+            surviving = {}
+            for rq, wire_key, needed in survivors:
+                results = []
+                per_pid = computed.get(wire_key, {})
+                for pid in needed:
+                    results.extend(per_pid.get(pid, ()))
+                if results:
+                    surviving[rq.key] = (rq, rebuild_labels(results))
+            ranked = rank_candidates(context, model, surviving)
+            originals = []
+        else:
+            originals.sort()
+    finally:
+        if own_executor:
+            executor.close()
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return RefinementResponse(
+        query=context.query,
+        needs_refinement=needs_refine,
+        original_results=originals,
+        refinements=ranked[:k],
+        candidates=ranked,
+        search_for=context.search_for,
+        stats=stats,
+    )

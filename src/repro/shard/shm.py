@@ -1,0 +1,205 @@
+"""Shared-memory publication of packed posting payloads.
+
+The parent engine serializes every keyword's packed posting payload
+(the exact bytes the KV store holds — delta-coded Deweys, interned
+node-type ids, varint counts) into **one**
+:mod:`multiprocessing.shared_memory` segment, once per index version.
+Worker processes attach to the segment by name and decode keywords
+lazily through :func:`repro.index.inverted.decode_posting_payload`, so
+posting lists cross the process boundary zero-copy: no pickling, no
+per-request re-serialization.
+
+Lifecycle rules:
+
+* the **publisher** (parent) owns the segment: it alone may
+  :meth:`~SharedPostingBlob.unlink`, and it does so explicitly on
+  engine close / pool rebuild, with a :mod:`weakref` finalizer as the
+  backstop so a dropped engine never leaks ``/dev/shm`` entries;
+* **attachers** (workers) open the segment read-only by name and are
+  immediately unregistered from the ``resource_tracker`` — otherwise
+  the tracker would tear the segment down while the parent still
+  serves from it (CPython gained ``track=False`` only in 3.13; older
+  interpreters need the manual unregister);
+* every blob is stamped with the publishing index ``version``; the
+  pool compares stamps and re-publishes after ``append_partition`` /
+  ``remove_partition``, exactly like the result cache invalidates.
+
+Segment names all start with :data:`SEGMENT_PREFIX`, which the test
+suite uses to assert that a full run leaves nothing behind in
+``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+
+from ..index.inverted import decode_posting_payload
+
+#: Prefix of every segment this module creates (leak checks key on it).
+SEGMENT_PREFIX = "xrefshard_"
+
+
+def _fresh_name():
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(4)}"
+
+
+def _attach_untracked(name):
+    """Open an existing segment without claiming tracker ownership.
+
+    Python 3.13+ exposes ``track=False`` for exactly this.  On older
+    interpreters attaching re-registers the name, but our workers are
+    **forked**, so they share the parent's resource-tracker process and
+    the re-registration is an idempotent set-add: the parent's
+    ``unlink()`` unregisters it exactly once, and if the whole process
+    tree dies without unlinking, the shared tracker reaps the segment —
+    the crash-safety net the lifecycle tests rely on.  Unregistering
+    manually here would strip the parent's registration instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _release(segment, owner):
+    """Close (and for the owner, unlink) a segment; idempotent."""
+    try:
+        segment.close()
+    except (OSError, ValueError):
+        pass
+    if owner:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedPostingBlob:
+    """One index's posting payloads in a single shared-memory segment.
+
+    Attributes
+    ----------
+    name:
+        Segment name; workers attach with it.
+    layout:
+        ``{keyword: (offset, length)}`` into the segment.
+    type_table:
+        Snapshot of the interned node-type table at publish time.
+    version:
+        Index version the payloads were taken from.
+    """
+
+    def __init__(self, segment, layout, type_table, version, owner):
+        self._segment = segment
+        self._owner = owner
+        self._closed = False
+        self.name = segment.name
+        self.layout = layout
+        self.type_table = type_table
+        self.version = version
+        self._lists = {}
+        self._finalizer = weakref.finalize(self, _release, segment, owner)
+
+    # ------------------------------------------------------------------
+    # Publish / attach
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, inverted, version):
+        """Write every keyword's raw payload into a fresh segment."""
+        layout = {}
+        chunks = []
+        offset = 0
+        for keyword in inverted.keywords():
+            raw = inverted.raw_payload(keyword)
+            if raw is None:
+                continue
+            layout[keyword] = (offset, len(raw))
+            chunks.append(raw)
+            offset += len(raw)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=_fresh_name()
+        )
+        position = 0
+        for raw in chunks:
+            segment.buf[position : position + len(raw)] = raw
+            position += len(raw)
+        return cls(
+            segment, layout, tuple(inverted.node_type_table), version,
+            owner=True,
+        )
+
+    @classmethod
+    def attach(cls, name, layout, type_table, version):
+        """Worker-side read-only view of a published segment."""
+        segment = _attach_untracked(name)
+        return cls(segment, layout, type_table, version, owner=False)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def payload(self, keyword):
+        """Raw payload bytes for ``keyword`` (None when not indexed)."""
+        entry = self.layout.get(keyword)
+        if entry is None:
+            return None
+        offset, length = entry
+        return bytes(self._segment.buf[offset : offset + length])
+
+    def decoded(self, keyword):
+        """Decoded :class:`InvertedList`, cached per blob per keyword."""
+        cached = self._lists.get(keyword)
+        if cached is None:
+            raw = self.payload(keyword)
+            cached = decode_posting_payload(
+                keyword, raw if raw is not None else b"\x00",
+                self.type_table,
+            )
+            self._lists[keyword] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self):
+        return self._closed
+
+    def close(self):
+        """Detach (and, for the publisher, unlink) the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._lists.clear()
+        self._finalizer.detach()
+        _release(self._segment, self._owner)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        role = "owner" if self._owner else "attached"
+        return (
+            f"SharedPostingBlob({self.name!r}, {len(self.layout)} keywords, "
+            f"v{self.version}, {role}, {state})"
+        )
+
+
+def live_segments():
+    """Names of this module's segments currently present in /dev/shm.
+
+    Test-suite helper for the no-leak assertion; returns an empty list
+    on platforms without a /dev/shm filesystem.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))

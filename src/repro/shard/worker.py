@@ -1,0 +1,435 @@
+"""Per-shard execution kernel for parallel Algorithm 2.
+
+A worker owns a contiguous range of document partitions and replays
+the partition loop of
+:func:`repro.core.partition_refine.partition_refine` over exactly that
+range, against posting lists decoded from the shared-memory blob
+(:mod:`repro.shard.shm`).  Three deliberate differences from the
+serial loop, none of which may change the merged answer:
+
+* sublists are sliced by **binary search** on the packed component
+  arrays instead of walking a cursor posting-by-posting — the partition
+  fast-forward collapses to two bisects;
+* the DP (`getTopOptimalRQs`) is **memoized per request by the present
+  keyword set**: the DP is a pure function of
+  ``(query, present, rules, limit)`` and query/rules/limit are fixed
+  for the request, so partitions exposing the same keyword subset share
+  one beam evaluation;
+* admission runs against a **shard-local** Top-2K list, optionally
+  tightened by the coordinator's broadcast bound.  A candidate the
+  local list rejects is dominated by ``capacity`` locally better
+  candidates that all reach the merge, so it could never survive the
+  global content-ordered merge either (see DESIGN.md).
+
+Every SLCA computation performed for a candidate is reported back as
+``(key, partition) -> meaningful labels`` so the coordinator can
+assemble each survivor's full result set (phase 2 backfills pairs no
+shard computed).  Labels travel as raw component tuples; the
+coordinator rebuilds :class:`~repro.xmltree.dewey.Dewey` via the
+trusted constructor.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+
+from ..core.candidates import RQSortedList
+from ..core.dp import get_top_optimal_rqs
+from ..core.result import ScanStats
+from ..slca.meaningful import is_meaningful
+from ..slca.scan_eager import scan_eager_slca
+from ..xmltree.dewey import Dewey
+
+
+class Phase1Request:
+    """Query-wide inputs shared by every shard of one request."""
+
+    __slots__ = (
+        "query",
+        "keyword_space",
+        "rules",
+        "capacity",
+        "search_for_types",
+        "skip_optimization",
+        "bound",
+        "found_original",
+    )
+
+    def __init__(self, query, keyword_space, rules, capacity,
+                 search_for_types, skip_optimization=True, bound=None,
+                 found_original=False):
+        self.query = tuple(query)
+        self.keyword_space = tuple(keyword_space)
+        self.rules = rules
+        self.capacity = capacity
+        self.search_for_types = list(search_for_types)
+        self.skip_optimization = skip_optimization
+        #: Cross-shard skip bound: worst kept dissimilarity of the
+        #: merged Top-2K from completed rounds (None = not full yet).
+        self.bound = bound
+        #: True when an earlier round already answered the original
+        #: query — candidate work is skipped, original results are not.
+        self.found_original = found_original
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+class WorkerState:
+    """Lazily decoded posting lists + document tree for one worker.
+
+    ``get_payload`` maps a keyword to its raw packed payload (from the
+    shared-memory blob in a worker process, straight from the KV store
+    for the in-process executor); decoded component/label columns are
+    cached per keyword for the lifetime of the state, i.e. one index
+    version.
+
+    ``shared_bound``, when set by the transport, is a process-shared
+    double (``multiprocessing.Value('d', lock=False)``) carrying the
+    tightest known global skip bound *within* a scatter round — shards
+    scheduled later prune against bounds published by shards that
+    already filled their Top-2K list, the way serial partitions benefit
+    from every earlier partition's admissions.  It is purely advisory:
+    a stale or lost update costs pruning, never correctness, because a
+    published bound is always the worst dissimilarity of ``capacity``
+    genuinely kept candidates (see DESIGN.md).
+
+    ``dp_cache`` memoizes the refinement DP across requests.  The DP is
+    a pure function of ``(query, rules, present keywords, beam)``; the
+    state is rebuilt whenever the index version changes, and the
+    posting data never enters the DP, so persistent workers can reuse
+    beams between requests — the same amortization the engine's
+    ``search_for_cache`` applies to statistics inference.
+    """
+
+    __slots__ = (
+        "_decode",
+        "tree",
+        "_columns",
+        "_tables",
+        "shared_bound",
+        "_dp_memos",
+        "_slca_memo",
+    )
+
+    #: Distinct (query, rules, capacity) combinations memoized before
+    #: the DP cache resets — bounds worst-case memory on hostile logs.
+    DP_MEMO_LIMIT = 512
+    #: Partition-local SLCA sets memoized before the cache resets.
+    SLCA_MEMO_LIMIT = 100_000
+
+    def __init__(self, decode_list, tree):
+        self._decode = decode_list
+        self.tree = tree
+        self._columns = {}
+        self._tables = {}
+        self.shared_bound = None
+        self._dp_memos = {}
+        self._slca_memo = {}
+
+    def dp_cache(self, query, rules, capacity):
+        """``(probe_memo, beam_memo)`` dicts for one request identity.
+
+        Both map a ``frozenset`` of present keywords to a DP result
+        (limit 1 and limit ``capacity`` respectively) and persist for
+        the worker's lifetime, so repeated queries skip the DP wholesale.
+        """
+        identity = (query, rules.fingerprint(), capacity)
+        memos = self._dp_memos.get(identity)
+        if memos is None:
+            if len(self._dp_memos) >= self.DP_MEMO_LIMIT:
+                self._dp_memos.clear()
+            memos = ({}, {})
+            self._dp_memos[identity] = memos
+        return memos
+
+    def columns(self, keyword):
+        """``(components, labels)`` parallel arrays for one keyword."""
+        cached = self._columns.get(keyword)
+        if cached is None:
+            postings = self._decode(keyword).postings
+            cached = (
+                [p.dewey.components for p in postings],
+                [p.dewey for p in postings],
+            )
+            self._columns[keyword] = cached
+        return cached
+
+    def partition_table(self, keyword):
+        """``{pid: [labels]}`` for one keyword, built once per version.
+
+        One bisect-jumping pass over the packed component array turns
+        the per-request, per-partition slicing of the serial loop into
+        a dict lookup; root postings (no partition) are excluded like
+        the serial loop's root-match skip.
+        """
+        table = self._tables.get(keyword)
+        if table is None:
+            components, labels = self.columns(keyword)
+            table = {}
+            position = bisect_left(components, (0, 0))
+            size = len(components)
+            while position < size:
+                pid = components[position][:2]
+                upper = bisect_left(
+                    components, (pid[0], pid[1] + 1), position
+                )
+                table[pid] = labels[position:upper]
+                position = upper
+            self._tables[keyword] = table
+        return table
+
+    def slca_for(self, wire_key, pid, label_lists):
+        """Partition-local SLCA set, memoized across requests.
+
+        The SLCA set of a keyword set within one partition is a pure
+        function of ``(keyword set, partition, index version)`` — list
+        order only affects scan internals, never the answer (the
+        differential oracle proves all SLCA variants agree) — and this
+        state lives exactly one index version, so persistent workers
+        reuse it across requests.  The *meaningful* filter is applied
+        by the caller: it depends on the request's search-for types.
+        """
+        memo_key = (wire_key, pid)
+        cached = self._slca_memo.get(memo_key)
+        if cached is None:
+            if len(self._slca_memo) >= self.SLCA_MEMO_LIMIT:
+                self._slca_memo.clear()
+            cached = scan_eager_slca(label_lists)
+            self._slca_memo[memo_key] = cached
+        return cached
+
+    def meaningful_only(self, labels, search_for_types):
+        """Definition 3.3 filter, identical to ``QueryContext``'s."""
+        kept = []
+        for label in labels:
+            node = self.tree.get(label)
+            if node is not None and is_meaningful(
+                label, node.node_type, search_for_types
+            ):
+                kept.append(label)
+        return kept
+
+
+def partition_ids(components, lo_key=(0, 0)):
+    """Distinct ``(a, b)`` partition prefixes in a component array.
+
+    Jumps partition-to-partition with binary search instead of walking
+    every posting; root postings (single-component labels) sort before
+    ``(0, 0)`` and are naturally excluded, mirroring the serial loop's
+    root-match skip.
+    """
+    found = []
+    position = bisect_left(components, lo_key)
+    size = len(components)
+    while position < size:
+        pid = components[position][:2]
+        found.append(pid)
+        position = bisect_left(
+            components, (pid[0], pid[1] + 1), position
+        )
+    return found
+
+
+def run_phase1(state, request, pids):
+    """Run the partition loop over ``pids``; returns the wire result.
+
+    The result is a plain dict of picklable primitives:
+
+    ``originals``      labels (component tuples) answering Q itself
+    ``found_original`` True when ``originals`` is non-empty
+    ``offers``         ``[(keywords, dissimilarity, first_pid)]`` for
+                       the shard-local Top-2K survivors
+    ``computed``       ``{sorted-key: {pid: [components]}}`` for every
+                       candidate SLCA computed (meaningful-filtered;
+                       empty lists mark computed-but-meaningless)
+    ``present``        ``{pid: bitmask over keyword_space}``
+    ``stats``          summed :class:`ScanStats` fields
+    """
+    kernel_started = time.perf_counter()
+    query = request.query
+    # Masks and positions are per *distinct* keyword: a query can
+    # repeat a term, and the coordinator derives its needed-partition
+    # masks from the same order-preserving dedup.
+    keyword_space = tuple(dict.fromkeys(request.keyword_space))
+    rules = request.rules
+    search_for_types = request.search_for_types
+    query_key = frozenset(query)
+    query_set = set(query)
+    query_wire = tuple(sorted(query_set))
+    bound = request.bound if request.bound is not None else float("inf")
+    shared = state.shared_bound
+    if shared is not None and shared.value < bound:
+        bound = shared.value
+
+    stats = ScanStats()
+    sorted_list = RQSortedList(capacity=request.capacity)
+    first_pid = {}
+    offers_seen = {}      # key -> RefinedQuery currently held locally
+    computed = {}         # wire key -> {pid: [components]}
+    present_masks = {}
+    originals = []
+    found_original = request.found_original
+    reported_original = False
+
+    probe_memo, beam_memo = state.dp_cache(
+        query, rules, request.capacity
+    )
+    tables = [
+        (keyword, 1 << bit, state.partition_table(keyword))
+        for bit, keyword in enumerate(keyword_space)
+    ]
+
+    for pid in pids:
+        sublists = {}
+        mask = 0
+        for keyword, bit_mask, table in tables:
+            labels = table.get(pid)
+            if labels is not None:
+                sublists[keyword] = labels
+                mask |= bit_mask
+                stats.postings_scanned += len(labels)
+        if not sublists:
+            continue
+        present_masks[pid] = mask
+        stats.partitions_visited += 1
+        present = frozenset(sublists)
+
+        # Original-query check runs in every partition, exactly like
+        # the serial loop (later partitions may hold more answers).
+        if query_set and query_set <= present:
+            stats.slca_invocations += 1
+            slcas = state.slca_for(
+                query_wire, pid, [sublists[keyword] for keyword in query]
+            )
+            meaningful = state.meaningful_only(slcas, search_for_types)
+            if meaningful:
+                found_original = True
+                reported_original = True
+                originals.extend(label.components for label in meaningful)
+        if found_original:
+            continue
+
+        # Optimization 2 with the cross-shard bound folded in: the
+        # effective threshold is the tighter of the local list's and
+        # the broadcast's — the coordinator's between rounds, plus any
+        # bound a concurrently running shard has published since this
+        # task started; strict comparison as in serial.
+        if shared is not None and shared.value < bound:
+            bound = shared.value
+        threshold = min(sorted_list.max_dissimilarity(), bound)
+        if request.skip_optimization and threshold != float("inf"):
+            stats.dp_invocations += 1
+            probe = probe_memo.get(present)
+            if probe is None:
+                probe = get_top_optimal_rqs(query, present, rules, 1)
+                probe_memo[present] = probe
+            if not probe or probe[0].dissimilarity > threshold:
+                stats.partitions_skipped += 1
+                continue
+
+        stats.dp_invocations += 1
+        local_candidates = beam_memo.get(present)
+        if local_candidates is None:
+            local_candidates = get_top_optimal_rqs(
+                query, present, rules, sorted_list.capacity
+            )
+            beam_memo[present] = local_candidates
+        for rq in local_candidates:
+            if rq.key == query_key:
+                continue
+            already_kept = sorted_list.has_key(rq.key)
+            if not already_kept and (
+                not sorted_list.would_admit(rq)
+                or rq.dissimilarity > bound
+            ):
+                continue
+            stats.slca_invocations += 1
+            wire_key = tuple(sorted(rq.key))
+            slcas = state.slca_for(
+                wire_key, pid,
+                [sublists[keyword] for keyword in rq.keywords],
+            )
+            meaningful = state.meaningful_only(slcas, search_for_types)
+            computed.setdefault(wire_key, {})[pid] = [
+                label.components for label in meaningful
+            ]
+            if not meaningful:
+                continue
+            sorted_list.insert(rq)
+            if shared is not None and sorted_list.is_full:
+                # Publish this shard's 2K-th dissimilarity: a sound
+                # global bound (capacity kept candidates beat it), and
+                # a lost racing update only weakens pruning.
+                local_bound = sorted_list.max_dissimilarity()
+                if local_bound < shared.value:
+                    shared.value = local_bound
+            held = offers_seen.get(rq.key)
+            now_held = sorted_list._by_key.get(rq.key)
+            if now_held is not None and now_held is not held:
+                # The list adopted this partition's instance (new key
+                # or strictly smaller dissimilarity) — it becomes the
+                # representative, stamped with this partition.
+                offers_seen[rq.key] = now_held
+                first_pid[rq.key] = pid
+
+    offers = [
+        (rq.keywords, rq.dissimilarity, first_pid[rq.key])
+        for rq in sorted_list.queries()
+    ]
+    stats.elapsed_seconds = time.perf_counter() - kernel_started
+    return {
+        "originals": originals,
+        "found_original": reported_original,
+        "offers": offers,
+        "computed": computed,
+        "present": present_masks,
+        "stats": stats.as_dict(),
+    }
+
+
+def run_phase2(state, request, items):
+    """Backfill partition-local results for merged survivors.
+
+    ``items`` is ``[(wire_key, keywords, [pids])]``; returns
+    ``{"results": [(wire_key, pid, [components])], "stats": {...}}``
+    with the same meaningful filtering as phase 1.
+    """
+    search_for_types = request.search_for_types
+    stats = ScanStats()
+    results = []
+    for wire_key, keywords, pids in items:
+        tables = [state.partition_table(keyword) for keyword in keywords]
+        for pid in pids:
+            label_lists = []
+            for table in tables:
+                labels = table.get(pid, ())
+                label_lists.append(labels)
+                stats.postings_scanned += len(labels)
+            stats.slca_invocations += 1
+            slcas = state.slca_for(wire_key, pid, label_lists)
+            meaningful = state.meaningful_only(slcas, search_for_types)
+            results.append(
+                (wire_key, pid, [label.components for label in meaningful])
+            )
+    return {"results": results, "stats": stats.as_dict()}
+
+
+def dispatch(state, kind, request, payload):
+    """Task demultiplexer shared by the pool workers and the in-process
+    executor, so both transports exercise identical code."""
+    if kind == "phase1":
+        return run_phase1(state, request, payload)
+    if kind == "phase2":
+        return run_phase2(state, request, payload)
+    raise ValueError(f"unknown shard task kind {kind!r}")
+
+
+def rebuild_labels(component_lists):
+    """Wire components -> trusted Dewey labels (coordinator side)."""
+    return [Dewey.from_trusted(components) for components in component_lists]

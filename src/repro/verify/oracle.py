@@ -14,8 +14,12 @@ path that must agree:
   byte-identical :class:`~repro.core.result.RefinementResponse`
   fingerprints (stats excluded); ``stack`` (Top-1) must agree on the
   refinement flag, the original results and the optimal dissimilarity;
-  the partition skip bound must not change answers; and a warm
-  (result-cached) engine must answer exactly like a cold one.
+  the partition skip bound must not change answers; a warm
+  (result-cached) engine must answer exactly like a cold one; and the
+  sharded scatter–gather execution (``repro.shard``) must be
+  byte-identical to serial Algorithm 2 at every ``(shards, rounds)``
+  combination tried — including a multi-round run that exercises the
+  cross-shard skip-bound broadcast.
 
 A failed comparison is a :class:`Divergence` — a plain record carrying
 enough context for the shrinker to reproduce and reduce it.
@@ -27,6 +31,7 @@ from ..core.engine import XRefine
 from ..core.partition_refine import partition_refine
 from ..core.short_list_eager import short_list_eager
 from ..core.stack_refine import stack_refine
+from ..shard.refine import sharded_partition_refine
 from ..index.builder import build_document_index
 from ..index.tokenize_text import query_terms
 from ..slca.elca import elca
@@ -265,6 +270,29 @@ class DocumentOracle:
                     fingerprints["partition"],
                 )
             )
+
+        # Sharded execution must be byte-identical to serial Algorithm 2
+        # at every fan-out; the (4, 2) run exercises the cross-round
+        # skip-bound broadcast.  The in-process executor runs the exact
+        # worker kernel with pickled transport; the real process pool
+        # is covered by tests/shard (forking here would dominate the
+        # sweep's runtime).
+        for shards, rounds in ((2, 1), (4, 1), (4, 2)):
+            sharded = sharded_partition_refine(
+                self.index, terms, rules=rules, model=model, k=k,
+                shards=shards, rounds=rounds,
+            )
+            if response_fingerprint(sharded) != fingerprints["partition"]:
+                divergences.append(
+                    Divergence(
+                        f"refine:sharded-vs-serial:{shards}x{rounds}",
+                        f"sharded run (shards={shards}, rounds={rounds}) "
+                        "differs from serial Algorithm 2",
+                        self.spec, query,
+                        fingerprints["partition"],
+                        response_fingerprint(sharded),
+                    )
+                )
 
         # Warm path: second engine.search must hit the result cache and
         # equal the cold direct call byte for byte.

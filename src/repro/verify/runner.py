@@ -74,9 +74,10 @@ def _check_document(oracle, queries, report):
         divergences += check_invariants(oracle, query)
         # Each query exercises every SLCA variant x {cold, packed,
         # warm}, the ELCA adjacency laws, the three refinement
-        # algorithms x {cold, warm}, the skip ablation and the five
-        # metamorphic invariants.
-        report.checks += 30
+        # algorithms x {cold, warm}, the skip ablation, three
+        # sharded-vs-serial fan-outs and the five metamorphic
+        # invariants.
+        report.checks += 33
         found.extend(divergences)
     return found
 

@@ -179,6 +179,13 @@ class Dewey:
     def __hash__(self):
         return self._hash
 
+    def __reduce__(self):
+        # Labels cross process boundaries in the sharded execution
+        # layer (repro.shard); the default slot-based pickling would
+        # trip over the immutability guard in ``__setattr__``, so
+        # rebuild through the trusted constructor instead.
+        return (_from_components, (self.components,))
+
     def __len__(self):
         return len(self.components)
 
@@ -193,6 +200,11 @@ class Dewey:
 
     def __str__(self):
         return ".".join(str(part) for part in self.components)
+
+
+def _from_components(components):
+    """Pickle helper: rebuild a label from its validated components."""
+    return Dewey.from_trusted(components)
 
 
 def lca_of_all(labels):

@@ -1,0 +1,127 @@
+"""Sharded execution must be byte-identical to the serial engine.
+
+The differential oracle already sweeps the in-process executor across
+seeds; these tests pin the layers it cannot reach — real forked worker
+processes (pickle transport, shared-memory reads, the cross-process
+skip-bound mailbox) and the engine-facing ``parallelism`` plumbing —
+against the serial answer with :func:`response_fingerprint`, which
+covers every answer-bearing field of the response.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import XRefine
+from repro.shard.pool import InProcessExecutor, ShardPool
+from repro.shard.refine import sharded_partition_refine
+from repro.verify.oracle import response_fingerprint
+from repro.workload import WorkloadGenerator
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the shard pool needs the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def query_mix(dblp_index):
+    generator = WorkloadGenerator(dblp_index, seed=19)
+    queries = []
+    for position in range(8):
+        if position % 2:
+            queries.append(list(generator.clean_query().query))
+        else:
+            queries.append(list(generator.refinable_query().query))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def mined_rules(dblp_index, query_mix):
+    # Direct sharded_partition_refine calls default to an empty rule
+    # set; mine the engine's rules once so both sides see the same.
+    engine = XRefine(dblp_index, cache_size=0)
+    return [engine.mine_rules(query) for query in query_mix]
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints(dblp_index, query_mix):
+    engine = XRefine(dblp_index, cache_size=0)
+    return [
+        response_fingerprint(engine.search(query, k=2))
+        for query in query_mix
+    ]
+
+
+@fork_available
+class TestRealProcessIdentity:
+    def test_pool_matches_serial_across_shards_and_rounds(
+        self, dblp_index, query_mix, mined_rules, serial_fingerprints
+    ):
+        with ShardPool(dblp_index, workers=2) as pool:
+            for shards, rounds in ((2, 1), (4, 2)):
+                for query, rules, expected in zip(
+                    query_mix, mined_rules, serial_fingerprints
+                ):
+                    response = sharded_partition_refine(
+                        dblp_index, query, rules=rules, k=2,
+                        shards=shards, rounds=rounds, executor=pool,
+                    )
+                    assert response_fingerprint(response) == expected
+
+    def test_engine_parallelism_matches_serial(
+        self, dblp_index, query_mix, serial_fingerprints
+    ):
+        with XRefine(dblp_index, cache_size=0, parallelism=4) as engine:
+            for query, expected in zip(query_mix, serial_fingerprints):
+                assert (
+                    response_fingerprint(engine.search(query, k=2))
+                    == expected
+                )
+
+
+class TestInProcessIdentity:
+    def test_bound_broadcast_does_not_leak_across_requests(
+        self, dblp_index, query_mix, mined_rules, serial_fingerprints
+    ):
+        # One executor serving many requests back to back: the shared
+        # skip bound is reset per fan-out, so a tight bound from an
+        # earlier (selective) query must never prune a later one.
+        executor = InProcessExecutor(dblp_index)
+        for _ in range(2):
+            for query, rules, expected in zip(
+                query_mix, mined_rules, serial_fingerprints
+            ):
+                response = sharded_partition_refine(
+                    dblp_index, query, rules=rules, k=2,
+                    shards=3, rounds=2, executor=executor,
+                )
+                assert response_fingerprint(response) == expected
+        assert executor._state.shared_bound.value == float("inf")
+
+    def test_worker_memos_are_exercised_and_stay_correct(
+        self, dblp_index, query_mix, mined_rules, serial_fingerprints
+    ):
+        # Repeat the same queries through one executor: the second pass
+        # is served from the workers' cross-request DP/SLCA memos and
+        # must still be byte-identical.
+        executor = InProcessExecutor(dblp_index)
+        state = executor._state
+        for query, rules, expected in zip(
+            query_mix, mined_rules, serial_fingerprints
+        ):
+            sharded_partition_refine(
+                dblp_index, query, rules=rules, k=2,
+                shards=2, executor=executor,
+            )
+        assert state._dp_memos and state._slca_memo
+        for query, rules, expected in zip(
+            query_mix, mined_rules, serial_fingerprints
+        ):
+            response = sharded_partition_refine(
+                dblp_index, query, rules=rules, k=2,
+                shards=2, executor=executor,
+            )
+            assert response_fingerprint(response) == expected

@@ -1,0 +1,87 @@
+"""``search_many`` dispatches each unique query exactly once.
+
+The batch API deduplicates on normalized terms *before* dispatch, so
+the guarantee must hold even with the LRU result cache disabled — and
+on the parallel path, where each duplicate would otherwise fan out
+over the pool again.  Counted by wrapping the refinement entry points
+the engine actually calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import XRefine
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def skewed_log(dblp_index):
+    generator = WorkloadGenerator(dblp_index, seed=29)
+    pool = [
+        list(generator.refinable_query().query),
+        list(generator.clean_query().query),
+        list(generator.refinable_query().query),
+    ]
+    # 9 requests over 3 unique queries, duplicates interleaved.
+    return pool, [pool[i] for i in (0, 1, 0, 2, 1, 0, 2, 2, 1)]
+
+
+class TestSearchManyDedup:
+    def test_serial_executes_once_per_unique_query(
+        self, dblp_index, skewed_log, monkeypatch
+    ):
+        import repro.core.engine as engine_module
+
+        pool, log = skewed_log
+        calls = []
+        real = engine_module.partition_refine
+
+        def counting(index, query, **kwargs):
+            calls.append(tuple(query))
+            return real(index, query, **kwargs)
+
+        monkeypatch.setattr(engine_module, "partition_refine", counting)
+        engine = XRefine(dblp_index, cache_size=0)
+        responses = engine.search_many(log, k=2)
+
+        assert len(responses) == len(log)
+        assert len(calls) == len(pool)
+        assert len(set(calls)) == len(pool)
+        # Duplicate requests share the very same response object.
+        assert responses[0] is responses[2] is responses[5]
+        assert responses[3] is responses[6] is responses[7]
+
+    def test_parallel_executes_once_per_unique_query(
+        self, dblp_index, skewed_log, monkeypatch
+    ):
+        import repro.shard.refine as refine_module
+
+        pool, log = skewed_log
+        calls = []
+        real = refine_module.sharded_partition_refine
+
+        def counting(index, query, **kwargs):
+            calls.append(tuple(query))
+            return real(index, query, **kwargs)
+
+        monkeypatch.setattr(
+            refine_module, "sharded_partition_refine", counting
+        )
+        with XRefine(dblp_index, cache_size=0, parallelism=2) as engine:
+            responses = engine.search_many(log, k=2)
+
+        assert len(responses) == len(log)
+        assert len(calls) == len(pool)
+        assert len(set(calls)) == len(pool)
+
+    def test_warm_cache_still_returns_one_response_per_request(
+        self, dblp_index, skewed_log
+    ):
+        _, log = skewed_log
+        engine = XRefine(dblp_index)
+        first = engine.search_many(log, k=2)
+        second = engine.search_many(log, k=2)
+        assert len(first) == len(second) == len(log)
+        for a, b in zip(first, second):
+            assert a is b  # served from the LRU on the second batch

@@ -1,0 +1,183 @@
+"""Shared-memory segment lifecycle: attach, detach, unlink, recover.
+
+The posting blob is the one OS-level resource the parallel layer owns;
+these tests pin the full lifecycle — publication makes a segment
+appear, reader detach never destroys it, owner close always does (also
+after worker crashes), and a version bump re-publishes rather than
+serving stale postings.  The session-wide no-leak fixture in
+``tests/conftest.py`` backstops all of them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro import XRefine, build_document_index
+from repro.datasets import generate_dblp
+from repro.index import append_partition
+from repro.shard.pool import ShardPool, ShardPoolBroken, ShardRuntime
+from repro.shard.refine import sharded_partition_refine
+from repro.shard.shm import SharedPostingBlob, live_segments
+from repro.verify.oracle import response_fingerprint
+from repro.workload import WorkloadGenerator
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the shard pool needs the fork start method",
+)
+
+
+@pytest.fixture()
+def small_index():
+    return build_document_index(generate_dblp(num_authors=20, seed=3))
+
+
+def refinable_query(index, seed=5):
+    return list(WorkloadGenerator(index, seed=seed).refinable_query().query)
+
+
+class TestBlobLifecycle:
+    def test_publish_attach_detach_unlink(self, small_index):
+        before = set(live_segments())
+        blob = SharedPostingBlob.publish(small_index.inverted, 0)
+        assert blob.name in live_segments()
+
+        reader = SharedPostingBlob.attach(
+            blob.name, blob.layout, blob.type_table, 0
+        )
+        keyword = next(iter(blob.layout))
+        assert bytes(reader.payload(keyword)) == bytes(blob.payload(keyword))
+
+        # A reader detaching must not destroy the owner's segment.
+        reader.close()
+        assert blob.name in live_segments()
+
+        # The owner's close unlinks; both closes are idempotent.
+        blob.close()
+        blob.close()
+        assert set(live_segments()) == before
+
+    def test_decoded_lists_match_index(self, small_index):
+        with SharedPostingBlob.publish(small_index.inverted, 0) as blob:
+            reader = SharedPostingBlob.attach(
+                blob.name, blob.layout, blob.type_table, 0
+            )
+            try:
+                for keyword in list(blob.layout)[:20]:
+                    direct = small_index.inverted.get(keyword)
+                    shared = reader.decoded(keyword)
+                    assert [p.dewey for p in shared] == [
+                        p.dewey for p in direct
+                    ]
+            finally:
+                reader.close()
+
+
+@fork_available
+class TestPoolLifecycle:
+    def test_close_unlinks_segment(self, small_index):
+        pool = ShardPool(small_index, workers=2)
+        name = pool.segment_name
+        assert name in live_segments()
+        pool.close()
+        assert name not in live_segments()
+        pool.close()  # idempotent
+
+    def test_run_after_close_raises(self, small_index):
+        pool = ShardPool(small_index, workers=2)
+        pool.close()
+        with pytest.raises(ShardPoolBroken):
+            pool.run([("phase1", None, [])])
+
+    def test_killed_worker_breaks_pool_but_segment_is_unlinked(
+        self, small_index
+    ):
+        pool = ShardPool(small_index, workers=2)
+        name = pool.segment_name
+        query = refinable_query(small_index)
+        try:
+            sharded_partition_refine(
+                small_index, query, k=2, shards=2, executor=pool
+            )
+            for process in pool._processes:
+                os.kill(process.pid, signal.SIGKILL)
+            for process in pool._processes:
+                process.join(timeout=5.0)
+            with pytest.raises(ShardPoolBroken):
+                sharded_partition_refine(
+                    small_index, query, k=2, shards=2, executor=pool
+                )
+        finally:
+            pool.close()
+        assert name not in live_segments()
+
+    def test_runtime_recovers_from_worker_crash(self, small_index):
+        query = refinable_query(small_index)
+        runtime = ShardRuntime(small_index, workers=2)
+        try:
+            baseline = response_fingerprint(
+                sharded_partition_refine(
+                    small_index, query, k=2, shards=2, executor=runtime
+                )
+            )
+            first_pool = runtime.executor()
+            first_name = first_pool.segment_name
+            for process in first_pool._processes:
+                os.kill(process.pid, signal.SIGKILL)
+            for process in first_pool._processes:
+                process.join(timeout=5.0)
+            # The runtime retries once on a fresh pool, transparently.
+            recovered = response_fingerprint(
+                sharded_partition_refine(
+                    small_index, query, k=2, shards=2, executor=runtime
+                )
+            )
+            assert recovered == baseline
+            second_pool = runtime.executor()
+            assert second_pool is not first_pool
+            # The broken pool's segment was unlinked during recovery.
+            assert first_name not in live_segments()
+            assert second_pool.segment_name in live_segments()
+        finally:
+            runtime.close()
+        assert second_pool.segment_name not in live_segments()
+
+
+@fork_available
+class TestVersionLifecycle:
+    def test_version_bump_republishes_before_serving(self, small_index):
+        query = refinable_query(small_index)
+        with XRefine(small_index, cache_size=0, parallelism=2) as engine:
+            engine.search(query, k=2)
+            first_pool = engine._shard_runtime.executor()
+            first_name = first_pool.segment_name
+            assert first_pool.version == small_index.version
+
+            append_partition(
+                small_index,
+                (
+                    "author",
+                    None,
+                    [
+                        ("name", "fresh writer"),
+                        (
+                            "publications",
+                            None,
+                            [("article", None, [("title", "online xml")])],
+                        ),
+                    ],
+                ),
+            )
+            after = engine.search(query, k=2)
+            second_pool = engine._shard_runtime.executor()
+            # Stale pool torn down (segment unlinked), fresh one serves.
+            assert second_pool is not first_pool
+            assert second_pool.version == small_index.version
+            assert first_name not in live_segments()
+
+            serial = XRefine(small_index, cache_size=0).search(query, k=2)
+            assert response_fingerprint(after) == response_fingerprint(serial)

@@ -67,3 +67,46 @@ class TestMatcherAgreement:
         first = matcher.match(target)
         second = matcher.match(target)
         assert str(first) == str(second) == "0.1"
+
+
+class TestGallopingAdvance:
+    """The galloping pointer advance must land exactly where the old
+    linear "advance while next <= target" walk stopped."""
+
+    def test_long_list_short_anchor_agrees_with_bisect(self):
+        # The gallop's motivating shape: a few far-apart anchors
+        # against a long dense list, forcing large exponential jumps.
+        components = [(0, i, 0) for i in range(5000)]
+        labels = _labels(components)
+        matcher = _ForwardMatcher(labels)
+        sorted_components = label_components(labels)
+        for ordinal in (0, 1, 7, 90, 1023, 1024, 3333, 4999):
+            target = Dewey.from_trusted((0, ordinal, 1))
+            forward = matcher.match(target)
+            bisected = closest_match(sorted_components, target)
+            assert str(forward) == str(bisected)
+
+    def test_pointer_is_monotone_and_lands_on_last_leq(self):
+        components = [(0, i) for i in range(0, 200, 2)]  # even ordinals
+        matcher = _ForwardMatcher(_labels(components))
+        previous = 0
+        rng = random.Random(7)
+        ordinals = sorted(rng.randint(0, 199) for _ in range(50))
+        for ordinal in ordinals:
+            matcher.match(Dewey.from_trusted((0, ordinal)))
+            position = matcher.position
+            assert position >= previous
+            # Last element <= target: the linear-walk postcondition.
+            assert components[position] <= (0, ordinal)
+            if position + 1 < len(components):
+                assert components[position + 1] > (0, ordinal)
+            previous = position
+
+    def test_gallop_overshoot_past_end_of_list(self):
+        # The exponential probe runs off the end; the bracket bisect
+        # must clamp to the final element instead of indexing past it.
+        components = [(0, i) for i in range(33)]  # not a power of two
+        matcher = _ForwardMatcher(_labels(components))
+        result = matcher.match(Dewey.from_trusted((5,)))
+        assert matcher.position == len(components) - 1
+        assert str(result) == "0.32"
