@@ -19,6 +19,15 @@ configurations of the same engine:
   the steady-state miss path a long-lived server sees), then reports
   the faster of two timed passes.
 
+A separate **startup** section measures process-boot cost: time from a
+stored artifact to the first answered query for (a) a fresh
+``build_document_index`` over the XML, (b) ``load_index`` over a saved
+store directory, and (c) a frozen-snapshot mmap open
+(``repro.index.frozen``); plus RSS before/after each path and the
+shared-memory publish time from a built vs a frozen index.  On full
+runs the frozen path must reach its first answer >= 5x faster than the
+build path, and ``load_index`` must stay well under a fresh build.
+
 Every section reports p50/p95/p99 per-request latency alongside the
 mean.  Writes ``BENCH_hotpath.json`` (repo root by default) so later
 PRs have a perf trajectory to compare against, and exits non-zero when
@@ -39,7 +48,9 @@ import json
 import math
 import os
 import random
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -48,7 +59,16 @@ sys.path.insert(
 
 from repro import XRefine, build_document_index  # noqa: E402
 from repro.datasets import generate_dblp  # noqa: E402
+from repro.index import (  # noqa: E402
+    freeze_index,
+    load_frozen_index,
+    load_index,
+    save_index,
+)
+from repro.shard.shm import SharedPostingBlob  # noqa: E402
 from repro.workload import WorkloadGenerator  # noqa: E402
+from repro.xmltree.parser import parse_file  # noqa: E402
+from repro.xmltree.serialize import write_file  # noqa: E402
 
 #: Minimum acceptable warm-over-cold speedup on the skewed log.
 SPEEDUP_FLOOR = 3.0
@@ -56,6 +76,13 @@ SPEEDUP_FLOOR = 3.0
 #: Minimum acceptable 4-worker-over-serial cold speedup (full runs only;
 #: the smoke corpus is too small for fan-out to amortize).
 PARALLEL_FLOOR = 1.8
+
+#: Minimum frozen-open-to-first-answer speedup over a fresh build
+#: (acceptance criterion; full runs only).
+STARTUP_FROZEN_FLOOR = 5.0
+
+#: load_index must stay well under a fresh build (full runs only).
+STARTUP_LOAD_FLOOR = 1.3
 
 #: Worker counts swept by the cold_parallel section.
 PARALLEL_WORKERS = (1, 2, 4)
@@ -126,6 +153,100 @@ def serve_batched(engine, log, k, algorithm):
     return latencies
 
 
+def _rss_kb():
+    """Resident set size in KiB, or None off-Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def bench_startup(tree, index, query, args):
+    """Artifact-to-first-answer timings for every startup path.
+
+    RSS deltas are same-process and sequential, so they are indicative
+    rather than isolated; the ordering (build first, mmap open last)
+    biases *against* the frozen path, never for it.
+    """
+    workdir = tempfile.mkdtemp(prefix="bench_startup_")
+    section = {}
+    try:
+        xml_path = os.path.join(workdir, "corpus.xml")
+        index_dir = os.path.join(workdir, "corpus.idx")
+        frozen_path = os.path.join(workdir, "corpus.frz")
+        write_file(tree, xml_path)
+
+        began = time.perf_counter()
+        save_index(index, index_dir)
+        section["save_index_seconds"] = time.perf_counter() - began
+        began = time.perf_counter()
+        freeze_index(index, frozen_path)
+        section["freeze_seconds"] = time.perf_counter() - began
+        section["frozen_bytes"] = os.path.getsize(frozen_path)
+
+        def first_answer(label, opener):
+            rss_before = _rss_kb()
+            began = time.perf_counter()
+            engine = opener()
+            engine.search(query, k=args.k, algorithm=args.algorithm)
+            elapsed = time.perf_counter() - began
+            rss_after = _rss_kb()
+            engine.close()
+            entry = {
+                "seconds_to_first_answer": elapsed,
+                "rss_before_kb": rss_before,
+                "rss_after_kb": rss_after,
+            }
+            if rss_before is not None and rss_after is not None:
+                entry["rss_delta_kb"] = rss_after - rss_before
+            print(
+                f"  startup {label:<20} {elapsed * 1000:9.1f} ms to first "
+                f"answer   rss +{entry.get('rss_delta_kb', '?')} KiB"
+            )
+            return entry
+
+        section["build"] = first_answer(
+            "build (XML parse)",
+            lambda: XRefine(build_document_index(parse_file(xml_path))),
+        )
+        section["load_index"] = first_answer(
+            "load_index (dir)", lambda: XRefine(load_index(index_dir))
+        )
+        section["frozen"] = first_answer(
+            "frozen (mmap)", lambda: XRefine.from_frozen(frozen_path)
+        )
+        build_seconds = section["build"]["seconds_to_first_answer"]
+        for name in ("load_index", "frozen"):
+            elapsed = section[name]["seconds_to_first_answer"]
+            section[name]["speedup_vs_build"] = (
+                build_seconds / elapsed if elapsed else float("inf")
+            )
+
+        # Shared-memory publication: per-key gather from the built
+        # store vs the frozen snapshot's single-buffer region copy.
+        frozen_index = load_frozen_index(frozen_path)
+        for label, inverted in (
+            ("publish_built_seconds", index.inverted),
+            ("publish_frozen_seconds", frozen_index.inverted),
+        ):
+            began = time.perf_counter()
+            blob = SharedPostingBlob.publish(inverted, version=0)
+            section[label] = time.perf_counter() - began
+            blob.close()
+        print(
+            f"  startup shard publish: built "
+            f"{section['publish_built_seconds'] * 1000:.1f} ms, frozen "
+            f"{section['publish_frozen_seconds'] * 1000:.1f} ms"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return section
+
+
 def timed_section(label, action):
     latencies = action()
     summary = latency_summary(latencies)
@@ -145,6 +266,9 @@ def run(args):
     tree = generate_dblp(num_authors=args.authors, seed=7)
     index = build_document_index(tree)
     pool, log = build_query_log(index, args.unique, args.requests, args.seed)
+
+    # Startup: stored artifact -> first answered query, per path.
+    startup = bench_startup(tree, index, pool[0], args)
 
     # Cold: result caching off; every request does the full work.
     cold_engine = XRefine(index, cache_size=0)
@@ -222,6 +346,7 @@ def run(args):
             "vocabulary": index.inverted.vocabulary_size(),
             "cpu_count": os.cpu_count(),
         },
+        "startup": startup,
         "cold": cold,
         "warm_fill": warm_fill,
         "warm": warm,
@@ -242,6 +367,11 @@ def run(args):
         f"parallel speedup vs serial cold path: "
         f"x{top['speedup_vs_serial']:.2f} at {top['workers']} workers "
         f"(host cpu_count={os.cpu_count()})"
+    )
+    print(
+        f"startup speedups vs fresh build: "
+        f"load_index x{startup['load_index']['speedup_vs_build']:.1f}, "
+        f"frozen x{startup['frozen']['speedup_vs_build']:.1f}"
     )
 
     status = 0
@@ -267,6 +397,34 @@ def run(args):
             print(
                 f"OK: parallel speedup meets the x{PARALLEL_FLOOR} floor "
                 f"at {top['workers']} workers"
+            )
+        frozen_speedup = startup["frozen"]["speedup_vs_build"]
+        if frozen_speedup < STARTUP_FROZEN_FLOOR:
+            print(
+                f"FAIL: frozen open-to-first-answer speedup "
+                f"x{frozen_speedup:.2f} is below the "
+                f"x{STARTUP_FROZEN_FLOOR:.0f} acceptance floor",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"OK: frozen startup meets the x{STARTUP_FROZEN_FLOOR:.0f} "
+                f"floor (x{frozen_speedup:.1f})"
+            )
+        load_speedup = startup["load_index"]["speedup_vs_build"]
+        if load_speedup < STARTUP_LOAD_FLOOR:
+            print(
+                f"FAIL: load_index is not meaningfully faster than a "
+                f"fresh build (x{load_speedup:.2f} < "
+                f"x{STARTUP_LOAD_FLOOR})",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"OK: load_index stays under a fresh build "
+                f"(x{load_speedup:.1f})"
             )
     return status
 

@@ -6,7 +6,11 @@ per-request latency with the committed baseline
 ``benchmarks/BENCH_hotpath_smoke.json``.  Exits non-zero when the cold
 path regressed by more than ``--threshold`` (default 50%) — small
 enough to catch an accidental O(n) slip on the miss path, large enough
-to absorb host-to-host speed differences within a CI fleet.
+to absorb host-to-host speed differences within a CI fleet.  The
+frozen-snapshot open-to-first-answer time is gated the same way
+against the baseline's ``startup`` section (its own, looser
+``--startup-threshold``, since single-shot startup timings are
+noisier than a 48-request mean).
 
 The baseline is regenerated with::
 
@@ -62,6 +66,9 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=0.5,
                         help="maximum tolerated fractional regression "
                              "(0.5 = latency may grow 50%%)")
+    parser.add_argument("--startup-threshold", type=float, default=1.0,
+                        help="maximum tolerated fractional regression of "
+                             "the frozen open-to-first-answer time")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -100,6 +107,33 @@ def main(argv=None):
         )
         return 1
     print("OK: cold per-request latency is within the regression budget")
+
+    if "startup" not in baseline:
+        print(
+            "baseline has no 'startup' section — regenerate it with the "
+            "command in this file's docstring and re-commit",
+            file=sys.stderr,
+        )
+        return 2
+    if "startup" not in current:
+        print("malformed report: missing 'startup' section", file=sys.stderr)
+        return 2
+    reference = baseline["startup"]["frozen"]["seconds_to_first_answer"]
+    measured = current["startup"]["frozen"]["seconds_to_first_answer"]
+    limit = reference * (1.0 + args.startup_threshold)
+    print(
+        f"frozen open-to-first-answer: baseline {reference * 1000:.1f} ms, "
+        f"current {measured * 1000:.1f} ms, limit {limit * 1000:.1f} ms "
+        f"(+{args.startup_threshold:.0%})"
+    )
+    if measured > limit:
+        print(
+            f"FAIL: frozen startup regressed "
+            f"{measured / reference - 1.0:+.0%} over the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: frozen startup is within the regression budget")
     return 0
 
 

@@ -4,14 +4,16 @@ Usage (``python -m repro <command> ...``)::
 
     repro generate dblp -o corpus.xml --authors 300 --seed 7
     repro index corpus.xml -o corpus.idx
-    repro search corpus.idx online databse -k 3 --algorithm partition
+    repro freeze-index corpus.idx -o corpus.frz
+    repro search corpus.frz online databse -k 3 --algorithm partition
     repro slca corpus.idx database 2003 --algorithm scan
     repro specialize corpus.idx query -k 3
     repro stats corpus.idx
 
-``search``/``slca``/``specialize``/``stats`` accept either a saved
-index directory (from ``repro index``) or a raw ``.xml`` file (indexed
-on the fly).
+``search``/``slca``/``specialize``/``stats`` accept a saved index
+directory (from ``repro index``), a frozen snapshot file (from
+``repro freeze-index`` / ``repro index --frozen``), or a raw ``.xml``
+file (indexed on the fly).
 """
 
 from __future__ import annotations
@@ -24,18 +26,38 @@ from . import __version__
 from .core.engine import ALGORITHMS, SLCA_ALGORITHMS, XRefine
 from .core.specialize import specialize_query
 from .datasets import generate_baseball, generate_dblp
-from .errors import ReproError
+from .errors import IndexingError, ReproError
 from .index.builder import build_document_index
+from .index.frozen import MAGIC as FROZEN_MAGIC
+from .index.frozen import freeze_index, load_frozen_index
 from .index.persist import load_index, save_index
 from .xmltree.parser import parse_file
 from .xmltree.serialize import write_file
 
 
-def _load_engine(source):
-    """Engine from a saved-index directory or a raw XML file."""
+def _is_frozen_file(path):
+    """True when ``path`` is a frozen snapshot (checked by magic)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(FROZEN_MAGIC)) == FROZEN_MAGIC
+    except OSError:
+        return False
+
+
+def _load_document_index(source):
+    """Index from a saved dir, a frozen snapshot file, or raw XML."""
     if os.path.isdir(source):
-        return XRefine(load_index(source))
-    return XRefine(build_document_index(parse_file(source)))
+        return load_index(source)
+    if not os.path.exists(source):
+        raise IndexingError(f"no such index or document: {source!r}")
+    if _is_frozen_file(source):
+        return load_frozen_index(source)
+    return build_document_index(parse_file(source))
+
+
+def _load_engine(source):
+    """Engine from a saved dir, a frozen snapshot file, or raw XML."""
+    return XRefine(_load_document_index(source))
 
 
 def _cmd_generate(args, out):
@@ -51,10 +73,29 @@ def _cmd_generate(args, out):
 def _cmd_index(args, out):
     tree = parse_file(args.document)
     index = build_document_index(tree)
-    save_index(index, args.output)
+    if args.frozen:
+        freeze_index(index, args.output)
+        kind = "frozen snapshot"
+    else:
+        save_index(index, args.output)
+        kind = "index dir"
     print(
         f"indexed {args.document}: {len(tree)} nodes, "
-        f"{index.inverted.vocabulary_size()} keywords -> {args.output}",
+        f"{index.inverted.vocabulary_size()} keywords -> "
+        f"{args.output} ({kind})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_freeze_index(args, out):
+    index = _load_document_index(args.source)
+    freeze_index(index, args.output)
+    size = os.path.getsize(args.output)
+    print(
+        f"froze {args.source}: {len(index.tree)} nodes, "
+        f"{index.inverted.vocabulary_size()} keywords -> "
+        f"{args.output} ({size} bytes)",
         file=out,
     )
     return 0
@@ -251,7 +292,21 @@ def build_parser():
     )
     index.add_argument("document")
     index.add_argument("-o", "--output", required=True)
+    index.add_argument(
+        "--frozen", action="store_true",
+        help="write a single-file frozen snapshot (mmap-served) "
+        "instead of a store directory",
+    )
     index.set_defaults(handler=_cmd_index)
+
+    freeze = commands.add_parser(
+        "freeze-index",
+        help="freeze any index source (XML, index dir, or snapshot) "
+        "into a single mmap-served snapshot file",
+    )
+    freeze.add_argument("source", help="saved index dir, .xml file, or snapshot")
+    freeze.add_argument("-o", "--output", required=True)
+    freeze.set_defaults(handler=_cmd_freeze_index)
 
     search = commands.add_parser(
         "search", help="refinement search (the full XRefine loop)"

@@ -150,6 +150,18 @@ class XRefine:
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_xml(handle.read(), model=model, miner=miner)
 
+    @classmethod
+    def from_frozen(cls, path, model=None, miner=None, **kwargs):
+        """Serve a frozen snapshot file (see :mod:`repro.index.frozen`).
+
+        Posting lists stay on the memory-mapped snapshot and decode
+        lazily per keyword, so the engine reaches its first answer
+        without ever rebuilding or bulk-decoding the index.
+        """
+        from ..index.frozen import load_frozen_index
+
+        return cls(load_frozen_index(path), model=model, miner=miner, **kwargs)
+
     # ------------------------------------------------------------------
     # Hot-path plumbing (repro.perf)
     # ------------------------------------------------------------------

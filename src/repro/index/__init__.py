@@ -8,6 +8,7 @@ embedded store, plus the one-pass builder that fills them.
 from .builder import DocumentIndex, build_document_index
 from .cooccur import CooccurrenceTable
 from .frequency import FrequencyTable
+from .frozen import FrozenSnapshot, freeze_index, load_frozen_index
 from .persist import load_index, save_index
 from .inverted import InvertedIndex, InvertedList, ListCursor, Posting
 from .statistics import StatisticsTable, TypeStatistics
@@ -18,6 +19,9 @@ __all__ = [
     "DocumentIndex",
     "save_index",
     "load_index",
+    "freeze_index",
+    "load_frozen_index",
+    "FrozenSnapshot",
     "append_partition",
     "remove_partition",
     "build_document_index",

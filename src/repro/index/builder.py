@@ -45,6 +45,16 @@ class DocumentIndex:
         #: Memoized Formula-1 search-for inference (repro.perf).
         self.search_for_cache = SearchForCache(self)
 
+    def freeze(self, path):
+        """Write this index as a frozen single-file snapshot.
+
+        See :mod:`repro.index.frozen`; reopen with
+        :func:`repro.index.load_frozen_index`.
+        """
+        from .frozen import freeze_index
+
+        return freeze_index(self, path)
+
     def invalidate_caches(self):
         """Bump the version and drop every derived-statistics cache.
 

@@ -1,0 +1,386 @@
+"""Frozen columnar index snapshots (single-file, mmap-served).
+
+A frozen snapshot packs the entire :class:`~repro.index.builder.DocumentIndex`
+into one versioned, checksummed binary file that the engine maps into
+memory and serves **without an upfront decode**:
+
+* Section 0 — the inverted index as a sorted key-value block: one
+  record per keyword under the order-preserving key ``(keyword,)``,
+  the value being the exact delta+varint posting payload that
+  :func:`~repro.index.inverted.decode_posting_payload` understands
+  (plus the reserved node-type-table record).  Keywords resolve by
+  binary search over the mapped dictionary; posting lists decode
+  lazily, per keyword, on first touch.
+* Section 1 — the frequent table ``f_k^T`` / ``tf(k, T)`` under
+  ``(keyword, type_id)`` keys.
+* Section 2 — per-type ``N_T`` / ``G_T`` / term-total statistics.
+* Section 3 — the document tree in a compact preorder binary form
+  (interned tag table; per node: tag id, Dewey ordinal, child count,
+  text).  Ordinals are stored explicitly because partition removal
+  leaves sibling ordinals non-dense.
+
+Opening a snapshot is O(header + tree): the header and section table
+are validated (magic, format version, section bounds, CRC-32 over the
+body), the tree is rebuilt, and the two big keyword-keyed sections
+become :class:`~repro.storage.CowKVStore` bases — reads go straight to
+the mapped bytes, while mutations (``append_partition`` /
+``remove_partition``) copy the affected records into a private overlay
+so the snapshot file on disk is never modified.  Because the value
+region of section 0 is contiguous, shared-memory publication of the
+posting blob (``repro.shard.shm``) degenerates to a single buffer copy.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import tempfile
+import zlib
+
+from ..errors import IndexingError
+from ..storage import (
+    CowKVStore,
+    SortedKVBlock,
+    decode_key,
+    decode_uvarint,
+    encode_key,
+    encode_sorted_kv_block,
+    encode_uvarint,
+)
+from ..xmltree.dewey import Dewey
+from ..xmltree.tree import XMLNode, XMLTree
+from .builder import DocumentIndex
+from .cooccur import CooccurrenceTable
+from .frequency import FrequencyTable
+from .inverted import InvertedIndex
+from .statistics import StatisticsTable
+
+#: File magic — 8 bytes, never reused across incompatible layouts.
+MAGIC = b"XRFZIDX\x01"
+#: Bumped whenever the section layout or any section encoding changes.
+FORMAT_VERSION = 1
+
+_SECTION_INVERTED = 0
+_SECTION_FREQUENCY = 1
+_SECTION_STATISTICS = 2
+_SECTION_TREE = 3
+_SECTION_COUNT = 4
+
+# magic + format_version u16 + section_count u16 + body crc32 u32
+_HEADER = struct.Struct("<8sHHI")
+_SECTION_ENTRY = struct.Struct("<QQ")  # offset, length (body-relative)
+
+_STATS_VALUE = struct.Struct(">III")  # node_count, distinct, total_terms
+
+
+# ----------------------------------------------------------------------
+# Tree section codec
+# ----------------------------------------------------------------------
+def _encode_tree(tree):
+    """Serialize an :class:`XMLTree` into the preorder binary form."""
+    tag_ids = {}
+    tag_table = []
+    nodes = bytearray()
+    count = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        tag_id = tag_ids.get(node.tag)
+        if tag_id is None:
+            tag_id = len(tag_table)
+            tag_ids[node.tag] = tag_id
+            tag_table.append(node.tag)
+        text = node.text.encode("utf-8")
+        nodes += encode_uvarint(tag_id)
+        nodes += encode_uvarint(node.dewey.components[-1])
+        nodes += encode_uvarint(len(node.children))
+        nodes += encode_uvarint(len(text))
+        nodes += text
+        stack.extend(reversed(node.children))
+
+    out = bytearray()
+    out += encode_uvarint(len(tag_table))
+    for tag in tag_table:
+        raw = tag.encode("utf-8")
+        out += encode_uvarint(len(raw))
+        out += raw
+    out += encode_uvarint(count)
+    out += nodes
+    return bytes(out)
+
+
+def _decode_tree(view):
+    """Rebuild the :class:`XMLTree` from a mapped tree section."""
+    tag_count, pos = decode_uvarint(view, 0)
+    tags = []
+    for _ in range(tag_count):
+        length, pos = decode_uvarint(view, pos)
+        tags.append(bytes(view[pos : pos + length]).decode("utf-8"))
+        pos += length
+    node_count, pos = decode_uvarint(view, pos)
+    if node_count == 0:
+        raise IndexingError("frozen snapshot tree section has no nodes")
+
+    def read_node(pos):
+        tag_id, pos = decode_uvarint(view, pos)
+        ordinal, pos = decode_uvarint(view, pos)
+        child_count, pos = decode_uvarint(view, pos)
+        text_len, pos = decode_uvarint(view, pos)
+        text = bytes(view[pos : pos + text_len]).decode("utf-8")
+        return tags[tag_id], ordinal, child_count, text, pos + text_len
+
+    tag, ordinal, child_count, text, pos = read_node(pos)
+    root = XMLNode(tag, Dewey.from_trusted((ordinal,)), (tag,), text)
+    stack = [(root, child_count)]
+    for _ in range(node_count - 1):
+        while stack and stack[-1][1] == 0:
+            stack.pop()
+        if not stack:
+            raise IndexingError("frozen snapshot tree section is malformed")
+        parent, remaining = stack[-1]
+        stack[-1] = (parent, remaining - 1)
+        tag, ordinal, child_count, text, pos = read_node(pos)
+        node = XMLNode(
+            tag,
+            Dewey.from_trusted(parent.dewey.components + (ordinal,)),
+            parent.node_type + (tag,),
+            text,
+        )
+        parent.children.append(node)
+        stack.append((node, child_count))
+    return XMLTree(root)
+
+
+# ----------------------------------------------------------------------
+# Snapshot writer
+# ----------------------------------------------------------------------
+def _owned_items(store):
+    for key, value in store.items():
+        yield bytes(key), bytes(value)
+
+
+def freeze_index(index, path):
+    """Write ``index`` as a frozen snapshot file at ``path``.
+
+    The write is crash-safe: bytes land in a temporary sibling file
+    which is fsynced and atomically renamed over ``path``, so readers
+    only ever observe a complete snapshot.
+    """
+    index.inverted.save_metadata()
+    if index.frequency._pending:
+        index.frequency.finalize()
+
+    statistics_pairs = sorted(
+        (
+            encode_key(node_type),
+            _STATS_VALUE.pack(
+                stats.node_count, stats.distinct_keywords, stats.total_terms
+            ),
+        )
+        for node_type, stats in index.statistics.items()
+    )
+    sections = [
+        encode_sorted_kv_block(_owned_items(index.inverted._store)),
+        encode_sorted_kv_block(_owned_items(index.frequency._store)),
+        encode_sorted_kv_block(statistics_pairs),
+        _encode_tree(index.tree),
+    ]
+    body = b"".join(sections)
+    table = bytearray()
+    offset = 0
+    for section in sections:
+        table += _SECTION_ENTRY.pack(offset, len(section))
+        offset += len(section)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, len(sections), zlib.crc32(body)
+    )
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(table)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+    return path
+
+
+def _fsync_directory(directory):
+    """Make a rename durable (best effort on filesystems without it)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+# ----------------------------------------------------------------------
+# Snapshot reader
+# ----------------------------------------------------------------------
+class FrozenSnapshot:
+    """A validated, memory-mapped frozen snapshot file.
+
+    Holds the mmap and hands out zero-copy memoryviews of the sections;
+    the views keep the mapping alive, so the snapshot object may be
+    dropped once an index has been materialized from it.
+    """
+
+    def __init__(self, path, mapped, sections):
+        self.path = path
+        self._mapped = mapped
+        self._sections = sections
+
+    @classmethod
+    def open(cls, path):
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise IndexingError(
+                f"cannot open frozen snapshot {path!r}: {exc}"
+            ) from exc
+        with handle:
+            try:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError) as exc:
+                raise IndexingError(
+                    f"frozen snapshot {path!r} is truncated or unmappable"
+                ) from exc
+        view = memoryview(mapped)
+        try:
+            return cls._validate(path, mapped, view)
+        except BaseException:
+            view.release()
+            mapped.close()
+            raise
+
+    @classmethod
+    def _validate(cls, path, mapped, view):
+        if len(view) < _HEADER.size:
+            raise IndexingError(
+                f"frozen snapshot {path!r} is truncated "
+                f"({len(view)} bytes, header needs {_HEADER.size})"
+            )
+        magic, version, section_count, checksum = _HEADER.unpack_from(view, 0)
+        if magic != MAGIC:
+            raise IndexingError(
+                f"{path!r} is not a frozen index snapshot (bad magic)"
+            )
+        if version != FORMAT_VERSION:
+            raise IndexingError(
+                f"frozen snapshot {path!r} has format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        if section_count != _SECTION_COUNT:
+            raise IndexingError(
+                f"frozen snapshot {path!r} declares {section_count} "
+                f"sections, expected {_SECTION_COUNT}"
+            )
+        body_start = _HEADER.size + _SECTION_ENTRY.size * section_count
+        if len(view) < body_start:
+            raise IndexingError(
+                f"frozen snapshot {path!r} is truncated inside the "
+                "section table"
+            )
+        body = view[body_start:]
+        sections = []
+        try:
+            if zlib.crc32(body) != checksum:
+                raise IndexingError(
+                    f"frozen snapshot {path!r} failed its checksum — the "
+                    "file is corrupt"
+                )
+            for i in range(section_count):
+                offset, length = _SECTION_ENTRY.unpack_from(
+                    view, _HEADER.size + _SECTION_ENTRY.size * i
+                )
+                if offset + length > len(body):
+                    raise IndexingError(
+                        f"frozen snapshot {path!r} section {i} exceeds "
+                        "the file body (truncated?)"
+                    )
+                sections.append(body[offset : offset + length])
+        except BaseException:
+            # Release every sub-view before the caller closes the mmap,
+            # or the close would raise BufferError and mask the real
+            # validation error.
+            for section in sections:
+                section.release()
+            body.release()
+            raise
+        body.release()
+        return cls(path, mapped, sections)
+
+    def section(self, index):
+        """Zero-copy memoryview of one section's bytes."""
+        return self._sections[index]
+
+    def __repr__(self):
+        return f"FrozenSnapshot({self.path!r}, {len(self._mapped)} bytes)"
+
+
+def load_frozen_index(path):
+    """Open a frozen snapshot as a fully functional :class:`DocumentIndex`.
+
+    The inverted and frequency stores stay on the mapped bytes behind
+    copy-on-write overlays — no posting list is decoded until a query
+    touches its keyword.  Only the tree and the (small) statistics
+    table materialize eagerly.  The returned index supports the full
+    mutation API; updates divert into the overlays and the file on disk
+    is untouched.
+    """
+    snapshot = FrozenSnapshot.open(path)
+    try:
+        inverted_block = SortedKVBlock(snapshot.section(_SECTION_INVERTED))
+        frequency_block = SortedKVBlock(snapshot.section(_SECTION_FREQUENCY))
+        statistics_block = SortedKVBlock(
+            snapshot.section(_SECTION_STATISTICS)
+        )
+        tree = _decode_tree(snapshot.section(_SECTION_TREE))
+    except IndexingError:
+        raise
+    except Exception as exc:
+        raise IndexingError(
+            f"frozen snapshot {path!r} has a malformed section: {exc}"
+        ) from exc
+
+    inverted = InvertedIndex(store=CowKVStore(inverted_block))
+    inverted.load_metadata()
+    frequency = FrequencyTable(
+        type_ids=inverted._type_ids,
+        type_table=inverted._type_table,
+        store=CowKVStore(frequency_block),
+    )
+    statistics = StatisticsTable()
+    for key, value in statistics_block.items():
+        node_type = decode_key(key)
+        node_count, distinct, total_terms = _STATS_VALUE.unpack(value)
+        entry = statistics._entry(node_type)
+        entry.node_count = node_count
+        entry.distinct_keywords = distinct
+        entry.total_terms = total_terms
+    cooccurrence = CooccurrenceTable(inverted)
+
+    index = DocumentIndex(tree, inverted, frequency, statistics, cooccurrence)
+    index.frozen_snapshot = snapshot
+    return index

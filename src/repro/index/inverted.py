@@ -66,6 +66,31 @@ class InvertedList:
                     f"inverted list for {keyword!r} is not in document order"
                 )
 
+    @classmethod
+    def from_trusted(cls, keyword, postings, dewey_keys):
+        """Build a list from a pre-validated document-ordered decode.
+
+        ``dewey_keys`` must be ``[p.dewey.components for p in postings]``
+        in strictly ascending order — the payload decoder already has
+        both in hand, so re-deriving and re-checking them here would
+        double the decode cost for lists that were validated when
+        encoded.
+        """
+        instance = cls.__new__(cls)
+        instance.keyword = keyword
+        instance.postings = postings
+        instance._dewey_keys = dewey_keys
+        return instance
+
+    @property
+    def dewey_keys(self):
+        """Dewey component tuples, parallel to :attr:`postings`.
+
+        Shared (not copied) with consumers like ``perf.packed`` and the
+        shard workers; treat as immutable.
+        """
+        return self._dewey_keys
+
     def __len__(self):
         return len(self.postings)
 
@@ -186,6 +211,7 @@ def decode_posting_payload(keyword, raw, type_table):
     """
     count, pos = decode_uvarint(raw)
     postings = []
+    dewey_keys = []
     previous = ()
     for _ in range(count):
         shared, pos = decode_uvarint(raw, pos)
@@ -206,8 +232,9 @@ def decode_posting_payload(keyword, raw, type_table):
                 occurrence_count,
             )
         )
+        dewey_keys.append(components)
         previous = components
-    return InvertedList(keyword, postings)
+    return InvertedList.from_trusted(keyword, postings, dewey_keys)
 
 
 class InvertedIndex:
@@ -356,10 +383,38 @@ class InvertedIndex:
     def keywords(self):
         """All indexed keywords, sorted."""
         return [
-            decode_key(key)[0]
-            for key, _ in self._store.items()
-            if decode_key(key)[0] != self._TYPES_KEY
+            keyword
+            for keyword in (
+                decode_key(key)[0] for key in self._store.keys()
+            )
+            if keyword != self._TYPES_KEY
         ]
+
+    def posting_region(self):
+        """``(buffer, layout)`` covering every payload in one span.
+
+        Available only when the backing store exposes a contiguous
+        value region (a pristine frozen snapshot); returns None
+        otherwise.  ``buffer`` is a memoryview over all stored values
+        back to back and ``layout`` maps keyword -> (offset, length)
+        within it — exactly the shared-memory blob layout, so
+        publication becomes a single buffer copy.  The node-type
+        metadata record's bytes sit inside the buffer but are omitted
+        from the layout.
+        """
+        contiguous = getattr(self._store, "contiguous_region", None)
+        if contiguous is None:
+            return None
+        region = contiguous()
+        if region is None:
+            return None
+        buffer, spans = region
+        layout = {}
+        for key, offset, length in spans:
+            keyword = decode_key(key)[0]
+            if keyword != self._TYPES_KEY:
+                layout[keyword] = (offset, length)
+        return buffer, layout
 
     def vocabulary_size(self):
         total = len(self._store)

@@ -19,7 +19,9 @@ one-pass builder; round-trip equivalence is covered by the test suite.
 from __future__ import annotations
 
 import os
+import shutil
 import struct
+import tempfile
 
 from ..errors import IndexingError
 from ..storage import FileKVStore, decode_key, encode_key
@@ -28,6 +30,12 @@ from ..xmltree.serialize import write_file
 from .builder import DocumentIndex
 from .cooccur import CooccurrenceTable
 from .frequency import FrequencyTable
+from .frozen import (  # re-exported: the single-file snapshot variant
+    FrozenSnapshot,
+    _fsync_directory,
+    freeze_index,
+    load_frozen_index,
+)
 from .inverted import InvertedIndex
 from .statistics import StatisticsTable
 
@@ -41,31 +49,62 @@ _STATISTICS_FILE = "statistics.db"
 
 
 def _copy_store(source, destination):
-    for key, value in source.items():
-        destination.put(key, value)
+    # Stores iterate in key order, so the copy can stream through the
+    # destination's bottom-up bulk load instead of paying one
+    # root-to-leaf insert per key.
+    destination.load_sorted(source.items())
 
 
 def save_index(index, directory):
     """Persist a :class:`DocumentIndex` into ``directory``.
 
-    The directory is created when missing; existing store files are
-    overwritten (snapshot semantics, like a Berkeley DB checkpoint).
+    The directory is created when missing; an existing saved index is
+    replaced wholesale (snapshot semantics, like a Berkeley DB
+    checkpoint).  The save is crash-safe: every file is written and
+    fsynced in a staging directory first, which is then renamed into
+    place — a killed save leaves either the old snapshot or the new
+    one, never a torn mix that :func:`load_index` would half-read.
     """
-    os.makedirs(directory, exist_ok=True)
-    # Snapshot semantics: stale store files from a previous save would
-    # otherwise leak their keys into the new snapshot.
-    for name in (
-        _INVERTED_FILE,
-        _FREQUENCY_FILE,
-        _COOCCUR_FILE,
-        _STATISTICS_FILE,
-    ):
-        path = os.path.join(directory, name)
-        if os.path.exists(path):
-            os.remove(path)
-    write_file(index.tree, os.path.join(directory, _DOCUMENT_FILE))
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    os.makedirs(parent, exist_ok=True)
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        raise IndexingError(
+            f"cannot save index: {directory!r} exists and is not a directory"
+        )
+    staging = tempfile.mkdtemp(
+        dir=parent, prefix=os.path.basename(directory) + ".tmp"
+    )
+    try:
+        _write_snapshot_files(index, staging)
+        _fsync_directory(staging)
+        if os.path.isdir(directory):
+            # rename(2) has no atomic directory exchange; parking the
+            # old snapshot first shrinks the no-snapshot window to the
+            # instant between the two renames.
+            graveyard = tempfile.mkdtemp(
+                dir=parent, prefix=os.path.basename(directory) + ".old"
+            )
+            os.replace(directory, os.path.join(graveyard, "snapshot"))
+            os.replace(staging, directory)
+            shutil.rmtree(graveyard, ignore_errors=True)
+        else:
+            os.replace(staging, directory)
+        _fsync_directory(parent)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def _write_snapshot_files(index, directory):
+    """Write and fsync all five snapshot files into ``directory``."""
+    document_path = os.path.join(directory, _DOCUMENT_FILE)
+    write_file(index.tree, document_path)
+    with open(document_path, "rb") as handle:
+        os.fsync(handle.fileno())
 
     index.inverted.save_metadata()
+    # FileKVStore.close -> Pager.flush already fsyncs the page file.
     with FileKVStore(os.path.join(directory, _INVERTED_FILE)) as store:
         _copy_store(index.inverted._store, store)
     with FileKVStore(os.path.join(directory, _FREQUENCY_FILE)) as store:
@@ -74,15 +113,19 @@ def save_index(index, directory):
         _copy_store(index.cooccurrence._store, store)
 
     with FileKVStore(os.path.join(directory, _STATISTICS_FILE)) as store:
-        for node_type, stats in index.statistics.items():
-            store.put(
-                encode_key(node_type),
-                _STATS_VALUE.pack(
-                    stats.node_count,
-                    stats.distinct_keywords,
-                    stats.total_terms,
-                ),
+        store.load_sorted(
+            sorted(
+                (
+                    encode_key(node_type),
+                    _STATS_VALUE.pack(
+                        stats.node_count,
+                        stats.distinct_keywords,
+                        stats.total_terms,
+                    ),
+                )
+                for node_type, stats in index.statistics.items()
             )
+        )
 
 
 def load_index(directory):

@@ -37,7 +37,9 @@ class PackedPostings:
         self.keyword = source.keyword
         #: The InvertedList this was packed from (identity = freshness).
         self.source = source
-        self.components = [p.dewey.components for p in postings]
+        # The list already carries its component-tuple column (built
+        # during decode); share it instead of re-deriving per pack.
+        self.components = source.dewey_keys
         self.labels = [p.dewey for p in postings]
         self.node_types = [p.node_type for p in postings]
         self.counts = [p.count for p in postings]

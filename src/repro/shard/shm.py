@@ -108,7 +108,25 @@ class SharedPostingBlob:
     # ------------------------------------------------------------------
     @classmethod
     def publish(cls, inverted, version):
-        """Write every keyword's raw payload into a fresh segment."""
+        """Write every keyword's raw payload into a fresh segment.
+
+        A pristine frozen index exposes all payloads as one contiguous
+        mapped region (:meth:`InvertedIndex.posting_region`); publishing
+        then degenerates to a single buffer copy from the mapped file
+        into the segment.  Otherwise the payloads are gathered key by
+        key from the store.
+        """
+        region = inverted.posting_region()
+        if region is not None:
+            buffer, layout = region
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(len(buffer), 1), name=_fresh_name()
+            )
+            segment.buf[: len(buffer)] = buffer
+            return cls(
+                segment, layout, tuple(inverted.node_type_table), version,
+                owner=True,
+            )
         layout = {}
         chunks = []
         offset = 0
@@ -149,14 +167,20 @@ class SharedPostingBlob:
         return bytes(self._segment.buf[offset : offset + length])
 
     def decoded(self, keyword):
-        """Decoded :class:`InvertedList`, cached per blob per keyword."""
+        """Decoded :class:`InvertedList`, cached per blob per keyword.
+
+        Decodes straight from the shared segment's buffer — the
+        payload bytes are never copied into the worker's heap.
+        """
         cached = self._lists.get(keyword)
         if cached is None:
-            raw = self.payload(keyword)
-            cached = decode_posting_payload(
-                keyword, raw if raw is not None else b"\x00",
-                self.type_table,
-            )
+            entry = self.layout.get(keyword)
+            if entry is None:
+                raw = b"\x00"
+            else:
+                offset, length = entry
+                raw = self._segment.buf[offset : offset + length]
+            cached = decode_posting_payload(keyword, raw, self.type_table)
             self._lists[keyword] = cached
         return cached
 

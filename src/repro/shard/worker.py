@@ -152,10 +152,12 @@ class WorkerState:
         """``(components, labels)`` parallel arrays for one keyword."""
         cached = self._columns.get(keyword)
         if cached is None:
-            postings = self._decode(keyword).postings
+            decoded = self._decode(keyword)
+            # The decoded list already owns its component column;
+            # share it rather than re-deriving posting by posting.
             cached = (
-                [p.dewey.components for p in postings],
-                [p.dewey for p in postings],
+                decoded.dewey_keys,
+                [p.dewey for p in decoded.postings],
             )
             self._columns[keyword] = cached
         return cached

@@ -7,15 +7,17 @@ keyed lookup, ordered range scans, and file persistence.
 
 from .btree import BPlusTree
 from .encoding import (
+    SortedKVBlock,
     decode_dewey_list,
     decode_key,
     decode_uvarint,
     encode_dewey_list,
     encode_key,
+    encode_sorted_kv_block,
     encode_uvarint,
     key_prefix_upper_bound,
 )
-from .kvstore import FileKVStore, KVStore, MemoryKVStore
+from .kvstore import CowKVStore, FileKVStore, KVStore, MemoryKVStore
 from .pager import Pager
 
 __all__ = [
@@ -24,6 +26,9 @@ __all__ = [
     "KVStore",
     "MemoryKVStore",
     "FileKVStore",
+    "CowKVStore",
+    "SortedKVBlock",
+    "encode_sorted_kv_block",
     "encode_key",
     "decode_key",
     "encode_uvarint",

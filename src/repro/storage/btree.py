@@ -259,15 +259,110 @@ class BPlusTree:
     # ------------------------------------------------------------------
     @classmethod
     def bulk_load(cls, pairs, order=DEFAULT_ORDER):
-        """Build a tree from (key, value) pairs sorted by key."""
+        """Build a tree from (key, value) pairs sorted by key.
+
+        Constructs the tree bottom-up in one linear pass — leaves are
+        packed directly from the sorted stream and internal levels are
+        stacked on top — instead of descending from the root for every
+        pair.  Reopening a store file (and the sorted-stream copy in
+        ``save_index``) is therefore O(n) in the pair count rather than
+        O(n log n) root-to-leaf walks.
+        """
         tree = cls(order=order)
+        # Leaves hold between _min_fill() and order keys (root excepted);
+        # pack them at ~85% so a following insert does not split at once.
+        capacity = max(tree._min_fill() + 1, (order * 17) // 20)
+        leaves = []
+        current = _Leaf()
         previous = None
         for key, value in pairs:
+            if not isinstance(key, (bytes, bytearray)):
+                raise StorageError(
+                    f"B+ tree keys must be bytes, got {type(key).__name__}"
+                )
+            key = bytes(key)
             if previous is not None and key <= previous:
                 raise StorageError("bulk_load requires strictly sorted keys")
-            tree.insert(key, value)
             previous = key
+            if len(current.keys) >= capacity:
+                leaves.append(current)
+                fresh = _Leaf()
+                current.next = fresh
+                current = fresh
+            current.keys.append(key)
+            current.values.append(value)
+            tree._size += 1
+        leaves.append(current)
+        # A too-small trailing leaf either merges into its left
+        # neighbour (combined fit in one node) or the two redistribute
+        # evenly — both restore the minimum-fill invariant.
+        if len(leaves) > 1 and len(current.keys) < tree._min_fill():
+            donor = leaves[-2]
+            total = len(donor.keys) + len(current.keys)
+            if total <= order:
+                donor.keys.extend(current.keys)
+                donor.values.extend(current.values)
+                donor.next = current.next
+                leaves.pop()
+            else:
+                keep = total // 2
+                moved = len(donor.keys) - keep
+                current.keys[:0] = donor.keys[-moved:]
+                current.values[:0] = donor.values[-moved:]
+                del donor.keys[-moved:]
+                del donor.values[-moved:]
+
+        level = leaves
+        while len(level) > 1:
+            level = tree._build_internal_level(level)
+        tree._root = level[0]
         return tree
+
+    def _build_internal_level(self, children):
+        """Pack one internal level over ``children`` (left to right)."""
+        capacity = max(self._min_fill() + 1, (self._order * 17) // 20)
+        nodes = []
+        current = _Internal()
+        current.children.append(children[0])
+        for child in children[1:]:
+            if len(current.keys) >= capacity:
+                nodes.append(current)
+                current = _Internal()
+                current.children.append(child)
+                continue
+            current.keys.append(self._subtree_min_key(child))
+            current.children.append(child)
+        nodes.append(current)
+        if len(nodes) > 1 and len(current.keys) < self._min_fill():
+            donor = nodes[-2]
+            total = len(donor.children) + len(current.children)
+            if total - 1 <= self._order:
+                donor.children.extend(current.children)
+                nodes.pop()
+                donor.keys = [
+                    self._subtree_min_key(child)
+                    for child in donor.children[1:]
+                ]
+            else:
+                keep = total // 2
+                moved = len(donor.children) - keep
+                current.children[:0] = donor.children[-moved:]
+                del donor.children[-moved:]
+                donor.keys = [
+                    self._subtree_min_key(child)
+                    for child in donor.children[1:]
+                ]
+                current.keys = [
+                    self._subtree_min_key(child)
+                    for child in current.children[1:]
+                ]
+        return nodes
+
+    @staticmethod
+    def _subtree_min_key(node):
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
 
     def check_invariants(self):
         """Verify all structural invariants; raises StorageError on failure.

@@ -11,7 +11,10 @@ scans (e.g. "all entries for keyword k") work.  This module provides:
 * :func:`encode_uvarint` / :func:`decode_uvarint` — LEB128 varints used
   for value payloads;
 * :func:`encode_dewey_list` / :func:`decode_dewey_list` — delta-encoded
-  posting lists of Dewey labels, the storage format of inverted lists.
+  posting lists of Dewey labels, the storage format of inverted lists;
+* :func:`encode_sorted_kv_block` / :class:`SortedKVBlock` — a columnar,
+  binary-searchable block of sorted key/value pairs, the section format
+  of frozen index snapshots (:mod:`repro.index.frozen`).
 
 Key encoding scheme
 -------------------
@@ -27,6 +30,8 @@ exactly the semantics prefix range scans need.
 """
 
 from __future__ import annotations
+
+import struct
 
 from ..errors import KeyEncodingError
 
@@ -184,3 +189,189 @@ def decode_dewey_list(data):
         labels.append(components)
         previous = components
     return labels
+
+
+# ----------------------------------------------------------------------
+# Sorted key/value blocks (frozen snapshot sections)
+# ----------------------------------------------------------------------
+#
+# Layout (all integers little-endian, fixed width):
+#
+#   count          u64
+#   key_offsets    (count + 1) x u64, relative to the key blob
+#   value_offsets  (count + 1) x u64, relative to the value blob
+#   key_blob       all keys concatenated, in strictly ascending order
+#   value_blob     all values concatenated, in key order
+#
+# The two offset columns make every key and value addressable without
+# decoding anything else, so a reader over an mmap can binary-search
+# the key column and slice one value lazily — the access pattern of a
+# frozen inverted index.  Keeping the value blob contiguous (one value
+# per key, in key order) is what lets the shard layer publish the
+# whole posting region into shared memory with a single buffer copy.
+
+_BLOCK_COUNT = struct.Struct("<Q")
+_BLOCK_OFFSET = struct.Struct("<Q")
+
+
+def encode_sorted_kv_block(pairs):
+    """Encode ``(key, value)`` byte pairs into one columnar block.
+
+    ``pairs`` must be strictly sorted by key (the order every KV store
+    in this package iterates in); violations raise
+    :class:`KeyEncodingError` so a corrupt block can never be written.
+    """
+    keys = []
+    values = []
+    previous = None
+    for key, value in pairs:
+        key = bytes(key)
+        if previous is not None and key <= previous:
+            raise KeyEncodingError(
+                "sorted KV block requires strictly ascending keys"
+            )
+        previous = key
+        keys.append(key)
+        values.append(bytes(value))
+    count = len(keys)
+    key_offsets = [0] * (count + 1)
+    value_offsets = [0] * (count + 1)
+    for i in range(count):
+        key_offsets[i + 1] = key_offsets[i] + len(keys[i])
+        value_offsets[i + 1] = value_offsets[i] + len(values[i])
+    out = bytearray()
+    out += _BLOCK_COUNT.pack(count)
+    out += struct.pack(f"<{count + 1}Q", *key_offsets)
+    out += struct.pack(f"<{count + 1}Q", *value_offsets)
+    out += b"".join(keys)
+    out += b"".join(values)
+    return bytes(out)
+
+
+class SortedKVBlock:
+    """Zero-copy read view over an :func:`encode_sorted_kv_block` blob.
+
+    ``buffer`` is any buffer-protocol object (typically a memoryview
+    into an mmap); nothing is decoded up front.  Lookups binary-search
+    the key column; values come back as memoryview slices into the
+    underlying buffer, so callers that need owned bytes must copy.
+    """
+
+    __slots__ = ("_view", "_count", "_key_start", "_value_start")
+
+    def __init__(self, buffer):
+        view = memoryview(buffer)
+        if len(view) < _BLOCK_COUNT.size:
+            raise KeyEncodingError("sorted KV block shorter than its header")
+        (count,) = _BLOCK_COUNT.unpack_from(view, 0)
+        offsets_bytes = 2 * (count + 1) * _BLOCK_OFFSET.size
+        key_start = _BLOCK_COUNT.size + offsets_bytes
+        if len(view) < key_start:
+            raise KeyEncodingError("sorted KV block truncated in offsets")
+        self._view = view
+        self._count = count
+        self._key_start = key_start
+        self._value_start = key_start + self._key_offset(count)
+        if len(view) < self._value_start + self._value_offset(count):
+            raise KeyEncodingError("sorted KV block truncated in blobs")
+
+    # -- column accessors ------------------------------------------------
+    def _key_offset(self, i):
+        return _BLOCK_OFFSET.unpack_from(
+            self._view, _BLOCK_COUNT.size + i * _BLOCK_OFFSET.size
+        )[0]
+
+    def _value_offset(self, i):
+        base = _BLOCK_COUNT.size + (self._count + 1) * _BLOCK_OFFSET.size
+        return _BLOCK_OFFSET.unpack_from(
+            self._view, base + i * _BLOCK_OFFSET.size
+        )[0]
+
+    def key_at(self, i):
+        """Key ``i`` as owned bytes."""
+        lo = self._key_start + self._key_offset(i)
+        hi = self._key_start + self._key_offset(i + 1)
+        return bytes(self._view[lo:hi])
+
+    def value_at(self, i):
+        """Value ``i`` as a memoryview slice (no copy)."""
+        lo = self._value_start + self._value_offset(i)
+        hi = self._value_start + self._value_offset(i + 1)
+        return self._view[lo:hi]
+
+    def value_span(self, i):
+        """``(offset, length)`` of value ``i`` within the value region."""
+        lo = self._value_offset(i)
+        return lo, self._value_offset(i + 1) - lo
+
+    # -- search ----------------------------------------------------------
+    def bisect_left(self, key):
+        """First index whose key is ``>= key``."""
+        key = bytes(key)
+        lo, hi = 0, self._count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.key_at(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def find(self, key):
+        """Index of ``key``, or -1 when absent."""
+        key = bytes(key)
+        idx = self.bisect_left(key)
+        if idx < self._count and self.key_at(idx) == key:
+            return idx
+        return -1
+
+    def get(self, key, default=None):
+        """Value for ``key`` as a memoryview, or ``default``."""
+        idx = self.find(key)
+        if idx < 0:
+            return default
+        return self.value_at(idx)
+
+    def __contains__(self, key):
+        return self.find(key) >= 0
+
+    def __len__(self):
+        return self._count
+
+    # -- iteration -------------------------------------------------------
+    def keys(self):
+        """All keys in ascending order (owned bytes)."""
+        for i in range(self._count):
+            yield self.key_at(i)
+
+    def items(self):
+        """All ``(key, value)`` pairs in key order (owned bytes)."""
+        for i in range(self._count):
+            yield self.key_at(i), bytes(self.value_at(i))
+
+    def range(self, low=None, high=None):
+        """Pairs with ``low <= key < high``, in key order (owned bytes)."""
+        idx = 0 if low is None else self.bisect_left(low)
+        while idx < self._count:
+            key = self.key_at(idx)
+            if high is not None and key >= high:
+                return
+            yield key, bytes(self.value_at(idx))
+            idx += 1
+
+    def value_region(self):
+        """The whole contiguous value blob as one memoryview."""
+        return self._view[
+            self._value_start : self._value_start
+            + self._value_offset(self._count)
+        ]
+
+    def value_spans(self):
+        """``[(key, offset, length)]`` for every value, in key order."""
+        return [
+            (self.key_at(i),) + self.value_span(i)
+            for i in range(self._count)
+        ]
+
+    def __repr__(self):
+        return f"SortedKVBlock({self._count} keys)"

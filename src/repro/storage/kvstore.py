@@ -83,6 +83,24 @@ class KVStore:
         self._check_open()
         return self._tree.items()
 
+    def keys(self):
+        """All keys in key order."""
+        return (key for key, _ in self.items())
+
+    def load_sorted(self, pairs):
+        """Replace the contents from pre-sorted ``(key, value)`` pairs.
+
+        Streams straight into :meth:`BPlusTree.bulk_load`, so copying a
+        store is a single linear pass instead of one root-to-leaf walk
+        per key.  Keys must be strictly ascending bytes.
+        """
+        self._check_open()
+        checked = (
+            (self._check_bytes("key", key), self._check_bytes("value", value))
+            for key, value in pairs
+        )
+        self._tree = BPlusTree.bulk_load(checked, order=self._tree._order)
+
     def range(self, low=None, high=None):
         """Pairs with ``low <= key < high`` in key order."""
         self._check_open()
@@ -111,6 +129,157 @@ class KVStore:
 
 class MemoryKVStore(KVStore):
     """Purely in-memory store; fastest, used by default everywhere."""
+
+
+_MISSING = object()
+
+
+class CowKVStore(KVStore):
+    """Copy-on-write store over an immutable sorted base block.
+
+    Reads resolve against a mutable overlay first (an ordinary
+    :class:`~repro.storage.btree.BPlusTree`) and fall back to the
+    read-only :class:`~repro.storage.encoding.SortedKVBlock` ``base``
+    — typically a memory-mapped section of a frozen index snapshot, so
+    opening the store decodes nothing.  Writes and deletes only ever
+    touch the overlay; the base bytes are never modified, which is what
+    keeps a frozen snapshot file valid while the in-process index
+    diverges from it.
+
+    Invariant: a key never lives in both ``_deleted`` and the overlay.
+    ``_shadowed`` counts base keys currently overridden by the overlay
+    so ``__len__`` stays O(1).
+    """
+
+    def __init__(self, base, order=DEFAULT_ORDER):
+        super().__init__(order=order)
+        self._base = base
+        self._deleted = set()
+        self._shadowed = 0
+
+    # ------------------------------------------------------------------
+    def is_pristine(self):
+        """True while no write has diverged from the base block."""
+        return not self._deleted and len(self._tree) == 0
+
+    def contiguous_region(self):
+        """``(value_region, value_spans)`` of the base when pristine.
+
+        Returns None once any write lands — callers needing the
+        single-buffer fast path (shared-memory publication) must then
+        fall back to per-key copies.
+        """
+        self._check_open()
+        if not self.is_pristine():
+            return None
+        return self._base.value_region(), self._base.value_spans()
+
+    # ------------------------------------------------------------------
+    def put(self, key, value):
+        self._check_open()
+        key = self._check_bytes("key", key)
+        value = self._check_bytes("value", value)
+        if self._tree.get(key, _MISSING) is _MISSING and key in self._base:
+            self._deleted.discard(key)
+            self._shadowed += 1
+        self._tree.insert(key, value)
+
+    def delete(self, key):
+        self._check_open()
+        key = self._check_bytes("key", key)
+        if self._tree.delete(key):
+            if key in self._base:
+                self._shadowed -= 1
+                self._deleted.add(key)
+            return True
+        if key in self._base and key not in self._deleted:
+            self._deleted.add(key)
+            return True
+        return False
+
+    def load_sorted(self, pairs):
+        raise StorageError(
+            "load_sorted is unsupported on a copy-on-write store"
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key, default=None):
+        self._check_open()
+        key = self._check_bytes("key", key)
+        value = self._tree.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        if key in self._deleted:
+            return default
+        value = self._base.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        return bytes(value)
+
+    def __contains__(self, key):
+        self._check_open()
+        key = self._check_bytes("key", key)
+        if key in self._tree:
+            return True
+        return key in self._base and key not in self._deleted
+
+    def __len__(self):
+        self._check_open()
+        return (
+            len(self._base)
+            - len(self._deleted)
+            - self._shadowed
+            + len(self._tree)
+        )
+
+    def items(self):
+        self._check_open()
+        return self._merge(self._base.items(), self._tree.items())
+
+    def keys(self):
+        self._check_open()
+        base = ((key, None) for key in self._base.keys())
+        overlay = ((key, None) for key, _ in self._tree.items())
+        return (key for key, _ in self._merge(base, overlay, copy=False))
+
+    def range(self, low=None, high=None):
+        self._check_open()
+        return self._merge(
+            self._base.range(low, high), self._tree.range(low, high)
+        )
+
+    def scan_prefix(self, prefix):
+        self._check_open()
+        prefix = self._check_bytes("prefix", prefix)
+        return self.range(prefix, key_prefix_upper_bound(prefix))
+
+    def _merge(self, base_pairs, overlay_pairs, copy=True):
+        """Merge two sorted pair streams; overlay wins on equal keys."""
+        base_next = iter(base_pairs).__next__
+        overlay_next = iter(overlay_pairs).__next__
+        base = next_or_none(base_next)
+        overlay = next_or_none(overlay_next)
+        while base is not None or overlay is not None:
+            if overlay is None or (base is not None and base[0] < overlay[0]):
+                if base[0] not in self._deleted:
+                    yield (
+                        (base[0], bytes(base[1])) if copy else base
+                    )
+                base = next_or_none(base_next)
+            elif base is None or overlay[0] < base[0]:
+                yield overlay
+                overlay = next_or_none(overlay_next)
+            else:  # equal keys: overlay shadows the base entry
+                yield overlay
+                base = next_or_none(base_next)
+                overlay = next_or_none(overlay_next)
+
+
+def next_or_none(advance):
+    try:
+        return advance()
+    except StopIteration:
+        return None
 
 
 class FileKVStore(KVStore):
@@ -159,6 +328,10 @@ class FileKVStore(KVStore):
         removed = super().delete(key)
         self._dirty = self._dirty or removed
         return removed
+
+    def load_sorted(self, pairs):
+        super().load_sorted(pairs)
+        self._dirty = True
 
     def flush(self):
         """Write a full sorted snapshot and point the header at it."""

@@ -20,12 +20,19 @@ path that must agree:
   byte-identical to serial Algorithm 2 at every ``(shards, rounds)``
   combination tried — including a multi-round run that exercises the
   cross-shard skip-bound broadcast.
+* **Frozen snapshot layer** — the index is frozen to an mmap-served
+  columnar snapshot (:mod:`repro.index.frozen`), loaded back, and the
+  plain SLCA path, all three refinement algorithms, and a sharded
+  fan-out are each diffed byte-for-byte against the built index.
 
 A failed comparison is a :class:`Divergence` — a plain record carrying
 enough context for the shrinker to reproduce and reduce it.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 from ..core.engine import XRefine
 from ..core.partition_refine import partition_refine
@@ -112,6 +119,28 @@ class DocumentOracle:
         self.index = build_document_index(self.tree)
         #: Warm engine: result cache + packed arrays enabled.
         self.engine = XRefine(self.index)
+        self._frozen_engine = None
+
+    @property
+    def frozen_engine(self):
+        """Engine over a frozen-snapshot round trip of the built index.
+
+        The snapshot is frozen to (and mmapped from) an anonymous temp
+        file, unlinked immediately — the mapping keeps it alive — so no
+        oracle run can leave files behind.
+        """
+        if self._frozen_engine is None:
+            from ..index.frozen import freeze_index, load_frozen_index
+
+            handle, path = tempfile.mkstemp(suffix=".frz")
+            os.close(handle)
+            try:
+                freeze_index(self.index, path)
+                frozen_index = load_frozen_index(path)
+            finally:
+                os.unlink(path)
+            self._frozen_engine = XRefine(frozen_index)
+        return self._frozen_engine
 
     # ------------------------------------------------------------------
     # SLCA layer
@@ -319,9 +348,83 @@ class DocumentOracle:
                 )
         return divergences
 
+    # ------------------------------------------------------------------
+    # Frozen snapshot layer
+    # ------------------------------------------------------------------
+    def check_frozen(self, query):
+        """A frozen-loaded engine must answer byte-identically.
+
+        The index is frozen to a snapshot file, mmapped back, and every
+        refinement algorithm — plus a sharded fan-out and the plain
+        SLCA path — is diffed against the built index, proving the
+        columnar round trip (dictionary binary search, lazy payload
+        decode, tree/statistics sections) loses nothing.
+        """
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        engine = self.frozen_engine
+        k = self.k
+
+        reference = [
+            str(d) for d in self.engine.slca_search(terms, algorithm="scan")
+        ]
+        frozen_slca = [
+            str(d) for d in engine.slca_search(terms, algorithm="scan")
+        ]
+        if frozen_slca != reference:
+            divergences.append(
+                Divergence(
+                    "frozen:slca",
+                    "SLCA search over the frozen snapshot != built index",
+                    self.spec, query, reference, frozen_slca,
+                )
+            )
+
+        for algorithm in ("partition", "sle", "stack"):
+            built = response_fingerprint(
+                self.engine.search(terms, k=k, algorithm=algorithm)
+            )
+            frozen = response_fingerprint(
+                engine.search(terms, k=k, algorithm=algorithm)
+            )
+            if frozen != built:
+                divergences.append(
+                    Divergence(
+                        f"frozen:{algorithm}",
+                        f"{algorithm} over the frozen snapshot differs "
+                        "from the built index",
+                        self.spec, query, built, frozen,
+                    )
+                )
+
+        sharded = sharded_partition_refine(
+            engine.index, terms, rules=engine.mine_rules(terms),
+            model=engine.model, k=k, shards=2, rounds=1,
+        )
+        built = response_fingerprint(
+            self.engine.search(terms, k=k, algorithm="partition")
+        )
+        if response_fingerprint(sharded) != built:
+            divergences.append(
+                Divergence(
+                    "frozen:sharded",
+                    "sharded execution over the frozen snapshot differs "
+                    "from serial Algorithm 2 on the built index",
+                    self.spec, query, built,
+                    response_fingerprint(sharded),
+                )
+            )
+        return divergences
+
     def check_query(self, query):
         """Every oracle check for one query; list of divergences."""
-        return self.check_slca(query) + self.check_refinement(query)
+        return (
+            self.check_slca(query)
+            + self.check_refinement(query)
+            + self.check_frozen(query)
+        )
 
 
 def run_oracle(spec, query, k=2):

@@ -75,9 +75,10 @@ def _check_document(oracle, queries, report):
         # Each query exercises every SLCA variant x {cold, packed,
         # warm}, the ELCA adjacency laws, the three refinement
         # algorithms x {cold, warm}, the skip ablation, three
-        # sharded-vs-serial fan-outs and the five metamorphic
-        # invariants.
-        report.checks += 33
+        # sharded-vs-serial fan-outs, the five metamorphic
+        # invariants, and the frozen-snapshot layer (SLCA, three
+        # refinement algorithms, one sharded fan-out).
+        report.checks += 38
         found.extend(divergences)
     return found
 

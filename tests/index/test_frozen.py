@@ -1,0 +1,310 @@
+"""Frozen columnar snapshot tests: round trip, corruption, CoW, shm.
+
+A frozen snapshot must serve byte-identical answers to the index it
+was frozen from, reject corrupt files with typed errors instead of
+undefined behaviour, accept mutations without touching the mapped
+file, and publish its posting section to shared memory as one copy.
+"""
+
+import struct
+
+import pytest
+
+from repro import XRefine
+from repro.errors import IndexingError
+from repro.index import (
+    append_partition,
+    build_document_index,
+    freeze_index,
+    load_frozen_index,
+    remove_partition,
+)
+from repro.index.frozen import _HEADER, _SECTION_ENTRY, MAGIC
+from repro.shard import SharedPostingBlob, sharded_partition_refine
+from repro.xmltree import Dewey, parse, serialize
+
+QUERIES = ("on line data base", "database publication", "xml twig")
+
+
+@pytest.fixture(scope="module")
+def frozen_path(tmp_path_factory, figure1_index):
+    path = tmp_path_factory.mktemp("frozen") / "figure1.frz"
+    freeze_index(figure1_index, path)
+    return path
+
+
+@pytest.fixture()
+def loaded(frozen_path):
+    return load_frozen_index(str(frozen_path))
+
+
+class TestRoundTrip:
+    def test_tree_identical(self, loaded, figure1_index):
+        assert serialize(loaded.tree) == serialize(figure1_index.tree)
+        assert len(loaded.tree) == len(figure1_index.tree)
+
+    def test_keywords_identical(self, loaded, figure1_index):
+        assert loaded.inverted.keywords() == figure1_index.inverted.keywords()
+
+    def test_postings_identical(self, loaded, figure1_index):
+        for keyword in figure1_index.inverted.keywords():
+            assert list(loaded.inverted_list(keyword)) == list(
+                figure1_index.inverted_list(keyword)
+            ), keyword
+
+    def test_raw_payloads_identical(self, loaded, figure1_index):
+        for keyword in figure1_index.inverted.keywords():
+            assert loaded.inverted.raw_payload(
+                keyword
+            ) == figure1_index.inverted.raw_payload(keyword), keyword
+
+    def test_frequency_identical(self, loaded, figure1_index):
+        t = ("bib", "author", "publications", "inproceedings")
+        for keyword in ("database", "xml", "skyline"):
+            assert loaded.xml_df(keyword, t) == figure1_index.xml_df(
+                keyword, t
+            )
+            assert loaded.tf(keyword, t) == figure1_index.tf(keyword, t)
+
+    def test_statistics_identical(self, loaded, figure1_index):
+        for node_type, stats in figure1_index.statistics.items():
+            assert loaded.node_count(node_type) == stats.node_count
+            assert (
+                loaded.distinct_keywords(node_type)
+                == stats.distinct_keywords
+            )
+
+    def test_search_identical_all_algorithms(self, loaded, figure1_index):
+        built = XRefine(figure1_index)
+        frozen = XRefine(loaded)
+        for algorithm in ("partition", "sle", "stack"):
+            for query in QUERIES:
+                a = built.search(query, k=3, algorithm=algorithm)
+                b = frozen.search(query, k=3, algorithm=algorithm)
+                assert a.needs_refinement == b.needs_refinement
+                assert [r.rq.key for r in a.refinements] == [
+                    r.rq.key for r in b.refinements
+                ]
+                assert a.original_results == b.original_results
+
+    def test_sharded_matches_serial_built(self, loaded, figure1_index):
+        built = XRefine(figure1_index)
+        frozen = XRefine(loaded)
+        for query in QUERIES:
+            serial = built.search(query, k=2, algorithm="partition")
+            sharded = sharded_partition_refine(
+                frozen.index,
+                query,
+                rules=frozen.mine_rules(query),
+                model=frozen.model,
+                k=2,
+                shards=2,
+                rounds=1,
+            )
+            assert sharded.needs_refinement == serial.needs_refinement
+            assert [r.rq.key for r in sharded.refinements] == [
+                r.rq.key for r in serial.refinements
+            ]
+
+    def test_snapshot_handle_attached(self, loaded):
+        assert loaded.frozen_snapshot is not None
+
+    def test_lazy_decode(self, loaded):
+        """Opening decodes nothing; lists materialize per keyword."""
+        assert loaded.inverted._cache == {}
+        loaded.inverted_list("xml")
+        assert set(loaded.inverted._cache) == {"xml"}
+
+    def test_freeze_method_and_from_frozen(self, tmp_path, figure1_index):
+        path = figure1_index.freeze(tmp_path / "conv.frz")
+        engine = XRefine.from_frozen(path)
+        response = engine.search("database publication", k=2)
+        reference = XRefine(figure1_index).search(
+            "database publication", k=2
+        )
+        assert [r.rq.key for r in response.refinements] == [
+            r.rq.key for r in reference.refinements
+        ]
+
+
+class TestCorruption:
+    def corrupt(self, frozen_path, tmp_path, mutate):
+        blob = bytearray(frozen_path.read_bytes())
+        mutate(blob)
+        bad = tmp_path / "bad.frz"
+        bad.write_bytes(bytes(blob))
+        return bad
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IndexingError):
+            load_frozen_index(tmp_path / "nothing.frz")
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.frz"
+        empty.write_bytes(b"")
+        with pytest.raises(IndexingError):
+            load_frozen_index(empty)
+
+    def test_bad_magic(self, frozen_path, tmp_path):
+        bad = self.corrupt(
+            frozen_path, tmp_path, lambda b: b.__setitem__(0, b[0] ^ 0xFF)
+        )
+        with pytest.raises(IndexingError):
+            load_frozen_index(bad)
+
+    def test_wrong_version(self, frozen_path, tmp_path):
+        def bump_version(blob):
+            struct.pack_into("<H", blob, len(MAGIC), 99)
+
+        bad = self.corrupt(frozen_path, tmp_path, bump_version)
+        with pytest.raises(IndexingError):
+            load_frozen_index(bad)
+
+    def test_wrong_section_count(self, frozen_path, tmp_path):
+        def bump_sections(blob):
+            struct.pack_into("<H", blob, len(MAGIC) + 2, 999)
+
+        bad = self.corrupt(frozen_path, tmp_path, bump_sections)
+        with pytest.raises(IndexingError):
+            load_frozen_index(bad)
+
+    @pytest.mark.parametrize("keep", [12, 40, 0.5, 0.99])
+    def test_truncation(self, frozen_path, tmp_path, keep):
+        blob = frozen_path.read_bytes()
+        cut = keep if isinstance(keep, int) else int(len(blob) * keep)
+        bad = tmp_path / "cut.frz"
+        bad.write_bytes(blob[:cut])
+        with pytest.raises(IndexingError):
+            load_frozen_index(bad)
+
+    def test_flipped_body_byte_fails_checksum(self, frozen_path, tmp_path):
+        body_start = _HEADER.size + 4 * _SECTION_ENTRY.size
+
+        def flip(blob):
+            offset = (body_start + len(blob)) // 2
+            blob[offset] ^= 0x01
+
+        bad = self.corrupt(frozen_path, tmp_path, flip)
+        with pytest.raises(IndexingError, match="checksum"):
+            load_frozen_index(bad)
+
+
+def author_spec(name, titles):
+    return (
+        "author",
+        None,
+        [
+            ("name", name),
+            (
+                "publications",
+                None,
+                [("inproceedings", None, [("title", t)]) for t in titles],
+            ),
+        ],
+    )
+
+
+class TestCopyOnWrite:
+    def reload(self, figure1_tree, tmp_path):
+        index = build_document_index(parse(serialize(figure1_tree)))
+        path = tmp_path / "cow.frz"
+        freeze_index(index, path)
+        return load_frozen_index(path), path
+
+    def test_append_then_matches_rebuild(self, figure1_tree, tmp_path):
+        loaded, path = self.reload(figure1_tree, tmp_path)
+        before = path.read_bytes()
+        append_partition(
+            loaded, author_spec("carol", ["quantum refinement views"])
+        )
+        fresh = build_document_index(parse(serialize(loaded.tree)))
+        assert loaded.inverted.keywords() == fresh.inverted.keywords()
+        assert loaded.has_keyword("quantum")
+        for keyword in ("quantum", "xml", "carol"):
+            assert list(loaded.inverted_list(keyword)) == list(
+                fresh.inverted_list(keyword)
+            ), keyword
+        for node_type, stats in fresh.statistics.items():
+            assert loaded.node_count(node_type) == stats.node_count
+        # Mutation is copy-on-write: the snapshot on disk is untouched.
+        assert path.read_bytes() == before
+
+    def test_remove_then_matches_rebuild(self, figure1_tree, tmp_path):
+        loaded, path = self.reload(figure1_tree, tmp_path)
+        before = path.read_bytes()
+        first = loaded.tree.partitions()[0]
+        remove_partition(loaded, first.dewey)
+        # Re-parsing re-assigns dense partition ordinals, so compare
+        # lengths and statistics rather than exact Dewey labels.
+        fresh = build_document_index(parse(serialize(loaded.tree)))
+        assert loaded.inverted.keywords() == fresh.inverted.keywords()
+        for keyword in fresh.inverted.keywords():
+            assert loaded.inverted.list_length(
+                keyword
+            ) == fresh.inverted.list_length(keyword), keyword
+        for node_type, stats in fresh.statistics.items():
+            assert loaded.node_count(node_type) == stats.node_count
+        assert path.read_bytes() == before
+
+    def test_mutated_index_refreezes(self, figure1_tree, tmp_path):
+        loaded, _ = self.reload(figure1_tree, tmp_path)
+        append_partition(loaded, author_spec("dave", ["stream joins"]))
+        second = tmp_path / "second.frz"
+        freeze_index(loaded, second)
+        reloaded = load_frozen_index(second)
+        assert reloaded.inverted.keywords() == loaded.inverted.keywords()
+        assert list(reloaded.inverted_list("joins")) == list(
+            loaded.inverted_list("joins")
+        )
+
+    def test_search_after_mutation(self, figure1_tree, tmp_path):
+        loaded, _ = self.reload(figure1_tree, tmp_path)
+        append_partition(
+            loaded, author_spec("erin", ["probabilistic xml ranking"])
+        )
+        fresh = build_document_index(parse(serialize(loaded.tree)))
+        a = XRefine(loaded).search("probabilistic ranking", k=2)
+        b = XRefine(fresh).search("probabilistic ranking", k=2)
+        assert a.needs_refinement == b.needs_refinement
+        assert [r.rq.key for r in a.refinements] == [
+            r.rq.key for r in b.refinements
+        ]
+
+
+class TestSharedMemory:
+    def test_posting_region_only_while_pristine(self, loaded):
+        assert loaded.inverted.posting_region() is not None
+        append_partition(loaded, author_spec("frank", ["late arrival"]))
+        assert loaded.inverted.posting_region() is None
+
+    def test_publish_byte_identity(self, loaded, figure1_index):
+        blob = SharedPostingBlob.publish(loaded.inverted, loaded.version)
+        try:
+            for keyword in figure1_index.inverted.keywords():
+                assert blob.payload(
+                    keyword
+                ) == figure1_index.inverted.raw_payload(keyword), keyword
+            assert blob.payload("never-indexed") is None
+        finally:
+            blob.close()
+
+    def test_publish_after_mutation_falls_back(self, loaded):
+        append_partition(loaded, author_spec("grace", ["hash joins"]))
+        blob = SharedPostingBlob.publish(loaded.inverted, loaded.version)
+        try:
+            assert blob.payload("joins") == loaded.inverted.raw_payload(
+                "joins"
+            )
+        finally:
+            blob.close()
+
+    def test_decoded_matches_inverted_list(self, loaded, figure1_index):
+        blob = SharedPostingBlob.publish(loaded.inverted, loaded.version)
+        try:
+            for keyword in ("database", "xml", "2003"):
+                decoded = blob.decoded(keyword)
+                assert list(decoded.postings) == list(
+                    figure1_index.inverted_list(keyword)
+                )
+        finally:
+            blob.close()

@@ -88,3 +88,46 @@ class TestSaveLoad:
         loaded = load_index(directory)
         assert loaded.has_keyword("two")
         assert not loaded.has_keyword("one")
+
+
+class TestCrashSafety:
+    """A killed or failing save must never corrupt the target snapshot."""
+
+    def _break_writes(self, monkeypatch):
+        def boom(tree, path):
+            raise OSError("disk full (simulated)")
+
+        monkeypatch.setattr("repro.index.persist.write_file", boom)
+
+    def test_failed_save_leaves_no_debris(self, tmp_path, monkeypatch):
+        index = build_document_index(parse("<a><b>one</b></a>"))
+        self._break_writes(monkeypatch)
+        with pytest.raises(OSError):
+            save_index(index, tmp_path / "idx")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_save_preserves_old_snapshot(self, tmp_path, monkeypatch):
+        directory = tmp_path / "idx"
+        old = build_document_index(parse("<a><b>precious words</b></a>"))
+        save_index(old, directory)
+        before = sorted(p.name for p in directory.iterdir())
+
+        new = build_document_index(parse("<a><b>doomed</b></a>"))
+        self._break_writes(monkeypatch)
+        with pytest.raises(OSError):
+            save_index(new, directory)
+
+        # The old snapshot is intact, loadable, and nothing leaked.
+        assert sorted(p.name for p in directory.iterdir()) == before
+        assert [p.name for p in tmp_path.iterdir()] == ["idx"]
+        loaded = load_index(directory)
+        assert loaded.has_keyword("precious")
+        assert not loaded.has_keyword("doomed")
+
+    def test_target_is_a_file(self, tmp_path):
+        target = tmp_path / "idx"
+        target.write_bytes(b"in the way")
+        index = build_document_index(parse("<a><b>one</b></a>"))
+        with pytest.raises(IndexingError):
+            save_index(index, target)
+        assert target.read_bytes() == b"in the way"

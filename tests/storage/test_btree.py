@@ -154,6 +154,45 @@ class TestBulkLoad:
         with pytest.raises(StorageError):
             BPlusTree.bulk_load([(b"a", 1), (b"a", 2)])
 
+    @pytest.mark.parametrize("order", [4, 8, 64, 128])
+    @pytest.mark.parametrize(
+        "size", [0, 1, 2, 3, 5, 16, 17, 100, 381, 1000]
+    )
+    def test_bulk_load_invariants_across_sizes(self, order, size):
+        """Bottom-up packing must honor fill invariants at every size.
+
+        The trailing-node fix-ups (merge / even redistribution) are the
+        delicate part; the size sweep crosses leaf and internal level
+        boundaries for every order.
+        """
+        pairs = [(b"k%06d" % i, i) for i in range(size)]
+        tree = BPlusTree.bulk_load(pairs, order=order)
+        tree.check_invariants()
+        assert list(tree.items()) == pairs
+        assert len(tree) == size
+
+    def test_bulk_loaded_tree_stays_mutable(self):
+        pairs = [(b"k%04d" % i, i) for i in range(500)]
+        tree = BPlusTree.bulk_load(pairs, order=8)
+        for i in range(0, 500, 3):
+            tree.insert(b"x%04d" % i, i)
+        for i in range(0, 500, 7):
+            assert tree.delete(b"k%04d" % i)
+        tree.check_invariants()
+        expected = dict(pairs)
+        for i in range(0, 500, 3):
+            expected[b"x%04d" % i] = i
+        for i in range(0, 500, 7):
+            del expected[b"k%04d" % i]
+        assert dict(tree.items()) == expected
+
+    def test_bulk_load_accepts_generator(self):
+        tree = BPlusTree.bulk_load(
+            ((b"%03d" % i, i) for i in range(50)), order=4
+        )
+        tree.check_invariants()
+        assert len(tree) == 50
+
 
 class TestHypothesis:
     @settings(max_examples=60, deadline=None)

@@ -142,3 +142,51 @@ class TestRepl:
         out = io.StringIO()
         code = _cmd_repl(args, out, lines=["   ", ":q"])
         assert code == 0
+
+
+class TestFrozenSnapshots:
+    @pytest.fixture(scope="class")
+    def frozen_path(self, tmp_path_factory, index_dir):
+        target = tmp_path_factory.mktemp("cli") / "corpus.frz"
+        code, output = run_cli("freeze-index", index_dir, "-o", str(target))
+        assert code == 0
+        assert "froze" in output
+        return str(target)
+
+    def test_single_file(self, frozen_path):
+        import os
+
+        assert os.path.isfile(frozen_path)
+        assert os.path.getsize(frozen_path) > 0
+
+    def test_index_frozen_flag(self, tmp_path, corpus_xml):
+        target = tmp_path / "direct.frz"
+        code, output = run_cli(
+            "index", corpus_xml, "-o", str(target), "--frozen"
+        )
+        assert code == 0
+        assert "frozen snapshot" in output
+        assert target.is_file()
+
+    def test_search_frozen_source(self, frozen_path, index_dir):
+        code_frozen, out_frozen = run_cli(
+            "search", frozen_path, "online", "databse"
+        )
+        code_dir, out_dir = run_cli("search", index_dir, "online", "databse")
+        assert code_frozen == code_dir
+        assert out_frozen == out_dir
+
+    def test_stats_frozen_source(self, frozen_path, index_dir):
+        code_frozen, out_frozen = run_cli("stats", frozen_path)
+        code_dir, out_dir = run_cli("stats", index_dir)
+        assert code_frozen == 0
+        assert out_frozen == out_dir
+
+    def test_freeze_rejects_bad_source(self, tmp_path):
+        code, _ = run_cli(
+            "freeze-index",
+            str(tmp_path / "missing"),
+            "-o",
+            str(tmp_path / "out.frz"),
+        )
+        assert code != 0
