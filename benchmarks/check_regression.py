@@ -12,6 +12,14 @@ against the baseline's ``startup`` section (its own, looser
 ``--startup-threshold``, since single-shot startup timings are
 noisier than a 48-request mean).
 
+The report's ``planner`` section carries its own self-relative gate:
+in every bucket, ``auto``'s p95 must stay within the
+``--planner-threshold`` factor (default 1.05) plus an absolute 0.25 ms
+slack of the best *fixed* algorithm measured in the same run — so the
+adaptive planner can never quietly become slower than just picking one
+algorithm.  It compares within the current run (not against the
+baseline) because both sides move together with host speed.
+
 The baseline is regenerated with::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \
@@ -69,6 +77,10 @@ def main(argv=None):
     parser.add_argument("--startup-threshold", type=float, default=1.0,
                         help="maximum tolerated fractional regression of "
                              "the frozen open-to-first-answer time")
+    parser.add_argument("--planner-threshold", type=float, default=1.05,
+                        help="maximum tolerated auto-vs-best-fixed p95 "
+                             "factor per planner bucket (plus 0.25 ms "
+                             "absolute slack)")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -134,6 +146,43 @@ def main(argv=None):
         )
         return 1
     print("OK: frozen startup is within the regression budget")
+
+    if "planner" not in current:
+        print(
+            "malformed report: missing 'planner' section", file=sys.stderr
+        )
+        return 2
+    planner_slack_ms = 0.25
+    for bucket, entry in current["planner"]["buckets"].items():
+        if entry["requests"] < 20:
+            # p95 over a handful of requests is a max statistic —
+            # pure noise on smoke-sized logs, so not gated.
+            print(
+                f"planner {bucket} bucket: only {entry['requests']} "
+                f"requests, p95 envelope not gated"
+            )
+            continue
+        limit = (
+            entry["best_fixed_p95_ms"] * args.planner_threshold
+            + planner_slack_ms
+        )
+        print(
+            f"planner {bucket} bucket p95: auto "
+            f"{entry['auto_p95_ms']:.3f} ms, best fixed "
+            f"[{entry['best_fixed']}] {entry['best_fixed_p95_ms']:.3f} ms, "
+            f"limit {limit:.3f} ms"
+        )
+        if entry["auto_p95_ms"] > limit:
+            print(
+                f"FAIL: auto p95 in the {bucket} bucket exceeds the "
+                f"best-fixed envelope (x{args.planner_threshold} + "
+                f"{planner_slack_ms} ms)",
+                file=sys.stderr,
+            )
+            return 1
+    accuracy = current["planner"]["routing_accuracy"]
+    print(f"planner routing accuracy: {accuracy:.1%}")
+    print("OK: the adaptive planner holds the best-fixed p95 envelope")
     return 0
 
 

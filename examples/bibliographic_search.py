@@ -76,16 +76,21 @@ def main():
         )
         print()
 
-    # Compare the three algorithms on one dirty query.
+    # Compare the three fixed algorithms (and the planner) on one
+    # dirty query.  "auto" routes to the predicted-cheapest kernel and
+    # returns the same answer.
     query = "informaton retrieval relevance"
     print(f"algorithm comparison on {query!r}:")
-    for algorithm in ("stack", "sle", "partition"):
+    for algorithm in ("stack", "sle", "partition", "auto"):
         response = engine.search(query, k=1, algorithm=algorithm)
         best = response.best
         label = " ".join(best.rq.keywords) if best else "(none)"
+        routed = ""
+        if response.plan is not None:
+            routed = f" (planner chose {response.plan.executed})"
         print(
             f"  {algorithm:>9}: best={{{label}}} "
-            f"in {response.stats.elapsed_seconds * 1000:.1f} ms"
+            f"in {response.stats.elapsed_seconds * 1000:.1f} ms{routed}"
         )
 
 

@@ -99,6 +99,15 @@ def main():
         engine = XRefine(reopened)  # refresh the rule miner's vocabulary
         show_query(engine, "tardigrade genomics")
         show_query(engine, "tardigrade genomic")  # stemming refinement
+        # The planner keys its plan cache on the index version, so the
+        # append above implicitly invalidated any cached plans.
+        planner = engine.cache_stats()["planner"]
+        if planner is not None:
+            print(
+                f"  planner: {planner['planned']} plans, routed "
+                f"{planner['routed']} (plan cache "
+                f"{planner['plan_cache']['entries']} entries)"
+            )
 
         print("\nremoving the first author...")
         first = reopened.tree.partitions()[0]

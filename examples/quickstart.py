@@ -90,6 +90,15 @@ def main():
         labels = engine.slca_search("database 2003", algorithm=algorithm)
         print(f"    {algorithm:>14}: {[str(d) for d in labels]}")
 
+    # 5. Every search above ran with algorithm="auto": the cost-based
+    #    planner picked the kernel.  explain=True shows its reasoning.
+    print("\n>>> explain: the planner's decision for 'on line data base'")
+    response = engine.search("on line data base", k=3, explain=True)
+    if response.plan is not None:
+        print("  " + response.plan.describe().replace("\n", "\n  "))
+    else:
+        print("  (served from the result cache)")
+
 
 if __name__ == "__main__":
     main()

@@ -5,6 +5,7 @@ Usage (``python -m repro <command> ...``)::
     repro generate dblp -o corpus.xml --authors 300 --seed 7
     repro index corpus.xml -o corpus.idx
     repro freeze-index corpus.idx -o corpus.frz
+    repro search corpus.frz online databse -k 3 --explain
     repro search corpus.frz online databse -k 3 --algorithm partition
     repro slca corpus.idx database 2003 --algorithm scan
     repro specialize corpus.idx query -k 3
@@ -114,8 +115,13 @@ def _cmd_search(args, out):
 def _print_search(engine, args, out):
     response = engine.search(
         args.keywords, k=args.k, algorithm=args.algorithm,
-        parallelism=args.parallel,
+        parallelism=args.parallel, explain=args.explain,
     )
+    if args.explain:
+        if response.plan is not None:
+            print(response.plan.describe(), file=out)
+        else:
+            print("plan: (served from the result cache)", file=out)
     if not response.needs_refinement:
         print(
             f"direct hit: {len(response.original_results)} meaningful "
@@ -315,12 +321,19 @@ def build_parser():
     search.add_argument("keywords", nargs="+")
     search.add_argument("-k", type=int, default=3)
     search.add_argument(
-        "--algorithm", choices=ALGORITHMS, default="partition"
+        "--algorithm", choices=ALGORITHMS, default="auto",
+        help="'auto' (default) lets the cost-based planner pick; "
+        "answers are identical for every choice",
     )
     search.add_argument(
         "--parallel", type=int, default=1, metavar="N",
         help="evaluate the query over N shard workers "
-        "(partition algorithm only; answers are identical)",
+        "('auto'/'partition' algorithms only; answers are identical)",
+    )
+    search.add_argument(
+        "--explain", action="store_true",
+        help="print the planner's QueryPlan (chosen route, cost "
+        "estimates, extracted features) before the results",
     )
     search.set_defaults(handler=_cmd_search)
 

@@ -158,6 +158,47 @@ def get_top_optimal_rqs(query, available, rules, limit):
     return results
 
 
+class MissingKeywordBound:
+    """Presence-based lower bound on any local refinement's dissimilarity.
+
+    Every occurrence of a query keyword that is *absent* from the data
+    region ``T`` must be either deleted (``rules.deletion_cost``) or
+    consumed by a rule whose LHS contains it, so the dissimilarity of
+    every refined query derivable within ``T`` is at least the
+    cheapest way to handle any single missing keyword — and therefore
+    at least the **maximum** over missing keywords of that per-keyword
+    minimum (costs add up, but one rule may consume several keywords
+    at once, which is why the per-keyword minima cannot be summed).
+
+    The per-keyword handling costs are a pure function of
+    ``(query, rules)`` and are computed once; :meth:`lower_bound` is
+    then O(missing keywords) with no DP call at all, making it the
+    cheap pre-check the partition kernels run before even the 1-beam
+    probe of optimization 2.  Because the bound never exceeds the true
+    DP minimum, pruning on ``lower_bound(T) > threshold`` (strict,
+    like the probe) can never change an answer.
+    """
+
+    __slots__ = ("_handle_costs",)
+
+    def __init__(self, query, rules):
+        costs = {keyword: rules.deletion_cost for keyword in set(query)}
+        for rule in rules:
+            for keyword in rule.lhs:
+                held = costs.get(keyword)
+                if held is not None and rule.ds < held:
+                    costs[keyword] = rule.ds
+        self._handle_costs = costs
+
+    def lower_bound(self, present):
+        """Least possible ``dSim`` of any RQ derivable inside ``present``."""
+        bound = 0
+        for keyword, cost in self._handle_costs.items():
+            if keyword not in present and cost > bound:
+                bound = cost
+        return bound
+
+
 def get_optimal_rq(query, available, rules):
     """The single optimal RQ (minimum ``dSim``), or ``None``.
 

@@ -29,6 +29,7 @@ from ..index.tokenize_text import query_terms
 from ..lexicon.mining import RuleMiner
 from ..perf.packed import PackedListStore
 from ..perf.result_cache import DEFAULT_CAPACITY, QueryResultCache
+from ..plan.planner import QueryPlanner
 from ..slca.elca import elca
 from ..slca.indexed_lookup import indexed_lookup_slca
 from ..slca.multiway import multiway_slca
@@ -41,8 +42,10 @@ from .result import RefinementResponse
 from .short_list_eager import short_list_eager
 from .stack_refine import stack_refine
 
-#: Refinement algorithm registry.
-ALGORITHMS = ("partition", "sle", "stack")
+#: Refinement algorithm registry.  ``"auto"`` (the default) routes each
+#: query to the predicted-cheapest fixed algorithm via the cost-based
+#: planner (:mod:`repro.plan`); answers are byte-identical either way.
+ALGORITHMS = ("auto", "partition", "sle", "stack")
 #: Plain-SLCA algorithm registry.
 SLCA_ALGORITHMS = {
     "stack": stack_slca,
@@ -130,6 +133,8 @@ class XRefine:
         self._shard_runtime = None
         #: Auto-mined rule sets per query (pure function of the miner).
         self._rules_memo = {}
+        #: Lazily built cost-based query planner (repro.plan).
+        self._planner = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -198,11 +203,25 @@ class XRefine:
 
     def cache_stats(self):
         """Monitoring snapshot of every hot-path cache layer."""
+        planner = self._planner
         return {
             "results": self.result_cache.stats(),
             "packed_keywords": len(self.packed),
             "index_version": getattr(self.index, "version", 0),
+            #: Routing counters, plan-cache hit rate, cost-model ratio
+            #: samples and the active calibration (None until the
+            #: first ``auto``/``explain`` query builds the planner).
+            "planner": planner.stats() if planner is not None else None,
         }
+
+    @property
+    def planner(self):
+        """The engine's :class:`~repro.plan.planner.QueryPlanner`."""
+        planner = self._planner
+        if planner is None:
+            planner = QueryPlanner(self.index, packed=self.packed)
+            self._planner = planner
+        return planner
 
     # ------------------------------------------------------------------
     # Parallel execution plumbing (repro.shard)
@@ -265,8 +284,8 @@ class XRefine:
         self._rules_memo[terms] = (self.miner, rules)
         return rules
 
-    def search(self, query, k=1, algorithm="partition", rules=None,
-               rank_results=False, parallelism=None):
+    def search(self, query, k=1, algorithm="auto", rules=None,
+               rank_results=False, parallelism=None, explain=False):
         """Automatic refinement search (Issues 1–4 of the introduction).
 
         Parameters
@@ -277,8 +296,11 @@ class XRefine:
             Number of ranked refined queries wanted when refinement is
             needed.
         algorithm:
-            ``"partition"`` (Algorithm 2, default), ``"sle"``
-            (Algorithm 3) or ``"stack"`` (Algorithm 1; Top-1 only).
+            ``"auto"`` (default) — the cost-based planner routes the
+            query to the predicted-cheapest algorithm (answers are
+            byte-identical to every fixed choice) — or a fixed
+            ``"partition"`` (Algorithm 2), ``"sle"`` (Algorithm 3) or
+            ``"stack"`` (Algorithm 1; Top-1 only).
         rules:
             Pre-mined :class:`~repro.lexicon.rules.RuleSet`; mined on
             the fly when omitted.
@@ -288,9 +310,16 @@ class XRefine:
         parallelism:
             Worker count for this call; defaults to the engine's
             ``parallelism``.  Values above 1 evaluate cache misses on
-            the shard pool (``repro.shard``) and require the default
-            ``"partition"`` algorithm; answers (and therefore the
-            result cache) are identical at every level.
+            the shard pool (``repro.shard``) and require ``"auto"``
+            (the planner chooses serial vs. sharded) or
+            ``"partition"``; answers (and therefore the result cache)
+            are identical at every level.
+        explain:
+            When True, attach the recorded
+            :class:`~repro.plan.planner.QueryPlan` to
+            ``response.plan`` even for fixed algorithms (``auto``
+            always records one).  Responses served from the result
+            cache carry the plan of the evaluation that produced them.
 
         Returns
         -------
@@ -301,17 +330,29 @@ class XRefine:
             self.parallelism if parallelism is None
             else _validate_parallelism(parallelism)
         )
-        if parallelism > 1 and algorithm != "partition":
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown refinement algorithm {algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if parallelism > 1 and algorithm not in ("auto", "partition"):
             raise QueryError(
                 "parallel execution is only implemented for the "
-                f"'partition' algorithm, not {algorithm!r}"
+                f"'auto' and 'partition' algorithms, not {algorithm!r}"
             )
-        terms = query_terms(query)
+        terms = tuple(query_terms(query))
         if not terms:
             raise QueryError(
                 "the keyword query is empty (no indexable terms after "
                 "normalization)"
             )
+        return self._search_validated(
+            terms, k, algorithm, rules, rank_results, parallelism, explain
+        )
+
+    def _search_validated(self, terms, k, algorithm, rules, rank_results,
+                          parallelism, explain):
+        """Cache lookup + dispatch for pre-validated arguments."""
         # Repeated-query fast path: answers are cached only for engine-
         # mined rules (a caller-supplied RuleSet is part of the answer
         # but not hashable into a key) and returned as the same object —
@@ -320,7 +361,7 @@ class XRefine:
         if rules is None and self.result_cache.enabled:
             cache_key = (
                 "search",
-                tuple(terms),
+                terms,
                 k,
                 algorithm,
                 bool(rank_results),
@@ -333,7 +374,12 @@ class XRefine:
                 return cached
         if rules is None:
             rules = self.mine_rules(terms)
-        if algorithm == "partition" and parallelism > 1:
+        plan = None
+        if algorithm == "auto":
+            plan = self.planner.plan(terms, rules, k, parallelism)
+            response = self._execute_plan(plan, terms, rules, k)
+            self.planner.record(plan, response)
+        elif algorithm == "partition" and parallelism > 1:
             from ..shard.refine import sharded_partition_refine
 
             response = sharded_partition_refine(
@@ -341,23 +387,34 @@ class XRefine:
                 shards=parallelism,
                 executor=self._shard_runtime_for(parallelism),
             )
-        elif algorithm == "partition":
-            response = partition_refine(
-                self.index, terms, rules=rules, model=self.model, k=k
-            )
-        elif algorithm == "sle":
-            response = short_list_eager(
-                self.index, terms, rules=rules, model=self.model, k=k
-            )
-        elif algorithm == "stack":
-            response = stack_refine(
-                self.index, terms, rules=rules, model=self.model
-            )
         else:
-            raise QueryError(
-                f"unknown refinement algorithm {algorithm!r}; "
-                f"expected one of {ALGORITHMS}"
+            memos = self.planner.dp_memos(terms, rules, max(2 * k, 2))
+            if algorithm == "partition":
+                response = partition_refine(
+                    self.index, terms, rules=rules, model=self.model, k=k,
+                    dp_memos=memos[:2],
+                )
+            elif algorithm == "sle":
+                response = short_list_eager(
+                    self.index, terms, rules=rules, model=self.model, k=k,
+                    dp_memos=memos[:2],
+                )
+            else:  # "stack" — the registry was validated by the caller
+                response = stack_refine(
+                    self.index, terms, rules=rules, model=self.model,
+                    dp_memo=memos[2],
+                )
+        if explain and plan is None:
+            # Fixed algorithm: record a forced plan for observability
+            # (estimates are not computed; the executed route and the
+            # kernel's elapsed time are).
+            plan = self.planner.plan(
+                terms, rules, k, parallelism, force=algorithm
             )
+            plan.executed = algorithm
+            plan.actual_seconds = response.stats.elapsed_seconds
+        if plan is not None:
+            response.plan = plan
         if rank_results:
             from .ranking.results import rank_response_results
 
@@ -368,7 +425,52 @@ class XRefine:
             )
         return response
 
-    def search_many(self, queries, k=1, algorithm="partition",
+    def _execute_plan(self, plan, terms, rules, k):
+        """Run a planned route, with the stack→partition fallback.
+
+        Stack-refine is chosen only on a predicted direct hit; when the
+        prediction misses (the query needs refinement after all, where
+        stack is Top-1 only) the engine falls back to Partition, so the
+        response is byte-identical to every fixed algorithm no matter
+        how the bet lands.
+        """
+        memos = self.planner.dp_memos(terms, rules, max(2 * k, 2))
+        route = plan.chosen
+        if route == "stack":
+            response = stack_refine(
+                self.index, terms, rules=rules, model=self.model,
+                dp_memo=memos[2],
+            )
+            if not response.needs_refinement:
+                plan.executed = "stack"
+                return response
+            plan.fallback = "stack->partition"
+            route = "partition"
+        if route == "partition" and plan.parallel:
+            from ..shard.refine import sharded_partition_refine
+
+            response = sharded_partition_refine(
+                self.index, terms, rules=rules, model=self.model, k=k,
+                shards=plan.parallelism,
+                executor=self._shard_runtime_for(plan.parallelism),
+                initial_bound=plan.bound_seed,
+            )
+            plan.executed = "partition"
+        elif route == "partition":
+            response = partition_refine(
+                self.index, terms, rules=rules, model=self.model, k=k,
+                dp_memos=memos[:2],
+            )
+            plan.executed = "partition"
+        else:  # "sle"
+            response = short_list_eager(
+                self.index, terms, rules=rules, model=self.model, k=k,
+                dp_memos=memos[:2],
+            )
+            plan.executed = "sle"
+        return response
+
+    def search_many(self, queries, k=1, algorithm="auto",
                     rank_results=False, parallelism=None):
         """Batch refinement search: one response per input query.
 
@@ -378,20 +480,40 @@ class XRefine:
         distinct normalized query is evaluated exactly once per batch
         even when the LRU result cache is disabled or thrashing.
         Responses for duplicate queries are the same object.
-        ``parallelism`` is forwarded to :meth:`search` per unique
-        query.
+        ``k``/``algorithm``/``parallelism`` are validated **once** for
+        the whole batch (not per unique query); dispatch goes straight
+        to the post-validation path.
         """
         k = _validate_k(k)
+        parallelism = (
+            self.parallelism if parallelism is None
+            else _validate_parallelism(parallelism)
+        )
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown refinement algorithm {algorithm!r}; "
+                f"expected one of {ALGORITHMS}"
+            )
+        if parallelism > 1 and algorithm not in ("auto", "partition"):
+            raise QueryError(
+                "parallel execution is only implemented for the "
+                f"'auto' and 'partition' algorithms, not {algorithm!r}"
+            )
         self._refresh_miner()
         responses = []
         batch = {}  # normalized terms -> response
         for query in queries:
             terms = tuple(query_terms(query))
+            if not terms:
+                raise QueryError(
+                    "the keyword query is empty (no indexable terms "
+                    "after normalization)"
+                )
             response = batch.get(terms)
             if response is None:
-                response = self.search(
-                    terms, k=k, algorithm=algorithm,
-                    rank_results=rank_results, parallelism=parallelism,
+                response = self._search_validated(
+                    terms, k, algorithm, None, rank_results, parallelism,
+                    False,
                 )
                 batch[terms] = response
             responses.append(response)

@@ -31,12 +31,12 @@ from ..slca.scan_eager import scan_eager_slca
 from ..xmltree.dewey import Dewey
 from .candidates import RQSortedList
 from .common import QueryContext, rank_candidates
-from .dp import get_top_optimal_rqs
+from .dp import MissingKeywordBound, get_top_optimal_rqs
 from .result import RefinementResponse, ScanStats
 
 
 def partition_refine(index, query, rules=None, model=None, k=1,
-                     skip_optimization=True):
+                     skip_optimization=True, dp_memos=None):
     """Run Algorithm 2; returns the Top-``k`` refined queries.
 
     Parameters as :func:`~repro.core.stack_refine.stack_refine`, plus
@@ -44,6 +44,12 @@ def partition_refine(index, query, rules=None, model=None, k=1,
     candidate list holds ``2k`` entries, as in the paper.
     ``skip_optimization=False`` disables the partition-pruning bound
     (optimization 2 of Section VI-B) for the ablation benchmark.
+    ``dp_memos`` is an optional ``(probe_memo, beam_memo)`` pair of
+    dicts keyed on the present-keyword frozenset — the DP is a pure
+    function of ``(query, present, rules, limit)``, so the planner
+    shares them across calls (the serial analogue of the shard
+    workers' ``dp_cache``); memoized hits still count in
+    ``stats.dp_invocations``, matching the sharded kernel.
     """
     from .ranking.model import full_model
 
@@ -56,6 +62,8 @@ def partition_refine(index, query, rules=None, model=None, k=1,
     stats.lists_opened = len(context.keyword_space)
     query_key = context.query_key()
     query_set = set(context.query)
+    probe_memo, beam_memo = dp_memos if dp_memos is not None else ({}, {})
+    presence_bound = MissingKeywordBound(context.query, rules)
 
     cursors = {
         keyword: context.lists[keyword].cursor()
@@ -159,18 +167,32 @@ def partition_refine(index, query, rules=None, model=None, k=1,
         # ``(dissimilarity, keyword set)`` admission order, so tie
         # partitions must run the full beam.
         threshold = sorted_list.max_dissimilarity()
+        present_key = frozenset(present)
         if skip_optimization and sorted_list.is_full:
+            # Presence pre-check: the per-keyword frequency lower
+            # bound needs no DP at all; the strict comparison mirrors
+            # the probe's, so pruning here is answer-identical.
+            if presence_bound.lower_bound(present) > threshold:
+                accumulate_kept(frozenset())
+                stats.partitions_skipped += 1
+                continue
             stats.dp_invocations += 1
-            probe = get_top_optimal_rqs(context.query, present, rules, 1)
+            probe = probe_memo.get(present_key)
+            if probe is None:
+                probe = get_top_optimal_rqs(context.query, present, rules, 1)
+                probe_memo[present_key] = probe
             if not probe or probe[0].dissimilarity > threshold:
                 accumulate_kept(frozenset())
                 stats.partitions_skipped += 1
                 continue
 
         stats.dp_invocations += 1
-        local_candidates = get_top_optimal_rqs(
-            context.query, present, rules, sorted_list.capacity
-        )
+        local_candidates = beam_memo.get(present_key)
+        if local_candidates is None:
+            local_candidates = get_top_optimal_rqs(
+                context.query, present, rules, sorted_list.capacity
+            )
+            beam_memo[present_key] = local_candidates
         computed_keys = set()
         for rq in local_candidates:
             if rq.key == query_key:

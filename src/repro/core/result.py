@@ -101,6 +101,7 @@ class RefinementResponse:
         "candidates",
         "search_for",
         "stats",
+        "plan",
     )
 
     def __init__(
@@ -112,6 +113,7 @@ class RefinementResponse:
         search_for,
         stats,
         candidates=None,
+        plan=None,
     ):
         self.query = tuple(query)
         self.needs_refinement = needs_refinement
@@ -125,6 +127,11 @@ class RefinementResponse:
         )
         self.search_for = list(search_for)
         self.stats = stats
+        #: The planner's :class:`~repro.plan.planner.QueryPlan` when the
+        #: engine evaluated this response with ``algorithm="auto"`` or
+        #: ``explain=True``; ``None`` otherwise.  Not part of the
+        #: answer fingerprint.
+        self.plan = plan
 
     def top(self, k=1):
         """The best ``k`` refined queries (best first)."""

@@ -31,7 +31,7 @@ from ..lexicon.rules import RuleSet
 from ..slca.scan_eager import scan_eager_slca
 from .candidates import RQSortedList
 from .common import QueryContext, rank_candidates
-from .dp import get_top_optimal_rqs
+from .dp import MissingKeywordBound, get_top_optimal_rqs
 from .result import RefinementResponse, ScanStats
 
 
@@ -49,13 +49,17 @@ def _partitions_of(inverted_list):
 
 
 def short_list_eager(index, query, rules=None, model=None, k=1,
-                     smart_choice=True):
+                     smart_choice=True, dp_memos=None):
     """Run Algorithm 3; returns the Top-``k`` refined queries.
 
     ``smart_choice=False`` falls back to the plain shortest-list
     ordering (no preference for refinement-free / rule-generated
     keywords), for the ablation benchmark of the Section VI-C
-    discussion.
+    discussion.  ``dp_memos`` is the planner's optional
+    ``(probe_memo, beam_memo)`` pair (see
+    :func:`~repro.core.partition_refine.partition_refine`); the
+    ``C_potential`` probes share the 1-beam memo, since they are the
+    same pure DP over the remaining-keyword set.
     """
     from .ranking.model import full_model
 
@@ -80,10 +84,20 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     }
 
     sorted_list = RQSortedList(capacity=max(2 * k, 2))
-    found = {}  # rq key -> RefinedQuery
     visited_partitions = set()
     needs_refine = True
     original_results = []
+    probe_memo, beam_memo = dp_memos if dp_memos is not None else ({}, {})
+    presence_bound = MissingKeywordBound(context.query, rules)
+
+    def probe_minimum(available):
+        """Memoized 1-beam DP: the least dSim achievable in ``available``."""
+        key = frozenset(available)
+        probe = probe_memo.get(key)
+        if probe is None:
+            probe = get_top_optimal_rqs(context.query, available, rules, 1)
+            probe_memo[key] = probe
+        return probe[0].dissimilarity if probe else float("inf")
 
     rhs_keywords = rules.generated_keywords()
     lhs_keywords = set()
@@ -146,10 +160,34 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
             if not needs_refine:
                 continue
 
+            # Per-partition skip bound (mirrors Partition's
+            # optimization 2): once the Top-2K list is full, a
+            # partition whose cheapest derivable RQ provably exceeds
+            # the worst kept dissimilarity cannot change the list —
+            # new keys lose under the content order, and re-offers of
+            # kept keys at a worse dSim never mutate it.  The
+            # presence-based lower bound runs first (no DP at all);
+            # both comparisons are strict, so skipping is
+            # answer-identical.
+            if sorted_list.is_full:
+                threshold = sorted_list.max_dissimilarity()
+                if presence_bound.lower_bound(present) > threshold:
+                    stats.partitions_skipped += 1
+                    continue
+                stats.dp_invocations += 1
+                if probe_minimum(present) > threshold:
+                    stats.partitions_skipped += 1
+                    continue
+
             stats.dp_invocations += 1
-            for rq in get_top_optimal_rqs(
-                context.query, present, rules, sorted_list.capacity
-            ):
+            present_key = frozenset(present)
+            local_candidates = beam_memo.get(present_key)
+            if local_candidates is None:
+                local_candidates = get_top_optimal_rqs(
+                    context.query, present, rules, sorted_list.capacity
+                )
+                beam_memo[present_key] = local_candidates
+            for rq in local_candidates:
                 if rq.key == query_key:
                     continue
                 already_kept = sorted_list.has_key(rq.key)
@@ -168,8 +206,7 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
                     )
                     if not context.meaningful_only(local):
                         continue
-                if sorted_list.insert(rq):
-                    found[rq.key] = rq
+                sorted_list.insert(rq)
 
         remaining.discard(anchor_keyword)
         if not needs_refine:
@@ -179,16 +216,13 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
             remaining.intersection_update(query_set)
             continue
 
-        # Stop condition: C_potential over the remaining keywords.
+        # Stop condition: C_potential over the remaining keywords,
+        # seeded against the best (tightest) Top-2K threshold carried
+        # across anchor rounds.  Shares the 1-beam probe memo — the
+        # same pure DP over a different keyword set.
         if sorted_list.is_full and remaining:
             stats.dp_invocations += 1
-            potential = get_top_optimal_rqs(
-                context.query, remaining, rules, 1
-            )
-            c_potential = (
-                potential[0].dissimilarity if potential else float("inf")
-            )
-            if c_potential > sorted_list.max_dissimilarity():
+            if probe_minimum(remaining) > sorted_list.max_dissimilarity():
                 break
 
     # ------------------------------------------------------------------

@@ -47,7 +47,7 @@ class _Entry:
         self.blocked_q = False
 
 
-def stack_refine(index, query, rules=None, model=None):
+def stack_refine(index, query, rules=None, model=None, dp_memo=None):
     """Run Algorithm 1; returns a :class:`RefinementResponse` (Top-1).
 
     Parameters
@@ -62,6 +62,11 @@ def stack_refine(index, query, rules=None, model=None):
     model:
         Ranking model used to order tied optimal candidates; the
         engine supplies one, standalone callers may omit it.
+    dp_memo:
+        Optional dict memoizing ``get_optimal_rq`` per witnessed
+        keyword frozenset — a pure function of ``(query, witnessed,
+        rules)``, so the planner shares it across calls.  Memo hits
+        still count in ``stats.dp_invocations``.
     """
     from .ranking.model import full_model
 
@@ -94,6 +99,7 @@ def stack_refine(index, query, rules=None, model=None):
     original_results = []
     min_dissimilarity = float("inf")
     best = {}  # rq key -> (RefinedQuery, [Dewey])
+    optimal_memo = dp_memo if dp_memo is not None else {}
 
     stack = []
 
@@ -117,13 +123,17 @@ def stack_refine(index, query, rules=None, model=None):
                 stack[-1].blocked_q = True
             propagate = 0  # line 12: reset all witness entries
         elif needs_refine and entry.mask:
-            witnessed = {
+            witnessed = frozenset(
                 keyword
                 for keyword, bit in keyword_bit.items()
                 if entry.mask & bit
-            }
+            )
             stats.dp_invocations += 1
-            optimal = get_optimal_rq(context.query, witnessed, rules)
+            if witnessed in optimal_memo:
+                optimal = optimal_memo[witnessed]
+            else:
+                optimal = get_optimal_rq(context.query, witnessed, rules)
+                optimal_memo[witnessed] = optimal
             if (
                 optimal is not None
                 and optimal.key != query_key

@@ -59,7 +59,13 @@ from .statistics import StatisticsTable
 #: File magic — 8 bytes, never reused across incompatible layouts.
 MAGIC = b"XRFZIDX\x01"
 #: Bumped whenever the section layout or any section encoding changes.
-FORMAT_VERSION = 1
+#: Version 2 added the planner-calibration record to the statistics
+#: section (an additive change: version-1 files stay readable, they
+#: just carry no calibration and the planner falls back to its
+#: uncalibrated defaults).
+FORMAT_VERSION = 2
+#: Versions this build can read.
+_COMPAT_VERSIONS = (1, 2)
 
 _SECTION_INVERTED = 0
 _SECTION_FREQUENCY = 1
@@ -72,6 +78,12 @@ _HEADER = struct.Struct("<8sHHI")
 _SECTION_ENTRY = struct.Struct("<QQ")  # offset, length (body-relative)
 
 _STATS_VALUE = struct.Struct(">III")  # node_count, distinct, total_terms
+
+#: Reserved statistics-section key holding the planner's cost-model
+#: calibration (see :mod:`repro.plan.cost_model`).  The leading NUL
+#: component can never collide with a real node type (tag names are
+#: non-empty XML names) and sorts before every real key.
+CALIBRATION_KEY = encode_key(("\x00calibration",))
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +173,20 @@ def _owned_items(store):
         yield bytes(key), bytes(value)
 
 
+def _calibration_pairs(index):
+    """The statistics-section record carrying the planner calibration.
+
+    Calibrated once per frozen snapshot: reuses the calibration already
+    attached to ``index`` (a previous snapshot's, or a planner's) and
+    micro-calibrates otherwise, so freezing is where the one-time
+    timing cost is paid.
+    """
+    from ..plan.cost_model import calibration_for, encode_calibration
+
+    calibration = calibration_for(index)
+    return [(CALIBRATION_KEY, encode_calibration(calibration))]
+
+
 def freeze_index(index, path):
     """Write ``index`` as a frozen snapshot file at ``path``.
 
@@ -173,13 +199,18 @@ def freeze_index(index, path):
         index.frequency.finalize()
 
     statistics_pairs = sorted(
-        (
-            encode_key(node_type),
-            _STATS_VALUE.pack(
-                stats.node_count, stats.distinct_keywords, stats.total_terms
-            ),
-        )
-        for node_type, stats in index.statistics.items()
+        [
+            (
+                encode_key(node_type),
+                _STATS_VALUE.pack(
+                    stats.node_count,
+                    stats.distinct_keywords,
+                    stats.total_terms,
+                ),
+            )
+            for node_type, stats in index.statistics.items()
+        ]
+        + _calibration_pairs(index)
     )
     sections = [
         encode_sorted_kv_block(_owned_items(index.inverted._store)),
@@ -244,10 +275,13 @@ class FrozenSnapshot:
     dropped once an index has been materialized from it.
     """
 
-    def __init__(self, path, mapped, sections):
+    def __init__(self, path, mapped, sections, format_version=FORMAT_VERSION):
         self.path = path
         self._mapped = mapped
         self._sections = sections
+        #: The version the file on disk declares (1 or 2); version-1
+        #: snapshots carry no calibration record.
+        self.format_version = format_version
 
     @classmethod
     def open(cls, path):
@@ -286,10 +320,10 @@ class FrozenSnapshot:
             raise IndexingError(
                 f"{path!r} is not a frozen index snapshot (bad magic)"
             )
-        if version != FORMAT_VERSION:
+        if version not in _COMPAT_VERSIONS:
             raise IndexingError(
                 f"frozen snapshot {path!r} has format version {version}; "
-                f"this build reads version {FORMAT_VERSION}"
+                f"this build reads versions {_COMPAT_VERSIONS}"
             )
         if section_count != _SECTION_COUNT:
             raise IndexingError(
@@ -329,7 +363,7 @@ class FrozenSnapshot:
             body.release()
             raise
         body.release()
-        return cls(path, mapped, sections)
+        return cls(path, mapped, sections, format_version=version)
 
     def section(self, index):
         """Zero-copy memoryview of one section's bytes."""
@@ -372,7 +406,17 @@ def load_frozen_index(path):
         store=CowKVStore(frequency_block),
     )
     statistics = StatisticsTable()
+    calibration = None
     for key, value in statistics_block.items():
+        if bytes(key) == CALIBRATION_KEY:
+            # Reserved planner-calibration record (format version 2+).
+            # An unknown record version decodes to None — the planner
+            # silently falls back to its uncalibrated defaults, the
+            # same behavior as reading a version-1 snapshot.
+            from ..plan.cost_model import decode_calibration
+
+            calibration = decode_calibration(bytes(value))
+            continue
         node_type = decode_key(key)
         node_count, distinct, total_terms = _STATS_VALUE.unpack(value)
         entry = statistics._entry(node_type)
@@ -383,4 +427,5 @@ def load_frozen_index(path):
 
     index = DocumentIndex(tree, inverted, frequency, statistics, cooccurrence)
     index.frozen_snapshot = snapshot
+    index.calibration = calibration
     return index

@@ -30,7 +30,15 @@ class PackedPostings:
     them as read-only.
     """
 
-    __slots__ = ("keyword", "source", "components", "labels", "node_types", "counts")
+    __slots__ = (
+        "keyword",
+        "source",
+        "components",
+        "labels",
+        "node_types",
+        "counts",
+        "_partition_count",
+    )
 
     def __init__(self, source):
         postings = source.postings
@@ -43,6 +51,35 @@ class PackedPostings:
         self.labels = [p.dewey for p in postings]
         self.node_types = [p.node_type for p in postings]
         self.counts = [p.count for p in postings]
+        self._partition_count = None
+
+    def partition_count(self):
+        """Distinct document partitions among this list's postings.
+
+        Computed lazily with partition-to-partition binary-search jumps
+        over the shared component column (the :mod:`repro.shard`
+        enumeration pattern) and cached for the packed object's
+        lifetime — i.e. exactly one index version, since the store
+        rebuilds the pack when the source list changes.  Root postings
+        (single-component labels sorting before ``(0, 0)``) are
+        excluded, matching the kernels' root-match skip.
+        """
+        count = self._partition_count
+        if count is None:
+            from bisect import bisect_left
+
+            components = self.components
+            position = bisect_left(components, (0, 0))
+            size = len(components)
+            count = 0
+            while position < size:
+                pid = components[position][:2]
+                count += 1
+                position = bisect_left(
+                    components, (pid[0], pid[1] + 1), position
+                )
+            self._partition_count = count
+        return count
 
     def __len__(self):
         return len(self.labels)

@@ -1,0 +1,272 @@
+"""Calibrated per-operation cost constants for the query planner.
+
+The planner predicts each refinement algorithm's running time as a
+linear combination of *operation counts* (postings merged, partitions
+visited, random-access probes, DP beam work, SLCA postings scanned)
+with per-operation unit costs.  The counts come from the index
+statistics (:mod:`repro.plan.features`); the unit costs come from a
+:class:`Calibration` measured **once per machine/interpreter** by
+:func:`micro_calibrate` — a few synthetic timed loops exercising the
+same primitive operations the kernels run (tuple-compare merge scans,
+``bisect`` probes, the refinement DP, scan-eager/stack SLCA).
+
+Calibrations are persisted into frozen snapshots (format version 2;
+see :mod:`repro.index.frozen`) so a serving process starts with the
+constants measured at freeze time instead of paying the measurement
+cost itself.  The record carries its own one-byte version:
+:func:`decode_calibration` returns ``None`` for unknown record
+versions, and every consumer falls back to :data:`DEFAULT_CALIBRATION`
+/ on-the-fly micro-calibration, so snapshot/version skew degrades
+routing quality, never correctness — the planner's answers are
+byte-identical regardless of which calibration is loaded.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from bisect import bisect_left
+
+#: Field order is the wire order of the snapshot record — append only.
+_FIELDS = (
+    "scan_posting",     # merged forward scan, per posting (Partition/SLE anchor)
+    "probe",            # one random-access bisect probe (SLE)
+    "dp_partial",       # refinement DP, per dp_units() unit
+    "slca_posting",     # scan-eager SLCA, per posting
+    "partition_visit",  # per-partition setup (slicing, bookkeeping)
+    "stack_posting",    # stack-refine merged scan, per posting
+    "dispatch",         # per-worker scatter/gather overhead (sharded path)
+)
+
+#: Uncalibrated defaults (seconds) — conservative CPython estimates
+#: used when no measurement is available (version-skewed snapshot
+#: record, measurement failure).  Routing stays sane, just less sharp.
+_DEFAULTS = {
+    "scan_posting": 1.2e-6,
+    "probe": 8.0e-7,
+    "dp_partial": 1.5e-6,
+    "slca_posting": 1.5e-6,
+    "partition_visit": 3.0e-6,
+    "stack_posting": 2.5e-6,
+    "dispatch": 2.0e-4,
+}
+
+#: One-byte record version inside the snapshot's statistics section.
+_RECORD_VERSION = 1
+_RECORD = struct.Struct("<B%dd" % len(_FIELDS))
+
+
+class Calibration:
+    """Per-operation unit costs, in seconds."""
+
+    __slots__ = _FIELDS + ("source",)
+
+    FIELDS = _FIELDS
+
+    def __init__(self, source="default", **costs):
+        for name in _FIELDS:
+            value = costs.get(name, _DEFAULTS[name])
+            if not (value > 0.0):  # rejects NaN, zero, negatives
+                value = _DEFAULTS[name]
+            setattr(self, name, float(value))
+        #: ``"default"`` / ``"measured"`` / ``"snapshot"`` provenance.
+        self.source = source
+
+    def as_dict(self):
+        out = {name: getattr(self, name) for name in _FIELDS}
+        out["source"] = self.source
+        return out
+
+    def __repr__(self):
+        return (
+            f"Calibration({self.source}, scan={self.scan_posting:.2e}, "
+            f"dp={self.dp_partial:.2e})"
+        )
+
+
+#: The shared fallback instance.
+DEFAULT_CALIBRATION = Calibration()
+
+
+def dp_units(query_len, rule_count, beam):
+    """Abstract work units of one ``get_top_optimal_rqs`` invocation.
+
+    The DP fills ``query_len`` cells; each cell merges the previous
+    cell's partials (truncated to ``2 * beam``) through keep/delete
+    plus the applicable rules.  The unit count is what
+    ``Calibration.dp_partial`` is normalized against, so only its
+    *shape* matters, not its absolute scale.
+    """
+    width = 2 * max(int(beam), 1)
+    per_cell = width * (2 + min(int(rule_count), 8))
+    return float(max(1, int(query_len)) * per_cell)
+
+
+def dp_cost(calibration, query_len, rule_count, beam):
+    """Estimated seconds of one DP invocation."""
+    return calibration.dp_partial * dp_units(query_len, rule_count, beam)
+
+
+# ----------------------------------------------------------------------
+# Snapshot record codec
+# ----------------------------------------------------------------------
+def encode_calibration(calibration):
+    """Pack a calibration into the frozen-snapshot statistics record."""
+    return _RECORD.pack(
+        _RECORD_VERSION, *(getattr(calibration, name) for name in _FIELDS)
+    )
+
+
+def decode_calibration(raw):
+    """Unpack a snapshot calibration record.
+
+    Returns ``None`` (→ caller falls back to defaults) when the record
+    version or size is unknown — the forward-compatibility valve for
+    snapshots written by newer builds.
+    """
+    if len(raw) != _RECORD.size:
+        return None
+    version, *values = _RECORD.unpack(raw)
+    if version != _RECORD_VERSION:
+        return None
+    return Calibration("snapshot", **dict(zip(_FIELDS, values)))
+
+
+# ----------------------------------------------------------------------
+# Micro-calibration
+# ----------------------------------------------------------------------
+def _best_of(repeats, run):
+    """Minimum elapsed seconds over ``repeats`` runs (least noise)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return max(best, 1e-9)
+
+
+def micro_calibrate(repeats=3):
+    """Measure per-operation unit costs with small synthetic loops.
+
+    Total cost is a few milliseconds; the loops exercise the same
+    primitives as the kernels (component-tuple comparisons, ``bisect``
+    jumps, the real refinement DP, the real SLCA scans) so relative
+    magnitudes track the machine actually serving queries.
+    """
+    from ..core.dp import get_top_optimal_rqs
+    from ..lexicon.rules import RuleSet
+    from ..slca.scan_eager import scan_eager_slca
+    from ..slca.stack import stack_slca
+    from ..xmltree.dewey import Dewey
+
+    # Synthetic posting columns: 4 lists x 128 component tuples spread
+    # over 32 partitions, mimicking the real packed layout.
+    lists = [
+        [(0, p, lane, child, 1) for p in range(32) for child in range(4)]
+        for lane in range(4)
+    ]
+    scan_total = sum(len(column) for column in lists)
+
+    def run_merge_scan():
+        cursors = [0] * len(lists)
+        while True:
+            smallest = None
+            smallest_lane = -1
+            for lane, column in enumerate(lists):
+                position = cursors[lane]
+                if position >= len(column):
+                    continue
+                head = column[position]
+                if smallest is None or head < smallest:
+                    smallest = head
+                    smallest_lane = lane
+            if smallest is None:
+                break
+            cursors[smallest_lane] += 1
+
+    scan_posting = _best_of(repeats, run_merge_scan) / scan_total
+
+    column = lists[0]
+    probe_keys = [(0, p, 0, 0, 0) for p in range(32)] * 8
+
+    def run_probes():
+        for key in probe_keys:
+            bisect_left(column, key)
+
+    probe = _best_of(repeats, run_probes) / len(probe_keys)
+
+    def run_partition_jumps():
+        position = bisect_left(column, (0, 0))
+        size = len(column)
+        while position < size:
+            pid = column[position][:2]
+            position = bisect_left(column, (pid[0], pid[1] + 1), position)
+
+    partition_visit = _best_of(repeats, run_partition_jumps) / 32
+
+    query = ("alpha", "beta", "gamma", "delta")
+    available = {"alpha", "beta", "delta"}
+    rules = RuleSet()
+    dp_calls = 8
+
+    def run_dp():
+        for _ in range(dp_calls):
+            get_top_optimal_rqs(query, available, rules, 4)
+
+    dp_partial = _best_of(repeats, run_dp) / (
+        dp_calls * dp_units(len(query), 0, 4)
+    )
+
+    label_lists = [
+        [Dewey.from_trusted((0, p, lane)) for p in range(64)]
+        for lane in range(2)
+    ]
+    slca_total = sum(len(labels) for labels in label_lists)
+
+    def run_slca():
+        for _ in range(4):
+            scan_eager_slca(label_lists)
+
+    slca_posting = _best_of(repeats, run_slca) / (4 * slca_total)
+
+    def run_stack():
+        for _ in range(4):
+            stack_slca(label_lists)
+
+    stack_posting = _best_of(repeats, run_stack) / (4 * slca_total)
+
+    return Calibration(
+        "measured",
+        scan_posting=scan_posting,
+        probe=probe,
+        dp_partial=dp_partial,
+        slca_posting=slca_posting,
+        partition_visit=partition_visit,
+        stack_posting=stack_posting,
+        dispatch=_DEFAULTS["dispatch"],
+    )
+
+
+def calibration_for(index):
+    """The calibration to plan ``index``'s queries with.
+
+    Prefers the calibration loaded from (or previously stashed on) the
+    index — frozen snapshots carry one — and otherwise micro-calibrates
+    once, stashing the result so every engine over the same index
+    shares it.  Falls back to :data:`DEFAULT_CALIBRATION` if
+    measurement fails for any reason.
+    """
+    calibration = getattr(index, "calibration", None)
+    if calibration is not None:
+        return calibration
+    try:
+        calibration = micro_calibrate()
+    except Exception:
+        calibration = DEFAULT_CALIBRATION
+    try:
+        index.calibration = calibration
+    except AttributeError:
+        pass
+    return calibration

@@ -117,7 +117,7 @@ def _split_weighted(items, pieces):
 
 def sharded_partition_refine(index, query, rules=None, model=None, k=1,
                              shards=2, rounds=1, executor=None,
-                             skip_optimization=True):
+                             skip_optimization=True, initial_bound=None):
     """Parallel Algorithm 2; byte-identical to the serial function.
 
     Parameters mirror :func:`partition_refine` plus:
@@ -131,6 +131,17 @@ def sharded_partition_refine(index, query, rules=None, model=None, k=1,
     executor:
         Object with ``run(tasks)`` — a pool, runtime, or None for a
         transient in-process executor.
+    initial_bound:
+        Optional skip bound seeding the *first* round's broadcast
+        (later rounds tighten it as usual).  Contract: the value must
+        be a globally valid Top-2K bound for this exact
+        ``(query, rules, k, index version)`` — i.e. the worst kept
+        dissimilarity of ``2k`` genuinely kept candidates, such as the
+        converged list's own 2k-th dissimilarity from a previous
+        identical run (what the planner's plan cache records).  A
+        sound seed prunes partitions from the first task onward and
+        can never change the merged answer, by the same argument as
+        the cross-round broadcast.
     """
     from ..core.ranking.model import full_model
 
@@ -165,7 +176,7 @@ def sharded_partition_refine(index, query, rules=None, model=None, k=1,
         chunk_pids = []      # chunk index -> [pid] (phase-2 routing)
         originals = []
         found_original = False
-        bound = None
+        bound = initial_bound
 
         for round_runs_items in round_runs:
             chunks = _split_weighted(round_runs_items, shards)
@@ -206,9 +217,10 @@ def sharded_partition_refine(index, query, rules=None, model=None, k=1,
                 key=lambda item: (item[0], tuple(sorted(item[2].key))),
             ):
                 merged.insert(rq)
-            bound = (
-                merged.max_dissimilarity() if merged.is_full else None
-            )
+            if merged.is_full:
+                merged_bound = merged.max_dissimilarity()
+                if bound is None or merged_bound < bound:
+                    bound = merged_bound
 
         needs_refine = not found_original
 

@@ -35,7 +35,7 @@ import time
 from bisect import bisect_left
 
 from ..core.candidates import RQSortedList
-from ..core.dp import get_top_optimal_rqs
+from ..core.dp import MissingKeywordBound, get_top_optimal_rqs
 from ..core.result import ScanStats
 from ..slca.meaningful import is_meaningful
 from ..slca.scan_eager import scan_eager_slca
@@ -282,6 +282,7 @@ def run_phase1(state, request, pids):
     probe_memo, beam_memo = state.dp_cache(
         query, rules, request.capacity
     )
+    presence_bound = MissingKeywordBound(query, rules)
     tables = [
         (keyword, 1 << bit, state.partition_table(keyword))
         for bit, keyword in enumerate(keyword_space)
@@ -326,6 +327,11 @@ def run_phase1(state, request, pids):
             bound = shared.value
         threshold = min(sorted_list.max_dissimilarity(), bound)
         if request.skip_optimization and threshold != float("inf"):
+            # Presence pre-check (no DP): same strict comparison as
+            # the probe below, so pruning is answer-identical.
+            if presence_bound.lower_bound(present) > threshold:
+                stats.partitions_skipped += 1
+                continue
             stats.dp_invocations += 1
             probe = probe_memo.get(present)
             if probe is None:

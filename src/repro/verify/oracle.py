@@ -349,6 +349,92 @@ class DocumentOracle:
         return divergences
 
     # ------------------------------------------------------------------
+    # Planner ("auto") layer
+    # ------------------------------------------------------------------
+    def check_auto(self, query):
+        """The cost-based planner must never change an answer.
+
+        ``algorithm="auto"`` is diffed against fixed Algorithm 2 cold
+        and warm; the forced-stack route (the planner's direct-hit bet,
+        including its partition fallback on a misprediction) and a
+        sharded run seeded with the plan cache's recorded bound are
+        both diffed too — the four ways a planner bug could corrupt an
+        answer.
+        """
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        engine = self.engine
+        k = self.k
+        rules = engine.mine_rules(terms)
+        reference = response_fingerprint(
+            engine.search(terms, k=k, algorithm="partition")
+        )
+
+        auto = engine.search(terms, k=k, algorithm="auto")
+        if response_fingerprint(auto) != reference:
+            divergences.append(
+                Divergence(
+                    "auto:serial",
+                    "planner-routed answer differs from Algorithm 2",
+                    self.spec, query, reference,
+                    response_fingerprint(auto),
+                )
+            )
+
+        warm = engine.search(terms, k=k, algorithm="auto")
+        if warm is not auto or response_fingerprint(warm) != reference:
+            divergences.append(
+                Divergence(
+                    "auto:warm",
+                    "repeated auto query missed the result cache or "
+                    "changed its answer",
+                    self.spec, query, reference,
+                    response_fingerprint(warm),
+                )
+            )
+
+        # Force the planner down the stack route regardless of its
+        # direct-hit prediction: on a refinement query this exercises
+        # the stack->partition fallback, which must restore the exact
+        # Algorithm 2 answer.
+        plan = engine.planner.plan(terms, rules, k, 1, force="stack")
+        forced = engine._execute_plan(plan, terms, rules, k)
+        if response_fingerprint(forced) != reference:
+            divergences.append(
+                Divergence(
+                    "auto:stack-route",
+                    "forced stack route (with fallback) differs from "
+                    "Algorithm 2",
+                    self.spec, query, reference,
+                    response_fingerprint(forced),
+                )
+            )
+
+        # A converged Top-2K bound seeded into a sharded run's first
+        # round must prune work, never answers.
+        capacity = max(2 * k, 2)
+        bound = None
+        if auto.needs_refinement and len(auto.candidates) == capacity:
+            bound = max(c.rq.dissimilarity for c in auto.candidates)
+        sharded = sharded_partition_refine(
+            self.index, terms, rules=rules, model=engine.model, k=k,
+            shards=3, rounds=2, initial_bound=bound,
+        )
+        if response_fingerprint(sharded) != reference:
+            divergences.append(
+                Divergence(
+                    "auto:sharded-bound",
+                    f"sharded run seeded with bound={bound} differs "
+                    "from serial Algorithm 2",
+                    self.spec, query, reference,
+                    response_fingerprint(sharded),
+                )
+            )
+        return divergences
+
+    # ------------------------------------------------------------------
     # Frozen snapshot layer
     # ------------------------------------------------------------------
     def check_frozen(self, query):
@@ -382,7 +468,7 @@ class DocumentOracle:
                 )
             )
 
-        for algorithm in ("partition", "sle", "stack"):
+        for algorithm in ("partition", "sle", "stack", "auto"):
             built = response_fingerprint(
                 self.engine.search(terms, k=k, algorithm=algorithm)
             )
@@ -423,6 +509,7 @@ class DocumentOracle:
         return (
             self.check_slca(query)
             + self.check_refinement(query)
+            + self.check_auto(query)
             + self.check_frozen(query)
         )
 

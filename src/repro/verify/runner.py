@@ -76,9 +76,11 @@ def _check_document(oracle, queries, report):
         # warm}, the ELCA adjacency laws, the three refinement
         # algorithms x {cold, warm}, the skip ablation, three
         # sharded-vs-serial fan-outs, the five metamorphic
-        # invariants, and the frozen-snapshot layer (SLCA, three
-        # refinement algorithms, one sharded fan-out).
-        report.checks += 38
+        # invariants, the planner layer (auto cold/warm, the forced
+        # stack route, the seeded sharded bound), and the
+        # frozen-snapshot layer (SLCA, four refinement algorithms,
+        # one sharded fan-out).
+        report.checks += 43
         found.extend(divergences)
     return found
 

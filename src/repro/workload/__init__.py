@@ -23,7 +23,7 @@ from .corruption import (
     corrupt_typo,
 )
 from .generator import PoolQuery, WorkloadGenerator, pool_statistics
-from .querylog import LogEntry, QueryLog, simulate_log
+from .querylog import LogEntry, QueryLog, replay, simulate_log
 
 __all__ = [
     "WorkloadGenerator",
@@ -31,6 +31,7 @@ __all__ = [
     "pool_statistics",
     "QueryLog",
     "LogEntry",
+    "replay",
     "simulate_log",
     "corrupt_split",
     "corrupt_merge",

@@ -61,6 +61,25 @@ class QueryLog:
         return [dirty for dirty, _ in self.rewrite_pairs()]
 
 
+def replay(engine, log, k=1, algorithm="auto", parallelism=None):
+    """Replay a :class:`QueryLog` through an engine, planner-routed.
+
+    Feeds every logged submission (initial queries *and* rewrites, in
+    log order) through :meth:`~repro.core.engine.XRefine.search_many`
+    with the cost-based planner in charge (``algorithm="auto"`` — the
+    production default), so repeated sessions hit the plan cache and
+    each query runs on its predicted-cheapest algorithm.  Returns the
+    responses in entry order; ``engine.planner.stats()`` afterwards
+    shows how the workload was routed.
+    """
+    return engine.search_many(
+        [entry.query for entry in log],
+        k=k,
+        algorithm=algorithm,
+        parallelism=parallelism,
+    )
+
+
 def simulate_log(index, sessions=200, rewrite_probability=0.6, seed=31):
     """Simulate ``sessions`` user sessions against a corpus.
 

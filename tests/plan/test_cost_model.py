@@ -1,0 +1,106 @@
+"""Unit tests for the planner's calibrated cost model."""
+
+import math
+import struct
+
+import pytest
+
+from repro.plan.cost_model import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    calibration_for,
+    decode_calibration,
+    dp_units,
+    encode_calibration,
+    micro_calibrate,
+)
+
+
+class TestCalibration:
+    def test_defaults_are_positive(self):
+        for name in Calibration.FIELDS:
+            assert getattr(DEFAULT_CALIBRATION, name) > 0.0
+        assert DEFAULT_CALIBRATION.source == "default"
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_invalid_values_fall_back_to_defaults(self, bad):
+        calibration = Calibration("measured", scan_posting=bad)
+        assert calibration.scan_posting == DEFAULT_CALIBRATION.scan_posting
+
+    def test_as_dict_round_trip(self):
+        calibration = Calibration("measured", probe=3.5e-7)
+        data = calibration.as_dict()
+        assert data["probe"] == 3.5e-7
+        assert data["source"] == "measured"
+        assert set(data) == set(Calibration.FIELDS) | {"source"}
+
+
+class TestSnapshotRecord:
+    def test_encode_decode_round_trip(self):
+        original = Calibration(
+            "measured",
+            **{
+                name: (index + 1) * 1e-7
+                for index, name in enumerate(Calibration.FIELDS)
+            },
+        )
+        decoded = decode_calibration(encode_calibration(original))
+        assert decoded is not None
+        assert decoded.source == "snapshot"
+        for name in Calibration.FIELDS:
+            assert math.isclose(
+                getattr(decoded, name), getattr(original, name)
+            )
+
+    def test_unknown_record_version_decodes_to_none(self):
+        raw = bytearray(encode_calibration(DEFAULT_CALIBRATION))
+        raw[0] = 99  # a future record version
+        assert decode_calibration(bytes(raw)) is None
+
+    def test_wrong_size_decodes_to_none(self):
+        raw = encode_calibration(DEFAULT_CALIBRATION)
+        assert decode_calibration(raw[:-1]) is None
+        assert decode_calibration(raw + b"\x00") is None
+        assert decode_calibration(b"") is None
+
+    def test_record_is_fixed_width(self):
+        raw = encode_calibration(DEFAULT_CALIBRATION)
+        assert len(raw) == struct.calcsize(
+            "<B%dd" % len(Calibration.FIELDS)
+        )
+
+
+class TestDpUnits:
+    def test_monotone_in_query_length_and_beam(self):
+        assert dp_units(4, 2, 2) > dp_units(2, 2, 2)
+        assert dp_units(4, 2, 8) > dp_units(4, 2, 2)
+
+    def test_rule_count_is_capped(self):
+        assert dp_units(4, 8, 2) == dp_units(4, 800, 2)
+
+    def test_degenerate_inputs_stay_positive(self):
+        assert dp_units(0, 0, 0) >= 1.0
+
+
+class TestMicroCalibrate:
+    def test_measures_every_field(self):
+        calibration = micro_calibrate(repeats=1)
+        assert calibration.source == "measured"
+        for name in Calibration.FIELDS:
+            assert getattr(calibration, name) > 0.0
+
+    def test_calibration_for_stashes_on_the_index(self):
+        class FakeIndex:
+            calibration = None
+
+        index = FakeIndex()
+        first = calibration_for(index)
+        assert index.calibration is first
+        # Second call reuses the stash, no re-measurement.
+        assert calibration_for(index) is first
+
+    def test_calibration_for_prefers_existing(self):
+        class FakeIndex:
+            calibration = DEFAULT_CALIBRATION
+
+        assert calibration_for(FakeIndex()) is DEFAULT_CALIBRATION

@@ -1,0 +1,94 @@
+"""Calibration persistence in frozen snapshots (format version 2)."""
+
+import pytest
+
+import repro.index.frozen as frozen_module
+from repro.core.engine import XRefine
+from repro.errors import IndexingError
+from repro.index.frozen import freeze_index, load_frozen_index
+from repro.verify.oracle import response_fingerprint
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path, figure1_index):
+    path = tmp_path / "corpus.frz"
+    freeze_index(figure1_index, path)
+    return path
+
+
+class TestFormatVersion2:
+    def test_snapshot_carries_a_calibration(self, snapshot_path):
+        index = load_frozen_index(snapshot_path)
+        assert index.frozen_snapshot.format_version == 2
+        assert index.calibration is not None
+        assert index.calibration.source == "snapshot"
+
+    def test_planner_uses_the_snapshot_calibration(self, snapshot_path):
+        index = load_frozen_index(snapshot_path)
+        engine = XRefine(index)
+        engine.search("databse systems", algorithm="auto")
+        stats = engine.cache_stats()["planner"]
+        assert stats["calibration"]["source"] == "snapshot"
+
+    def test_freezing_stashes_the_calibration_on_the_source(
+        self, tmp_path, figure1_index
+    ):
+        freeze_index(figure1_index, tmp_path / "again.frz")
+        assert figure1_index.calibration is not None
+
+    def test_calibration_key_never_collides_with_node_types(
+        self, snapshot_path
+    ):
+        index = load_frozen_index(snapshot_path)
+        for node_type in index.statistics.types():
+            assert "\x00calibration" not in node_type
+
+
+class TestVersionSkew:
+    def test_version_1_snapshot_loads_without_calibration(
+        self, tmp_path, figure1_index, monkeypatch
+    ):
+        monkeypatch.setattr(frozen_module, "FORMAT_VERSION", 1)
+        monkeypatch.setattr(
+            frozen_module, "_calibration_pairs", lambda index: []
+        )
+        path = tmp_path / "v1.frz"
+        freeze_index(figure1_index, path)
+
+        index = load_frozen_index(path)
+        assert index.frozen_snapshot.format_version == 1
+        assert index.calibration is None
+        # Queries still work; the planner falls back to defaults.
+        engine = XRefine(index)
+        auto = engine.search("databse systems", k=2, algorithm="auto")
+        fixed = engine.search("databse systems", k=2, algorithm="partition")
+        assert response_fingerprint(auto) == response_fingerprint(fixed)
+
+    def test_unknown_calibration_record_version_degrades_to_none(
+        self, tmp_path, figure1_index, monkeypatch
+    ):
+        from repro.index.frozen import CALIBRATION_KEY
+        from repro.plan.cost_model import DEFAULT_CALIBRATION, encode_calibration
+
+        raw = bytearray(encode_calibration(DEFAULT_CALIBRATION))
+        raw[0] = 200  # a record version this build does not know
+        monkeypatch.setattr(
+            frozen_module,
+            "_calibration_pairs",
+            lambda index: [(CALIBRATION_KEY, bytes(raw))],
+        )
+        path = tmp_path / "skewed.frz"
+        freeze_index(figure1_index, path)
+
+        index = load_frozen_index(path)
+        assert index.calibration is None
+
+    def test_future_format_version_is_rejected(
+        self, tmp_path, figure1_index, monkeypatch
+    ):
+        monkeypatch.setattr(frozen_module, "FORMAT_VERSION", 3)
+        path = tmp_path / "future.frz"
+        freeze_index(figure1_index, path)
+        monkeypatch.undo()
+        with pytest.raises(IndexingError, match="format version"):
+            load_frozen_index(path)

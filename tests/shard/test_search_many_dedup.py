@@ -43,7 +43,9 @@ class TestSearchManyDedup:
 
         monkeypatch.setattr(engine_module, "partition_refine", counting)
         engine = XRefine(dblp_index, cache_size=0)
-        responses = engine.search_many(log, k=2)
+        # Pin the algorithm so every unique query hits the counted
+        # kernel (with "auto" the planner may route some to SLE).
+        responses = engine.search_many(log, k=2, algorithm="partition")
 
         assert len(responses) == len(log)
         assert len(calls) == len(pool)
@@ -69,7 +71,7 @@ class TestSearchManyDedup:
             refine_module, "sharded_partition_refine", counting
         )
         with XRefine(dblp_index, cache_size=0, parallelism=2) as engine:
-            responses = engine.search_many(log, k=2)
+            responses = engine.search_many(log, k=2, algorithm="partition")
 
         assert len(responses) == len(log)
         assert len(calls) == len(pool)

@@ -152,7 +152,9 @@ class TestVersionLifecycle:
     def test_version_bump_republishes_before_serving(self, small_index):
         query = refinable_query(small_index)
         with XRefine(small_index, cache_size=0, parallelism=2) as engine:
-            engine.search(query, k=2)
+            # Pinned to "partition" so the sharded pool is guaranteed to
+            # spin up (with "auto" the planner may stay serial).
+            engine.search(query, k=2, algorithm="partition")
             first_pool = engine._shard_runtime.executor()
             first_name = first_pool.segment_name
             assert first_pool.version == small_index.version
@@ -172,7 +174,7 @@ class TestVersionLifecycle:
                     ],
                 ),
             )
-            after = engine.search(query, k=2)
+            after = engine.search(query, k=2, algorithm="partition")
             second_pool = engine._shard_runtime.executor()
             # Stale pool torn down (segment unlinked), fresh one serves.
             assert second_pool is not first_pool

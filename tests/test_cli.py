@@ -66,11 +66,27 @@ class TestSearch:
         assert code == 0
 
     def test_search_algorithm_flag(self, index_dir):
-        for algorithm in ("partition", "sle", "stack"):
+        for algorithm in ("auto", "partition", "sle", "stack"):
             code, _ = run_cli(
                 "search", index_dir, "databse", "--algorithm", algorithm
             )
             assert code == 0
+
+    def test_search_explain_prints_the_plan(self, index_dir):
+        code, output = run_cli(
+            "search", index_dir, "online", "databse", "--explain"
+        )
+        assert code == 0
+        assert "plan: algorithm=" in output
+        assert "estimates:" in output
+
+    def test_search_explain_with_fixed_algorithm(self, index_dir):
+        code, output = run_cli(
+            "search", index_dir, "online", "databse",
+            "--algorithm", "sle", "--explain",
+        )
+        assert code == 0
+        assert "plan: algorithm=sle (forced" in output
 
     def test_hopeless_query_exit_code(self, index_dir):
         code, output = run_cli("search", index_dir, "zzzzz", "qqqqq")
