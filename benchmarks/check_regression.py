@@ -183,6 +183,40 @@ def main(argv=None):
     accuracy = current["planner"]["routing_accuracy"]
     print(f"planner routing accuracy: {accuracy:.1%}")
     print("OK: the adaptive planner holds the best-fixed p95 envelope")
+
+    if "kernels" not in current:
+        print(
+            "malformed report: missing 'kernels' section", file=sys.stderr
+        )
+        return 2
+    kernels = current["kernels"]
+    print(f"scan-kernel backend: {kernels['backend']}")
+    if not current["config"].get("smoke"):
+        # Full runs carry the kernel acceptance gate: the sub-ms cold
+        # p95 target, or on constrained hosts the speedup floor over
+        # the pre-kernel baseline.  (Smoke p95 is a max over 48
+        # requests — noise — so the smoke gate is the cold
+        # per-request-mean comparison above.)
+        import bench_hotpath
+
+        p95 = kernels["cold_p95_ms"]
+        speedup = kernels["speedup_vs_baseline"]
+        if (
+            p95 >= bench_hotpath.KERNEL_COLD_P95_TARGET_MS
+            and speedup < bench_hotpath.KERNEL_SPEEDUP_FLOOR
+        ):
+            print(
+                f"FAIL: cold p95 {p95:.3f} ms misses both the "
+                f"{bench_hotpath.KERNEL_COLD_P95_TARGET_MS} ms kernel "
+                f"target and the x{bench_hotpath.KERNEL_SPEEDUP_FLOOR} "
+                f"floor over the pre-kernel baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: kernel cold p95 {p95:.3f} ms "
+            f"(x{speedup:.2f} vs pre-kernel baseline)"
+        )
     return 0
 
 

@@ -190,6 +190,16 @@ class MissingKeywordBound:
                     costs[keyword] = rule.ds
         self._handle_costs = costs
 
+    @property
+    def handle_costs(self):
+        """Per-query-keyword cost of being absent (read-only view).
+
+        The kernels' :class:`~repro.kernels.bounds.PresenceBoundCache`
+        re-indexes these by keyword-space lane to memoize
+        :meth:`lower_bound` per presence bitmask.
+        """
+        return self._handle_costs
+
     def lower_bound(self, present):
         """Least possible ``dSim`` of any RQ derivable inside ``present``."""
         bound = 0

@@ -2,13 +2,15 @@
 
 The document is processed as the ordered list of its partitions
 (Definition 6.1: the subtrees rooted at the children of the document
-root).  Within each partition the keyword sublists are sliced off the
-global inverted lists by Dewey-prefix (one forward fast-forward per
-cursor — the single scan of Theorem 2), the set ``T`` of locally
-present keywords feeds one ``getTopOptimalRQs`` call, and qualifying
-candidates are admitted to the Top-2K :class:`RQSortedList`; their
-SLCA results are computed *inside the partition* by any existing SLCA
-method (scan-eager here — the orthogonality of Lemma 3).
+root).  The partitions, and every keyword's posting range within each,
+come precomputed from the kernel layer's partition tables
+(:func:`repro.kernels.partition_view` — binary-search jumps over the
+packed key columns, never a per-posting cursor walk); the set ``T`` of
+locally present keywords feeds one ``getTopOptimalRQs`` call, and
+qualifying candidates are admitted to the Top-2K
+:class:`RQSortedList`; their SLCA results are computed *inside the
+partition* by the columnar scan-eager kernel (the orthogonality of
+Lemma 3).
 
 The three optimizations the paper credits the approach with are all
 implemented and observable in :class:`~repro.core.result.ScanStats`:
@@ -17,7 +19,9 @@ implemented and observable in :class:`~repro.core.result.ScanStats`:
    never happen — partitions never produce the root;
 2. a partition whose best local candidate cannot beat the current
    2K-th dissimilarity skips both the DP beam *and* the SLCA
-   computation (``partitions_skipped``);
+   computation (``partitions_skipped``) — the presence pre-check is
+   the block-max bound served from a per-mask memo
+   (:class:`repro.kernels.PresenceBoundCache`);
 3. within a partition, one DP call covers every RQ candidate no matter
    how many matches it has there (``dp_invocations``).
 """
@@ -26,12 +30,16 @@ from __future__ import annotations
 
 import time
 
+from ..kernels import (
+    PresenceBoundCache,
+    columns_for,
+    partition_view,
+    slca_ranges,
+)
 from ..lexicon.rules import RuleSet
-from ..slca.scan_eager import scan_eager_slca
-from ..xmltree.dewey import Dewey
 from .candidates import RQSortedList
 from .common import QueryContext, rank_candidates
-from .dp import MissingKeywordBound, get_top_optimal_rqs
+from .dp import get_top_optimal_rqs
 from .result import RefinementResponse, ScanStats
 
 
@@ -63,64 +71,48 @@ def partition_refine(index, query, rules=None, model=None, k=1,
     query_key = context.query_key()
     query_set = set(context.query)
     probe_memo, beam_memo = dp_memos if dp_memos is not None else ({}, {})
-    presence_bound = MissingKeywordBound(context.query, rules)
 
-    cursors = {
-        keyword: context.lists[keyword].cursor()
-        for keyword in context.keyword_space
-    }
+    # One lane per distinct keyword (cursors were a dict, so repeated
+    # query terms share a single scan), in keyword-space order.
+    lanes = list(dict.fromkeys(context.keyword_space))
+    columns = {keyword: columns_for(context.lists[keyword])
+               for keyword in lanes}
+    presence_bound = PresenceBoundCache(context.query, rules, lanes)
 
     sorted_list = RQSortedList(capacity=max(2 * k, 2))
     candidate_map = {}  # rq key -> (RefinedQuery, [Dewey])
     needs_refine = True
     original_results = []
 
-    while True:
-        # getSmallestNode over the cursor heads.
-        smallest = None
-        for cursor in cursors.values():
-            head = cursor.peek()
-            if head is None:
-                continue
-            if smallest is None or head.dewey.components < smallest.components:
-                smallest = head.dewey
-        if smallest is None:
-            break
-        partition_id = smallest.partition_id()
-        if partition_id is None:
-            # A match on the document root itself can never yield a
-            # meaningful result; consume it and continue.
-            for cursor in cursors.values():
-                head = cursor.peek()
-                if head is not None and head.dewey == smallest:
-                    cursor.advance()
-                    stats.postings_scanned += 1
-            continue
+    # Matches on the document root itself can never yield a meaningful
+    # result; they are consumed (and accounted) outside any partition.
+    stats.postings_scanned += sum(
+        columns[keyword].root_count for keyword in lanes
+    )
+
+    for _partition_key, spans in partition_view(
+        [columns[keyword] for keyword in lanes]
+    ):
         stats.partitions_visited += 1
 
-        # getKLPartition: slice each list's postings under partition_id
-        # by fast-forwarding its cursor (line 7-8; forward-only).
-        sublists = {}
-        for keyword, cursor in cursors.items():
-            collected = []
-            while True:
-                head = cursor.peek()
-                if head is None:
-                    break
-                if not partition_id.is_ancestor_or_self_of(head.dewey):
-                    break
-                collected.append(head.dewey)
-                cursor.advance()
-                stats.postings_scanned += 1
-            if collected:
-                sublists[keyword] = collected
-
+        # getKLPartition: each lane's postings under the partition are
+        # a precomputed ``[lo, hi)`` range into its key column.
+        sublists = {}  # keyword -> (ListColumns, lo, hi)
+        mask = 0
+        for lane, span in enumerate(spans):
+            if span is None:
+                continue
+            keyword = lanes[lane]
+            lo, hi = span
+            stats.postings_scanned += hi - lo
+            sublists[keyword] = (columns[keyword], lo, hi)
+            mask |= 1 << lane
         present = set(sublists)
 
         # Original-query check: Q has all keywords in this partition.
         if query_set and query_set <= present:
             stats.slca_invocations += 1
-            slcas = scan_eager_slca(
+            slcas = slca_ranges(
                 [sublists[keyword] for keyword in context.query]
             )
             meaningful = context.meaningful_only(slcas)
@@ -129,8 +121,6 @@ def partition_refine(index, query, rules=None, model=None, k=1,
                 original_results.extend(meaningful)
 
         if not needs_refine:
-            continue
-        if not present:
             continue
 
         def accumulate_kept(computed_keys):
@@ -150,7 +140,7 @@ def partition_refine(index, query, rules=None, model=None, k=1,
                 if not kept.key <= present:
                     continue
                 stats.slca_invocations += 1
-                slcas = scan_eager_slca(
+                slcas = slca_ranges(
                     [sublists[keyword] for keyword in kept.keywords]
                 )
                 meaningful = context.meaningful_only(slcas)
@@ -169,10 +159,10 @@ def partition_refine(index, query, rules=None, model=None, k=1,
         threshold = sorted_list.max_dissimilarity()
         present_key = frozenset(present)
         if skip_optimization and sorted_list.is_full:
-            # Presence pre-check: the per-keyword frequency lower
-            # bound needs no DP at all; the strict comparison mirrors
-            # the probe's, so pruning here is answer-identical.
-            if presence_bound.lower_bound(present) > threshold:
+            # Presence pre-check: the block-max presence bound needs
+            # no DP at all; the strict comparison mirrors the probe's,
+            # so pruning here is answer-identical.
+            if presence_bound.lower_bound(mask) > threshold:
                 accumulate_kept(frozenset())
                 stats.partitions_skipped += 1
                 continue
@@ -203,7 +193,7 @@ def partition_refine(index, query, rules=None, model=None, k=1,
             # Compute this RQ's SLCAs within the partition first: only
             # candidates with a *meaningful* match may enter the list.
             stats.slca_invocations += 1
-            slcas = scan_eager_slca(
+            slcas = slca_ranges(
                 [sublists[keyword] for keyword in rq.keywords]
             )
             computed_keys.add(rq.key)

@@ -3,19 +3,25 @@
 Keyword frequencies vary wildly in practice, so SLE explores candidate
 refined queries starting from the keyword with the **shortest**
 inverted list: every partition containing that keyword is examined
-(the other lists are only *probed* by random access — binary searches
-that never move a cursor backwards), the local DP proposes candidates,
-and the processed list is then retired.  After each iteration the
-*potential* minimum dissimilarity ``C_potential`` of any refined query
-over the remaining keywords is computed; once the candidate list is
-full and ``C_potential`` exceeds its worst kept dissimilarity, no
-unexplored candidate can qualify and exploration stops — often without
-ever touching the long lists (step 1, lines 4–16).
+(the other lists are only *probed* by random access — per-partition
+range lookups in the kernel layer's partition tables, which never
+touch a posting), the local DP proposes candidates, and the processed
+list is then retired.  After each iteration the *potential* minimum
+dissimilarity ``C_potential`` of any refined query over the remaining
+keywords is computed; once the candidate list is full and
+``C_potential`` exceeds its worst kept dissimilarity, no unexplored
+candidate can qualify and exploration stops — often without ever
+touching the long lists (step 1, lines 4–16).  Before ``C_potential``
+even runs, a visited partition is pre-screened by the block-max
+presence bound (:class:`repro.kernels.PresenceBoundCache`) — the
+WAND-style skip that rejects hopeless blocks from presence masks
+alone.
 
 Step 2 then computes SLCA results only for the kept candidates, using
-any existing SLCA method (scan-eager here; the orthogonality of the
-paper's discussion holds).  This back-loaded SLCA work is exactly why
-SLE degrades faster than Partition as K grows (Fig. 5a).
+any existing SLCA method (the columnar scan-eager kernel here; the
+orthogonality of the paper's discussion holds).  This back-loaded SLCA
+work is exactly why SLE degrades faster than Partition as K grows
+(Fig. 5a).
 
 The per-iteration keyword choice implements the paper's "smarter
 choice": prefer keywords that need no refinement (they appear both in
@@ -27,25 +33,12 @@ from __future__ import annotations
 
 import time
 
+from ..kernels import PresenceBoundCache, columns_for, slca_ranges
 from ..lexicon.rules import RuleSet
-from ..slca.scan_eager import scan_eager_slca
 from .candidates import RQSortedList
 from .common import QueryContext, rank_candidates
-from .dp import MissingKeywordBound, get_top_optimal_rqs
+from .dp import get_top_optimal_rqs
 from .result import RefinementResponse, ScanStats
-
-
-def _partitions_of(inverted_list):
-    """Ordered distinct partition ids among a list's postings."""
-    seen = []
-    last = None
-    for posting in inverted_list:
-        pid = posting.dewey.partition_id()
-        if pid is None or pid == last:
-            continue
-        seen.append(pid)
-        last = pid
-    return seen
 
 
 def short_list_eager(index, query, rules=None, model=None, k=1,
@@ -73,10 +66,12 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     query_key = context.query_key()
     query_set = set(context.query)
 
-    cursors = {
-        keyword: context.lists[keyword].cursor()
-        for keyword in context.keyword_space
-    }
+    # One column set per distinct keyword; lane order indexes the
+    # presence bitmasks fed to the block-max bound.
+    lanes = list(dict.fromkeys(context.keyword_space))
+    lane_of = {keyword: lane for lane, keyword in enumerate(lanes)}
+    columns = {keyword: columns_for(context.lists[keyword])
+               for keyword in lanes}
     remaining = {
         keyword
         for keyword in context.keyword_space
@@ -88,7 +83,7 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     needs_refine = True
     original_results = []
     probe_memo, beam_memo = dp_memos if dp_memos is not None else ({}, {})
-    presence_bound = MissingKeywordBound(context.query, rules)
+    presence_bound = PresenceBoundCache(context.query, rules, lanes)
 
     def probe_minimum(available):
         """Memoized 1-beam DP: the least dSim achievable in ``available``."""
@@ -127,30 +122,29 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     # ------------------------------------------------------------------
     while remaining:
         anchor_keyword = choose_keyword()
-        anchor_cursor = cursors[anchor_keyword]
 
-        for partition_id in _partitions_of(context.lists[anchor_keyword]):
-            anchor_cursor.skip_to(partition_id)
+        for partition_id in columns[anchor_keyword].pids:
             if partition_id in visited_partitions:
                 continue
             visited_partitions.add(partition_id)
             stats.partitions_visited += 1
 
-            # Random-access probes of every other keyword list.
-            sublists = {}
+            # Random-access probes of every other keyword list: one
+            # partition-table lookup each, no posting is touched.
+            sublists = {}  # keyword -> (ListColumns, lo, hi)
+            mask = 0
             for keyword in context.keyword_space:
-                if keyword == anchor_keyword:
-                    postings = context.lists[keyword].sublist(partition_id)
-                else:
-                    postings = cursors[keyword].probe_partition(partition_id)
+                if keyword != anchor_keyword:
                     stats.probes += 1
-                if postings:
-                    sublists[keyword] = [p.dewey for p in postings]
+                span = columns[keyword].pid_range.get(partition_id)
+                if span is not None:
+                    sublists[keyword] = (columns[keyword],) + span
+                    mask |= 1 << lane_of[keyword]
             present = set(sublists)
 
             if query_set and query_set <= present:
                 stats.slca_invocations += 1
-                slcas = scan_eager_slca(
+                slcas = slca_ranges(
                     [sublists[keyword] for keyword in context.query]
                 )
                 meaningful = context.meaningful_only(slcas)
@@ -166,12 +160,12 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
             # the worst kept dissimilarity cannot change the list —
             # new keys lose under the content order, and re-offers of
             # kept keys at a worse dSim never mutate it.  The
-            # presence-based lower bound runs first (no DP at all);
+            # mask-memoized presence bound runs first (no DP at all);
             # both comparisons are strict, so skipping is
             # answer-identical.
             if sorted_list.is_full:
                 threshold = sorted_list.max_dissimilarity()
-                if presence_bound.lower_bound(present) > threshold:
+                if presence_bound.lower_bound(mask) > threshold:
                     stats.partitions_skipped += 1
                     continue
                 stats.dp_invocations += 1
@@ -197,11 +191,11 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
                     # Issue 2: a candidate may only occupy a Top-2K slot
                     # when it is assured a *meaningful* match; a cheap
                     # partition-local SLCA check (over the already
-                    # probed sublists) prevents meaningless candidates
+                    # probed ranges) prevents meaningless candidates
                     # from evicting real ones.  Full result sets are
                     # still deferred to step 2.
                     stats.slca_invocations += 1
-                    local = scan_eager_slca(
+                    local = slca_ranges(
                         [sublists[keyword] for keyword in rq.keywords]
                     )
                     if not context.meaningful_only(local):
@@ -232,12 +226,12 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     if needs_refine:
         candidate_map = {}
         for rq in sorted_list.queries():
-            label_lists = [
-                [p.dewey for p in context.index.inverted_list(keyword)]
+            whole_lists = [
+                (columns[keyword], 0, columns[keyword].size)
                 for keyword in rq.keywords
             ]
             stats.slca_invocations += 1
-            slcas = scan_eager_slca(label_lists)
+            slcas = slca_ranges(whole_lists)
             meaningful = context.meaningful_only(slcas)
             if meaningful:
                 candidate_map[rq.key] = (rq, meaningful)

@@ -14,11 +14,17 @@ is complete) the algorithm
    witness to the parent" rule of lines 18–19).
 
 The scan is the paper's single merged pass over the KS inverted lists
-(Theorem 1).  Because the witness-reset rule is a heuristic about
-*where* an RQ's matches end, the final result sets for the winning
-RQ(s) are completed with one exact SLCA computation over the already
-decoded lists — the candidate discovery itself remains one-scan, and
-the chosen optimal RQ is identical either way (the tests assert it
+(Theorem 1), served by the kernel layer's merged-stream LCP table
+(:func:`repro.kernels.merged_lcp`): the stack always holds exactly the
+previous posting's components, so the shared-prefix length the stack
+maintenance needs is the precomputed LCP of adjacent merged labels —
+an indexed lookup instead of a per-posting prefix comparison, and the
+popped node's label is a slice of the previous key instead of a stack
+rebuild.  Because the witness-reset rule is a heuristic about *where*
+an RQ's matches end, the final result sets for the winning RQ(s) are
+completed with one exact SLCA computation over the already decoded
+lists — the candidate discovery itself remains one-scan, and the
+chosen optimal RQ is identical either way (the tests assert it
 against Algorithm 2).
 
 This is deliberately the paper's *basic* solution: one DP invocation
@@ -30,19 +36,18 @@ from __future__ import annotations
 
 import time
 
+from ..kernels import columns_for, merged_lcp, slca_columns
 from ..lexicon.rules import RuleSet
-from ..slca.scan_eager import scan_eager_slca
-from .candidates import RefinedQuery
+from ..xmltree.dewey import Dewey
 from .common import QueryContext, rank_candidates
 from .dp import get_optimal_rq
 from .result import RefinementResponse, ScanStats
 
 
 class _Entry:
-    __slots__ = ("component", "mask", "blocked_q")
+    __slots__ = ("mask", "blocked_q")
 
-    def __init__(self, component):
-        self.component = component
+    def __init__(self):
         self.mask = 0
         self.blocked_q = False
 
@@ -87,12 +92,15 @@ def stack_refine(index, query, rules=None, model=None, dp_memo=None):
         query_mask |= keyword_bit.get(keyword, 0)
     query_key = context.query_key()
 
-    cursors = [
-        context.lists[keyword].cursor()
+    # One merge lane per keyword-space entry (a repeated keyword scans
+    # its list twice, exactly as the per-keyword cursors did); each
+    # lane contributes its keyword's witness bit.
+    lane_columns = [
+        columns_for(context.lists[keyword])
         for keyword in context.keyword_space
     ]
-    bit_of_cursor = [
-        keyword_bit[cursor.keyword] for cursor in cursors
+    bit_of_lane = [
+        keyword_bit[keyword] for keyword in context.keyword_space
     ]
 
     needs_refine = True
@@ -103,19 +111,20 @@ def stack_refine(index, query, rules=None, model=None, dp_memo=None):
 
     stack = []
 
-    def pop_entry(path_components):
+    def pop_entry(previous_key):
+        """Pop the top entry; its node's label is ``previous_key`` up
+        to the stack depth (the stack always spells out the previous
+        merged posting's components)."""
         nonlocal needs_refine, min_dissimilarity
+        depth = len(stack)
         entry = stack.pop()
-        dewey_components = tuple(path_components) + (entry.component,)
         propagate = entry.mask
         if entry.blocked_q:
             if stack:
                 stack[-1].blocked_q = True
         elif entry.mask & query_mask == query_mask and query_mask:
             # Popped node is an SLCA of the original query.
-            from ..xmltree.dewey import Dewey
-
-            dewey = Dewey(dewey_components)
+            dewey = Dewey.from_trusted(previous_key[:depth])
             if context.is_meaningful_node(dewey):
                 needs_refine = False
                 original_results.append(dewey)
@@ -139,9 +148,7 @@ def stack_refine(index, query, rules=None, model=None, dp_memo=None):
                 and optimal.key != query_key
                 and optimal.dissimilarity <= min_dissimilarity
             ):
-                from ..xmltree.dewey import Dewey
-
-                dewey = Dewey(dewey_components)
+                dewey = Dewey.from_trusted(previous_key[:depth])
                 if context.is_meaningful_node(dewey):
                     if optimal.dissimilarity < min_dissimilarity:
                         min_dissimilarity = optimal.dissimilarity
@@ -166,35 +173,28 @@ def stack_refine(index, query, rules=None, model=None, dp_memo=None):
             stack[-1].blocked_q = stack[-1].blocked_q or entry.blocked_q
 
     # ------------------------------------------------------------------
-    # Merged single scan (getSmallestNode over all KS cursors).
+    # Merged single scan over the precomputed (lane, LCP) stream.  The
+    # LCP table gives each posting's shared depth with the previous
+    # one — which *is* the stack's surviving prefix — so stack
+    # maintenance needs no component comparisons at all.
     # ------------------------------------------------------------------
-    while True:
-        smallest = None
-        for cursor_index, cursor in enumerate(cursors):
-            head = cursor.peek()
-            if head is None:
-                continue
-            if smallest is None or head.dewey.components < smallest[0]:
-                smallest = (head.dewey.components, cursor_index)
-        if smallest is None:
-            break
-        components, cursor_index = smallest
-        cursors[cursor_index].advance()
+    lanes, lcps = merged_lcp(lane_columns)
+    positions = [0] * len(lane_columns)
+    previous_key = ()
+    for i, lane in enumerate(lanes):
+        key = lane_columns[lane].keys[positions[lane]]
+        positions[lane] += 1
         stats.postings_scanned += 1
-
-        shared = 0
-        for entry, component in zip(stack, components):
-            if entry.component != component:
-                break
-            shared += 1
+        shared = lcps[i]
         while len(stack) > shared:
-            pop_entry([e.component for e in stack[:-1]])
-        for component in components[shared:]:
-            stack.append(_Entry(component))
-        stack[-1].mask |= bit_of_cursor[cursor_index]
+            pop_entry(previous_key)
+        for _ in range(shared, len(key)):
+            stack.append(_Entry())
+        stack[-1].mask |= bit_of_lane[lane]
+        previous_key = key
 
     while stack:
-        pop_entry([e.component for e in stack[:-1]])
+        pop_entry(previous_key)
 
     # ------------------------------------------------------------------
     # Finalize: complete exact result sets for the winning RQs.
@@ -203,13 +203,12 @@ def stack_refine(index, query, rules=None, model=None, dp_memo=None):
     if needs_refine and best:
         candidate_map = {}
         for key, (rq, _witness_deweys) in best.items():
-            label_lists = [
-                list(context.index.inverted_list(k))
-                for k in rq.keywords
-            ]
             stats.slca_invocations += 1
-            slcas = scan_eager_slca(
-                [[p.dewey for p in postings] for postings in label_lists]
+            slcas = slca_columns(
+                [
+                    columns_for(context.index.inverted_list(k))
+                    for k in rq.keywords
+                ]
             )
             meaningful = context.meaningful_only(slcas)
             if meaningful:

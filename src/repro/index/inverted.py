@@ -54,12 +54,13 @@ class Posting:
 class InvertedList:
     """Document-ordered postings for one keyword."""
 
-    __slots__ = ("keyword", "postings", "_dewey_keys")
+    __slots__ = ("keyword", "postings", "_dewey_keys", "_kernel_columns")
 
     def __init__(self, keyword, postings):
         self.keyword = keyword
         self.postings = list(postings)
         self._dewey_keys = [p.dewey.components for p in self.postings]
+        self._kernel_columns = None
         for i in range(1, len(self._dewey_keys)):
             if self._dewey_keys[i - 1] >= self._dewey_keys[i]:
                 raise IndexingError(
@@ -80,6 +81,7 @@ class InvertedList:
         instance.keyword = keyword
         instance.postings = postings
         instance._dewey_keys = dewey_keys
+        instance._kernel_columns = None
         return instance
 
     @property

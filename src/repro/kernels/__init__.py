@@ -1,0 +1,45 @@
+"""Batch scan kernels over the packed posting columns.
+
+The refinement algorithms' inner loops — merged cursor scans, per-node
+LCA arithmetic, per-partition slicing — are replaced here by batch
+operations over columnar views of the inverted lists:
+
+* :mod:`.columns` — per-list partition tables and flat component
+  arrays; the merged :func:`partition_view` Algorithm 2 iterates.
+* :mod:`.slca` — columnar Scan Eager: candidate depths for a whole
+  anchor range per matcher sweep.
+* :mod:`.lcp` — the merged-stream adjacent-LCP table that makes the
+  stack route's LCA depth an indexed lookup.
+* :mod:`.bounds` — presence bounds memoized by block bitmask (the
+  WAND-style skip pre-check).
+* :mod:`.backend` — compiled (cffi + cc) fast path selection with a
+  pure-Python fallback; ``REPRO_NO_COMPILED_KERNELS=1`` forces the
+  fallback.
+
+Every kernel is byte-identical to the loop it replaced; the
+``kernel:*`` comparisons of ``verify-diff`` hold both paths to that.
+"""
+
+from .backend import backend_name, compiled  # noqa: F401
+from .bounds import PresenceBoundCache  # noqa: F401
+from .columns import (  # noqa: F401
+    ListColumns,
+    columns_for,
+    columns_of_labels,
+    partition_view,
+)
+from .lcp import merged_lcp  # noqa: F401
+from .slca import slca_columns, slca_ranges  # noqa: F401
+
+__all__ = [
+    "ListColumns",
+    "PresenceBoundCache",
+    "backend_name",
+    "columns_for",
+    "columns_of_labels",
+    "compiled",
+    "merged_lcp",
+    "partition_view",
+    "slca_columns",
+    "slca_ranges",
+]

@@ -1,0 +1,255 @@
+"""Compiled fast-path selection for the scan kernels.
+
+The batch kernels in this package have two interchangeable
+implementations: a pure-Python one (always present, the semantic
+reference) and a small C library compiled on first use and loaded
+through cffi's ABI mode.  Selection happens once at import time:
+
+1. ``REPRO_NO_COMPILED_KERNELS=1`` in the environment forces the
+   pure-Python path (the CI job that keeps the fallback load-bearing
+   sets it).
+2. Otherwise the C source below is compiled with the system C compiler
+   into a per-source-hash cache directory under the platform temp dir
+   (one ~50 ms compile per machine, reused afterwards) and loaded via
+   ``ffi.dlopen``.  ABI mode needs no Python headers — only ``cc``.
+3. Any failure — no cffi, no compiler, sandboxed temp dir, dlopen
+   error — silently degrades to pure Python.  The compiled path is a
+   speedup, never a dependency.
+
+The library works exclusively on flat ``int64`` component arrays plus
+offset tables (see :mod:`.columns`), the columnar layout shared by all
+kernels, so the only per-call marshalling is a handful of pointer
+casts through ``ffi.from_buffer``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+
+#: Environment flag forcing the pure-Python fallback.
+NO_COMPILED_ENV = "REPRO_NO_COMPILED_KERNELS"
+
+#: Lanes the compiled merge kernel accepts (stack allocation bound);
+#: wider merges fall back to pure Python.
+MAX_MERGE_LANES = 64
+
+_CDEF = """
+void repro_slca_fold(const int64_t *a_flat, const int64_t *a_offs,
+                     int64_t a_lo, int64_t a_hi,
+                     const int64_t *m_flat, const int64_t *m_offs,
+                     int64_t m_lo, int64_t m_hi,
+                     int64_t *depths);
+void repro_merge_lcp(const int64_t **flats, const int64_t **offs,
+                     const int64_t *lens, int64_t nlists,
+                     int32_t *lanes, int64_t *lcps);
+"""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Lexicographic compare of two variable-length int64 Dewey keys. */
+static int key_cmp(const int64_t *a, int64_t alen,
+                   const int64_t *b, int64_t blen)
+{
+    int64_t n = alen < blen ? alen : blen;
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    if (alen == blen)
+        return 0;
+    return alen < blen ? -1 : 1;
+}
+
+/* Longest common prefix of two keys (the LCA depth of two labels). */
+static int64_t key_lcp(const int64_t *a, int64_t alen,
+                       const int64_t *b, int64_t blen)
+{
+    int64_t n = alen < blen ? alen : blen;
+    int64_t i = 0;
+    while (i < n && a[i] == b[i])
+        i++;
+    return i;
+}
+
+/* First index in [lo, hi) whose key compares > target: a galloping
+ * scan — exponential probing from lo, then a binary search inside the
+ * final bracket.  Forward-only; lo must satisfy "every index < lo
+ * holds a key <= target", which successive non-decreasing targets
+ * preserve. */
+static int64_t gallop_upper(const int64_t *flat, const int64_t *offs,
+                            int64_t lo, int64_t hi,
+                            const int64_t *key, int64_t klen)
+{
+    int64_t step, l, h;
+    if (lo >= hi ||
+        key_cmp(flat + offs[lo], offs[lo + 1] - offs[lo], key, klen) > 0)
+        return lo;
+    step = 1;
+    while (lo + step < hi &&
+           key_cmp(flat + offs[lo + step],
+                   offs[lo + step + 1] - offs[lo + step], key, klen) <= 0) {
+        lo += step;
+        step <<= 1;
+    }
+    l = lo + 1;
+    h = lo + step < hi ? lo + step : hi;
+    while (l < h) {
+        int64_t mid = (l + h) >> 1;
+        if (key_cmp(flat + offs[mid], offs[mid + 1] - offs[mid],
+                    key, klen) <= 0)
+            l = mid + 1;
+        else
+            h = mid;
+    }
+    return l;
+}
+
+/* Batch closest-match fold: for every anchor key in [a_lo, a_hi),
+ * find the deepest LCP against the matcher range [m_lo, m_hi) — the
+ * max over the anchor's floor and ceiling elements, exactly XKSearch
+ * Scan Eager's closest-match choice — and fold it into depths[] with
+ * a min.  depths is indexed relative to a_lo. */
+void repro_slca_fold(const int64_t *a_flat, const int64_t *a_offs,
+                     int64_t a_lo, int64_t a_hi,
+                     const int64_t *m_flat, const int64_t *m_offs,
+                     int64_t m_lo, int64_t m_hi,
+                     int64_t *depths)
+{
+    int64_t pos = m_lo;
+    int64_t i;
+    for (i = a_lo; i < a_hi; i++) {
+        const int64_t *key = a_flat + a_offs[i];
+        int64_t klen = a_offs[i + 1] - a_offs[i];
+        int64_t depth = 0;
+        pos = gallop_upper(m_flat, m_offs, pos, m_hi, key, klen);
+        if (pos > m_lo) {
+            int64_t d = key_lcp(m_flat + m_offs[pos - 1],
+                                m_offs[pos] - m_offs[pos - 1], key, klen);
+            if (d > depth)
+                depth = d;
+        }
+        if (pos < m_hi) {
+            int64_t d = key_lcp(m_flat + m_offs[pos],
+                                m_offs[pos + 1] - m_offs[pos], key, klen);
+            if (d > depth)
+                depth = d;
+        }
+        if (depth < depths[i - a_lo])
+            depths[i - a_lo] = depth;
+    }
+}
+
+/* Merged document-order scan over nlists sorted key columns.  Emits,
+ * per merged posting, the source lane and the LCP against the
+ * previous merged key (0 for the first) — the precomputed table the
+ * stack route replaces its per-posting prefix comparisons with.
+ * Ties break toward the lowest lane, matching the strict-< merge of
+ * the cursor loop it replaces.  nlists must be <= 64 (caller guards).
+ */
+void repro_merge_lcp(const int64_t **flats, const int64_t **offs,
+                     const int64_t *lens, int64_t nlists,
+                     int32_t *lanes, int64_t *lcps)
+{
+    int64_t pos[64];
+    const int64_t *prev_key = 0;
+    int64_t prev_len = 0;
+    int64_t out = 0;
+    int64_t l;
+    for (l = 0; l < nlists; l++)
+        pos[l] = 0;
+    for (;;) {
+        int64_t best = -1;
+        const int64_t *best_key = 0;
+        int64_t best_len = 0;
+        for (l = 0; l < nlists; l++) {
+            const int64_t *key;
+            int64_t klen;
+            if (pos[l] >= lens[l])
+                continue;
+            key = flats[l] + offs[l][pos[l]];
+            klen = offs[l][pos[l] + 1] - offs[l][pos[l]];
+            if (best < 0 || key_cmp(key, klen, best_key, best_len) < 0) {
+                best = l;
+                best_key = key;
+                best_len = klen;
+            }
+        }
+        if (best < 0)
+            break;
+        pos[best]++;
+        lanes[out] = (int32_t)best;
+        lcps[out] = prev_key
+            ? key_lcp(prev_key, prev_len, best_key, best_len)
+            : 0;
+        prev_key = best_key;
+        prev_len = best_len;
+        out++;
+    }
+}
+"""
+
+
+def _build_library():
+    """Compile and dlopen the C kernels; None on any failure."""
+    if os.environ.get(NO_COMPILED_ENV, "").strip() not in ("", "0"):
+        return None
+    try:
+        from cffi import FFI
+    except Exception:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = os.path.join(
+        tempfile.gettempdir(), f"repro-kernels-{digest}"
+    )
+    library = os.path.join(cache_dir, "libreprokernels.so")
+    try:
+        if not os.path.exists(library):
+            os.makedirs(cache_dir, exist_ok=True)
+            source = os.path.join(cache_dir, "kernels.c")
+            with open(source, "w", encoding="utf-8") as handle:
+                handle.write(_C_SOURCE)
+            compiler = os.environ.get("CC", "cc")
+            scratch = library + f".tmp{os.getpid()}"
+            subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", source,
+                 "-o", scratch],
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                timeout=120,
+            )
+            os.replace(scratch, library)  # atomic vs concurrent builders
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        return _CompiledKernels(ffi, ffi.dlopen(library))
+    except Exception:
+        return None
+
+
+class _CompiledKernels:
+    """Thin handle pairing the dlopened library with its FFI."""
+
+    __slots__ = ("ffi", "lib")
+
+    def __init__(self, ffi, lib):
+        self.ffi = ffi
+        self.lib = lib
+
+    def i64(self, buffer):
+        """Borrow a Python buffer as ``const int64_t *`` (zero copy)."""
+        return self.ffi.from_buffer("int64_t[]", buffer)
+
+
+#: The active compiled backend, or None for pure Python.  Selected once
+#: at import; tests may monkeypatch to force the fallback in-process.
+compiled = _build_library()
+
+
+def backend_name():
+    """``"compiled-cc"`` or ``"pure-python"`` — for benches and CLI."""
+    return "compiled-cc" if compiled is not None else "pure-python"

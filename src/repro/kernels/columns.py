@@ -1,0 +1,145 @@
+"""Columnar views of packed posting lists (the kernels' data layout).
+
+A :class:`ListColumns` wraps one inverted list's document-ordered
+Dewey key column (the component tuples PR 1's packed arrays already
+share) with the two derived structures every batch kernel needs:
+
+* a **partition table** — ``pids[i]`` with half-open posting ranges
+  ``[starts[i], ends[i])``, built with partition-to-partition binary
+  search jumps (O(partitions · log n), never a per-posting pass).
+  This is the per-block metadata of the block-max skip: which blocks
+  (partitions) contain the keyword at all, and where their postings
+  live, without touching a single posting.
+* **flat int64 arrays** — all components concatenated plus an offset
+  table — the zero-copy operands of the compiled galloping kernel.
+  Built lazily, only when the compiled backend is active.
+
+Columns are cached on the :class:`~repro.index.inverted.InvertedList`
+itself (``_kernel_columns``); the index's decode cache keeps one list
+object per keyword and replaces it on any mutation, so object identity
+gives exact freshness for free, the same rule ``perf.packed`` uses.
+
+:func:`partition_view` merges several columns' partition tables into
+the ordered presence view Algorithm 2 iterates: each distinct
+partition id, in document order, with every lane's posting range (or
+``None``) — byte-for-byte the partitions and sublists the former
+per-posting cursor merge produced, at per-partition instead of
+per-posting cost.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class ListColumns:
+    """Partition table + flat component arrays for one key column."""
+
+    __slots__ = ("keys", "size", "pids", "starts", "ends", "pid_range",
+                 "root_count", "_flat", "_offs")
+
+    def __init__(self, keys):
+        #: Document-ordered component tuples (shared, read-only).
+        self.keys = keys
+        self.size = len(keys)
+        pids = []
+        starts = []
+        ends = []
+        root_count = 0
+        position = 0
+        size = self.size
+        while position < size:
+            key = keys[position]
+            if len(key) < 2:
+                # A root posting belongs to no partition (Def. 6.1).
+                root_count += 1
+                position += 1
+                continue
+            pid = key[:2]
+            end = bisect_left(keys, (pid[0], pid[1] + 1), position)
+            pids.append(pid)
+            starts.append(position)
+            ends.append(end)
+            position = end
+        self.pids = pids
+        self.starts = starts
+        self.ends = ends
+        #: pid -> (lo, hi); the O(1) random-access probe (SLE).
+        self.pid_range = {
+            pid: (starts[i], ends[i]) for i, pid in enumerate(pids)
+        }
+        self.root_count = root_count
+        self._flat = None
+        self._offs = None
+
+    def flat_offs(self):
+        """``(flat, offs)`` int64 arrays for the compiled kernels.
+
+        ``flat`` concatenates every key's components; ``offs[i]`` is
+        key ``i``'s start within it (``size + 1`` entries).  Built on
+        first use and cached for the column's lifetime.
+        """
+        flat = self._flat
+        if flat is None:
+            from array import array
+
+            flat = array("q")
+            offs = array("q", bytes(8 * (self.size + 1)))
+            position = 0
+            for i, key in enumerate(self.keys):
+                flat.extend(key)
+                position += len(key)
+                offs[i + 1] = position
+            self._flat = flat
+            self._offs = offs
+        return flat, self._offs
+
+    def __len__(self):
+        return self.size
+
+    def __repr__(self):
+        return f"ListColumns(n={self.size}, partitions={len(self.pids)})"
+
+
+def columns_for(inverted_list):
+    """The cached :class:`ListColumns` of one inverted list."""
+    columns = inverted_list._kernel_columns
+    if columns is None:
+        columns = ListColumns(inverted_list.dewey_keys)
+        inverted_list._kernel_columns = columns
+    return columns
+
+
+def columns_of_labels(labels):
+    """Columns for a label sequence, or ``None`` if it carries none.
+
+    :class:`~repro.perf.packed.PackedPostings` exposes its source
+    inverted list; anything else (a plain ``Dewey`` list, a partition
+    slice) has no precomputed columns and stays on the classic path.
+    """
+    source = getattr(labels, "source", None)
+    if source is None or getattr(source, "_kernel_columns", False) is False:
+        return None
+    return columns_for(source)
+
+
+def partition_view(columns):
+    """Merged partition presence over several columns.
+
+    Returns ``[(pid, ranges), ...]`` in document order, where
+    ``ranges[lane]`` is the ``(lo, hi)`` posting range of ``pid`` in
+    ``columns[lane]`` or ``None`` when the lane has no posting there —
+    exactly the partitions a merged cursor scan would visit and the
+    sublists it would slice, at per-partition-entry cost.
+    """
+    lanes = len(columns)
+    table = {}
+    for lane, column in enumerate(columns):
+        starts = column.starts
+        ends = column.ends
+        for i, pid in enumerate(column.pids):
+            entry = table.get(pid)
+            if entry is None:
+                entry = table[pid] = [None] * lanes
+            entry[lane] = (starts[i], ends[i])
+    return sorted(table.items())

@@ -1,0 +1,89 @@
+"""Merged Dewey scan with a precomputed adjacent-LCP table.
+
+The stack route (Algorithm 1) consumes the KS inverted lists as one
+merged document-ordered stream and, for every posting, compares its
+label against the current stack to find the shared prefix length.
+Because the stack always holds exactly the previous posting's
+components, that shared length **is** the LCP of adjacent labels in
+the merged stream — a pure function of the posting columns that can
+be tabulated up front, turning the per-posting prefix comparison into
+an indexed lookup.
+
+:func:`merged_lcp` produces the table: per merged posting, the source
+lane (list index) and the LCP against the previous merged label.
+Ties between lanes break toward the lowest lane, byte-identical to
+the strict-``<`` cursor merge it replaces.  The compiled backend runs
+the k-way merge over the flat component arrays; the Python fallback
+concatenates the per-lane ``(key, lane)`` runs and lets Timsort's
+galloping merge sort them (the runs are already sorted), then fills
+the LCP column in one adjacent pass.
+"""
+
+from __future__ import annotations
+
+from . import backend
+
+
+def _lcp(a, b):
+    shared = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        shared += 1
+    return shared
+
+
+def merged_lcp(columns):
+    """``(lanes, lcps)`` for the merged stream over ``columns``.
+
+    ``lanes[i]`` is the column index that produced merged posting
+    ``i``; ``lcps[i]`` is the component LCP between merged postings
+    ``i - 1`` and ``i`` (0 for the first).  The caller reconstructs
+    each posting's key by keeping one counter per lane — the streams
+    inside each lane come out in their original order.
+    """
+    total = sum(column.size for column in columns)
+    lib = backend.compiled
+    if lib is not None and 0 < len(columns) <= backend.MAX_MERGE_LANES:
+        from array import array
+
+        lanes = array("i", bytes(4 * total))
+        lcps = array("q", bytes(8 * total))
+        if total:
+            ffi = lib.ffi
+            flats = []
+            offs = []
+            keepalive = []
+            for column in columns:
+                flat, off = column.flat_offs()
+                flat_c = lib.i64(flat)
+                off_c = lib.i64(off)
+                keepalive.append((flat_c, off_c))
+                flats.append(flat_c)
+                offs.append(off_c)
+            lens = array("q", (column.size for column in columns))
+            lib.lib.repro_merge_lcp(
+                ffi.new("const int64_t *[]", flats),
+                ffi.new("const int64_t *[]", offs),
+                lib.i64(lens),
+                len(columns),
+                ffi.from_buffer("int32_t[]", lanes),
+                ffi.from_buffer("int64_t[]", lcps),
+            )
+        return lanes, lcps
+
+    entries = []
+    for lane, column in enumerate(columns):
+        entries.extend((key, lane) for key in column.keys)
+    # Sorting (key, lane) pairs both merges the runs and breaks key
+    # ties toward the lowest lane in one go.
+    entries.sort()
+    lanes = [0] * total
+    lcps = [0] * total
+    previous = None
+    for i, (key, lane) in enumerate(entries):
+        lanes[i] = lane
+        if previous is not None:
+            lcps[i] = _lcp(previous, key)
+        previous = key
+    return lanes, lcps

@@ -1,0 +1,158 @@
+"""Columnar batch SLCA — Scan Eager restructured column-at-a-time.
+
+``scan_eager_slca`` walks the anchor list one label at a time, asking
+every matcher for its closest element.  This kernel transposes the
+loops: the anchor range's candidate **depths** are computed one whole
+matcher column at a time, so the inner loop is a single galloping
+sweep over two flat arrays — pure pointer arithmetic in the compiled
+backend, one bisect per anchor in the Python fallback.
+
+The transposition is exact, not approximate:
+
+* For anchor ``a``, Scan Eager's candidate is ``lca(a, m)`` over the
+  per-matcher closest elements ``m`` — always a *prefix of the
+  anchor*, so only its depth matters.
+* A matcher's closest element is the anchor's floor or ceiling in the
+  matcher column (the forward pointer never changes which, only how
+  fast it is found), and ``depth = max(lcp(floor), lcp(ceil))``
+  regardless of the floor-favouring tie-break on the returned label.
+* The final candidate depth is the **min** over matchers, and min is
+  order-independent — the per-anchor ``depth == 1`` early exit prunes
+  work, never changes the value.
+
+The one semantic the batch form cannot reproduce is the
+``DeweyError`` raised for labels sharing no prefix (cross-document
+lists): a computed depth of 0 routes the whole call back to the
+classic per-node implementation, which raises identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..xmltree.dewey import Dewey
+from . import backend
+
+
+def _lcp(a, b):
+    shared = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        shared += 1
+    return shared
+
+
+def _fold_depths_python(anchor_keys, a_lo, a_hi, keys, m_lo, m_hi, depths):
+    """Pure-Python twin of the compiled ``repro_slca_fold``."""
+    position = m_lo
+    for i in range(a_lo, a_hi):
+        target = anchor_keys[i]
+        position = bisect_right(keys, target, position, m_hi)
+        depth = 0
+        if position > m_lo:
+            depth = _lcp(keys[position - 1], target)
+        if position < m_hi:
+            ceil_depth = _lcp(keys[position], target)
+            if ceil_depth > depth:
+                depth = ceil_depth
+        slot = i - a_lo
+        if depth < depths[slot]:
+            depths[slot] = depth
+    return depths
+
+
+def slca_ranges(column_ranges):
+    """SLCAs of the key ranges ``[(ListColumns, lo, hi), ...]``.
+
+    One entry per keyword; returns document-ordered ``Dewey`` labels,
+    byte-identical to ``scan_eager_slca`` over the same label slices.
+    """
+    if not column_ranges:
+        return []
+    for _, lo, hi in column_ranges:
+        if lo >= hi:
+            return []
+
+    anchor_index = min(
+        range(len(column_ranges)),
+        key=lambda i: column_ranges[i][2] - column_ranges[i][1],
+    )
+    anchor_columns, a_lo, a_hi = column_ranges[anchor_index]
+    anchor_keys = anchor_columns.keys
+    count = a_hi - a_lo
+    matchers = sorted(
+        (
+            entry
+            for i, entry in enumerate(column_ranges)
+            if i != anchor_index
+        ),
+        key=lambda entry: entry[2] - entry[1],
+    )
+
+    lib = backend.compiled
+    if lib is not None:
+        from array import array
+
+        depths = array(
+            "q", (len(anchor_keys[i]) for i in range(a_lo, a_hi))
+        )
+        out = lib.i64(depths)
+        a_flat, a_offs = anchor_columns.flat_offs()
+        a_flat_c = lib.i64(a_flat)
+        a_offs_c = lib.i64(a_offs)
+        for column, m_lo, m_hi in matchers:
+            m_flat, m_offs = column.flat_offs()
+            lib.lib.repro_slca_fold(
+                a_flat_c, a_offs_c, a_lo, a_hi,
+                lib.i64(m_flat), lib.i64(m_offs), m_lo, m_hi,
+                out,
+            )
+    else:
+        depths = [len(anchor_keys[i]) for i in range(a_lo, a_hi)]
+        for column, m_lo, m_hi in matchers:
+            _fold_depths_python(
+                anchor_keys, a_lo, a_hi, column.keys, m_lo, m_hi, depths
+            )
+
+    candidates = []
+    for slot in range(count):
+        depth = depths[slot]
+        if depth == 0:
+            # Labels from different documents: re-run the classic
+            # per-node path, which raises the exact DeweyError.
+            from ..slca.scan_eager import scan_eager_slca
+
+            return scan_eager_slca(
+                [
+                    [
+                        Dewey.from_trusted(column.keys[i])
+                        for i in range(lo, hi)
+                    ]
+                    for column, lo, hi in column_ranges
+                ]
+            )
+        candidates.append(anchor_keys[a_lo + slot][:depth])
+
+    return [Dewey.from_trusted(key) for key in _remove_ancestors(candidates)]
+
+
+def slca_columns(columns):
+    """SLCAs over whole columns (step-2 / whole-list calls)."""
+    return slca_ranges([(column, 0, column.size) for column in columns])
+
+
+def _remove_ancestors(candidate_keys):
+    """`slca.lca.remove_ancestors` on raw component tuples."""
+    ordered = sorted(set(candidate_keys))
+    kept = []
+    for key in ordered:
+        length = len(key)
+        while kept:
+            last = kept[-1]
+            if len(last) < length and key[: len(last)] == last:
+                kept.pop()
+            else:
+                break
+        kept.append(key)
+    return kept

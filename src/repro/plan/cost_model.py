@@ -7,8 +7,9 @@ with per-operation unit costs.  The counts come from the index
 statistics (:mod:`repro.plan.features`); the unit costs come from a
 :class:`Calibration` measured **once per machine/interpreter** by
 :func:`micro_calibrate` — a few synthetic timed loops exercising the
-same primitive operations the kernels run (tuple-compare merge scans,
-``bisect`` probes, the refinement DP, scan-eager/stack SLCA).
+same primitive operations the scan kernels run (partition-table
+builds and merged views, partition-table dict probes, the refinement
+DP, the columnar batch SLCA, the merged-LCP scan).
 
 Calibrations are persisted into frozen snapshots (format version 2;
 see :mod:`repro.index.frozen`) so a serving process starts with the
@@ -25,16 +26,15 @@ from __future__ import annotations
 
 import struct
 import time
-from bisect import bisect_left
 
 #: Field order is the wire order of the snapshot record — append only.
 _FIELDS = (
-    "scan_posting",     # merged forward scan, per posting (Partition/SLE anchor)
-    "probe",            # one random-access bisect probe (SLE)
+    "scan_posting",     # partition-table build + merged view, per posting
+    "probe",            # one partition-table dict probe (SLE random access)
     "dp_partial",       # refinement DP, per dp_units() unit
-    "slca_posting",     # scan-eager SLCA, per posting
-    "partition_visit",  # per-partition setup (slicing, bookkeeping)
-    "stack_posting",    # stack-refine merged scan, per posting
+    "slca_posting",     # columnar batch SLCA kernel, per posting
+    "partition_visit",  # per-partition span/mask setup (Partition/SLE loop)
+    "stack_posting",    # merged-LCP scan (stack route), per posting
     "dispatch",         # per-worker scatter/gather overhead (sharded path)
 )
 
@@ -150,16 +150,22 @@ def _best_of(repeats, run):
 def micro_calibrate(repeats=3):
     """Measure per-operation unit costs with small synthetic loops.
 
-    Total cost is a few milliseconds; the loops exercise the same
-    primitives as the kernels (component-tuple comparisons, ``bisect``
-    jumps, the real refinement DP, the real SLCA scans) so relative
-    magnitudes track the machine actually serving queries.
+    Total cost is a few milliseconds; the loops exercise the exact
+    batch primitives the scan kernels run (cold partition-table builds
+    plus the merged partition view, ``pid_range`` dict probes, the
+    real refinement DP, the columnar batch SLCA kernel, the merged-LCP
+    scan with its stack-depth walk) so relative magnitudes track both
+    the machine *and the active kernel backend* actually serving
+    queries — a compiled fast path calibrates to its own speed.
     """
     from ..core.dp import get_top_optimal_rqs
+    from ..kernels import (
+        ListColumns,
+        merged_lcp,
+        partition_view,
+        slca_ranges,
+    )
     from ..lexicon.rules import RuleSet
-    from ..slca.scan_eager import scan_eager_slca
-    from ..slca.stack import stack_slca
-    from ..xmltree.dewey import Dewey
 
     # Synthetic posting columns: 4 lists x 128 component tuples spread
     # over 32 partitions, mimicking the real packed layout.
@@ -168,43 +174,39 @@ def micro_calibrate(repeats=3):
         for lane in range(4)
     ]
     scan_total = sum(len(column) for column in lists)
+    columns = [ListColumns(keys) for keys in lists]
 
-    def run_merge_scan():
-        cursors = [0] * len(lists)
-        while True:
-            smallest = None
-            smallest_lane = -1
-            for lane, column in enumerate(lists):
-                position = cursors[lane]
-                if position >= len(column):
-                    continue
-                head = column[position]
-                if smallest is None or head < smallest:
-                    smallest = head
-                    smallest_lane = lane
-            if smallest is None:
-                break
-            cursors[smallest_lane] += 1
+    def run_partition_scan():
+        # Cold columns each run: the partition-table build is the
+        # kernels' only per-list pass over the postings, and the
+        # merged view is the scan Algorithm 2 consumes.
+        partition_view([ListColumns(keys) for keys in lists])
 
-    scan_posting = _best_of(repeats, run_merge_scan) / scan_total
+    scan_posting = _best_of(repeats, run_partition_scan) / scan_total
 
-    column = lists[0]
-    probe_keys = [(0, p, 0, 0, 0) for p in range(32)] * 8
+    table = columns[0].pid_range
+    probe_pids = [(0, p) for p in range(32)] * 8
 
     def run_probes():
-        for key in probe_keys:
-            bisect_left(column, key)
+        get = table.get
+        for pid in probe_pids:
+            get(pid)
 
-    probe = _best_of(repeats, run_probes) / len(probe_keys)
+    probe = _best_of(repeats, run_probes) / len(probe_pids)
 
-    def run_partition_jumps():
-        position = bisect_left(column, (0, 0))
-        size = len(column)
-        while position < size:
-            pid = column[position][:2]
-            position = bisect_left(column, (pid[0], pid[1] + 1), position)
+    view = partition_view(columns)
 
-    partition_visit = _best_of(repeats, run_partition_jumps) / 32
+    def run_partition_visits():
+        for _pid, spans in view:
+            sublists = {}
+            mask = 0
+            for lane, span in enumerate(spans):
+                if span is None:
+                    continue
+                sublists[lane] = span
+                mask |= 1 << lane
+
+    partition_visit = _best_of(repeats, run_partition_visits) / len(view)
 
     query = ("alpha", "beta", "gamma", "delta")
     available = {"alpha", "beta", "delta"}
@@ -219,23 +221,26 @@ def micro_calibrate(repeats=3):
         dp_calls * dp_units(len(query), 0, 4)
     )
 
-    label_lists = [
-        [Dewey.from_trusted((0, p, lane)) for p in range(64)]
-        for lane in range(2)
-    ]
-    slca_total = sum(len(labels) for labels in label_lists)
+    slca_lanes = [(c, 0, c.size) for c in columns[:2]]
+    slca_total = sum(c.size for c in columns[:2])
 
     def run_slca():
         for _ in range(4):
-            scan_eager_slca(label_lists)
+            slca_ranges(slca_lanes)
 
     slca_posting = _best_of(repeats, run_slca) / (4 * slca_total)
 
     def run_stack():
-        for _ in range(4):
-            stack_slca(label_lists)
+        # The merged-LCP table plus the per-posting stack-depth walk
+        # that consumes it — the stack route's whole scan.
+        _lanes, lcps = merged_lcp(columns)
+        depth = 0
+        for lcp in lcps:
+            if lcp < depth:
+                depth = lcp
+            depth += 1
 
-    stack_posting = _best_of(repeats, run_stack) / (4 * slca_total)
+    stack_posting = _best_of(repeats, run_stack) / scan_total
 
     return Calibration(
         "measured",

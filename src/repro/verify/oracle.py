@@ -24,6 +24,14 @@ path that must agree:
   columnar snapshot (:mod:`repro.index.frozen`), loaded back, and the
   plain SLCA path, all three refinement algorithms, and a sharded
   fan-out are each diffed byte-for-byte against the built index.
+* **Kernel layer** — each batch primitive in :mod:`repro.kernels` is
+  diffed against a per-node recomputation of the same answer: the
+  columnar SLCA kernel against the classic forward-pointer scan, the
+  merged-LCP table against a naive sort-and-compare pass, the
+  partition view against a posting-by-posting regrouping, and the
+  mask-memoized presence bound against
+  :class:`~repro.core.dp.MissingKeywordBound` over every presence
+  subset.
 
 A failed comparison is a :class:`Divergence` — a plain record carrying
 enough context for the shrinker to reproduce and reduce it.
@@ -34,10 +42,18 @@ from __future__ import annotations
 import os
 import tempfile
 
+from ..core.dp import MissingKeywordBound
 from ..core.engine import XRefine
 from ..core.partition_refine import partition_refine
 from ..core.short_list_eager import short_list_eager
 from ..core.stack_refine import stack_refine
+from ..kernels import (
+    PresenceBoundCache,
+    columns_for,
+    merged_lcp,
+    partition_view,
+    slca_ranges,
+)
 from ..shard.refine import sharded_partition_refine
 from ..index.builder import build_document_index
 from ..index.tokenize_text import query_terms
@@ -504,6 +520,136 @@ class DocumentOracle:
             )
         return divergences
 
+    # ------------------------------------------------------------------
+    # Kernel layer
+    # ------------------------------------------------------------------
+    def check_kernels(self, query):
+        """Each batch kernel must equal a per-node recomputation.
+
+        The scan kernels earn their keep only if they are invisible:
+        every primitive — columnar SLCA, the merged-LCP table, the
+        partition view, the memoized presence bound — is recomputed
+        here the slow way (per node / per posting / per subset) and
+        diffed.  Runs against whichever backend is active, so the same
+        sweep exercises the compiled fast path and, under
+        ``REPRO_NO_COMPILED_KERNELS=1``, the pure-Python fallback.
+        """
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+
+        def diff(kind, detail, expected, actual):
+            if expected != actual:
+                divergences.append(
+                    Divergence(
+                        kind, detail, self.spec, query, expected, actual
+                    )
+                )
+
+        inverted = [self.index.inverted.get(term) for term in terms]
+        columns = [columns_for(lst) for lst in inverted]
+
+        # Batch SLCA vs the classic forward-pointer scan.  Plain Dewey
+        # lists carry no columns, so scan_eager_slca takes its
+        # per-node path — the independent reference.
+        label_lists = [[p.dewey for p in lst] for lst in inverted]
+        if all(label_lists):
+            reference = [str(d) for d in scan_eager_slca(label_lists)]
+            batch = [
+                str(d)
+                for d in slca_ranges([(c, 0, c.size) for c in columns])
+            ]
+            diff(
+                "kernel:slca-batch-vs-node",
+                "columnar batch SLCA != per-node forward scan",
+                reference, batch,
+            )
+
+        # Merged-LCP table vs a naive sort + adjacent-compare pass
+        # (equal keys must break toward the lowest lane, like the
+        # strict-< cursor merge the table replaced).
+        entries = sorted(
+            (key, lane)
+            for lane, column in enumerate(columns)
+            for key in column.keys
+        )
+        naive_lanes = []
+        naive_lcps = []
+        previous = ()
+        for key, lane in entries:
+            shared = 0
+            for a, b in zip(previous, key):
+                if a != b:
+                    break
+                shared += 1
+            naive_lanes.append(lane)
+            naive_lcps.append(shared if naive_lcps else 0)
+            previous = key
+        lanes, lcps = merged_lcp(columns)
+        diff(
+            "kernel:lcp-table",
+            "merged-LCP table != naive adjacent-LCP recomputation",
+            (naive_lanes, naive_lcps), (list(lanes), list(lcps)),
+        )
+
+        # Partition view vs a per-posting regrouping of the raw keys.
+        expected_table = {}
+        expected_roots = []
+        for lane, column in enumerate(columns):
+            roots = 0
+            for position, key in enumerate(column.keys):
+                if len(key) < 2:
+                    roots += 1
+                    continue
+                spans = expected_table.setdefault(
+                    key[:2], [None] * len(columns)
+                )
+                span = spans[lane]
+                spans[lane] = (
+                    (position, position + 1)
+                    if span is None
+                    else (span[0], position + 1)
+                )
+            expected_roots.append(roots)
+        diff(
+            "kernel:partition-view",
+            "partition view != per-posting partition regrouping",
+            sorted(expected_table.items()),
+            [(pid, list(spans)) for pid, spans in partition_view(columns)],
+        )
+        diff(
+            "kernel:partition-view",
+            "partition root counts != per-posting recount",
+            expected_roots, [c.root_count for c in columns],
+        )
+
+        # Presence bound memo vs the uncached bound, over every
+        # presence subset of the keyword-space lanes (capped: the
+        # subsets double per lane, and generated documents rarely
+        # exceed the cap anyway).
+        rules = self.engine.mine_rules(terms)
+        lanes_kw = list(dict.fromkeys(terms))
+        lanes_kw += sorted(rules.generated_keywords() - set(lanes_kw))
+        cache = PresenceBoundCache(terms, rules, lanes_kw)
+        uncached = MissingKeywordBound(terms, rules)
+        expected_bounds = []
+        actual_bounds = []
+        for mask in range(1 << min(len(lanes_kw), 10)):
+            present = {
+                keyword
+                for lane, keyword in enumerate(lanes_kw)
+                if mask & (1 << lane)
+            }
+            expected_bounds.append(uncached.lower_bound(present))
+            actual_bounds.append(cache.lower_bound(mask))
+        diff(
+            "kernel:presence-bound",
+            "mask-memoized presence bound != MissingKeywordBound",
+            expected_bounds, actual_bounds,
+        )
+        return divergences
+
     def check_query(self, query):
         """Every oracle check for one query; list of divergences."""
         return (
@@ -511,6 +657,7 @@ class DocumentOracle:
             + self.check_refinement(query)
             + self.check_auto(query)
             + self.check_frozen(query)
+            + self.check_kernels(query)
         )
 
 

@@ -77,10 +77,11 @@ def _check_document(oracle, queries, report):
         # algorithms x {cold, warm}, the skip ablation, three
         # sharded-vs-serial fan-outs, the five metamorphic
         # invariants, the planner layer (auto cold/warm, the forced
-        # stack route, the seeded sharded bound), and the
-        # frozen-snapshot layer (SLCA, four refinement algorithms,
-        # one sharded fan-out).
-        report.checks += 43
+        # stack route, the seeded sharded bound), the frozen-snapshot
+        # layer (SLCA, four refinement algorithms, one sharded
+        # fan-out), and the kernel layer (batch SLCA, LCP table,
+        # partition view, presence bound vs per-node recomputation).
+        report.checks += 47
         found.extend(divergences)
     return found
 

@@ -1,0 +1,67 @@
+"""Fast-path selection: env-var override and silent degradation."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import repro
+import repro.kernels.backend as backend_module
+
+
+def _probe_backend(extra_env):
+    """backend_name() reported by a fresh interpreter."""
+    env = os.environ.copy()
+    env.pop(backend_module.NO_COMPILED_ENV, None)
+    env.update(extra_env)
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    return subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.kernels import backend_name; print(backend_name())",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=180,
+    ).stdout.strip()
+
+
+def test_env_var_forces_pure_python():
+    assert (
+        _probe_backend({backend_module.NO_COMPILED_ENV: "1"})
+        == "pure-python"
+    )
+
+
+def test_env_var_zero_means_unset():
+    # "0" and "" both mean "let import-time selection decide" — they
+    # must match a probe with the variable absent entirely (which may
+    # be either backend, depending on the host).
+    expected = _probe_backend({})
+    assert _probe_backend({backend_module.NO_COMPILED_ENV: "0"}) == expected
+    assert _probe_backend({backend_module.NO_COMPILED_ENV: ""}) == expected
+
+
+def test_missing_compiler_degrades_silently():
+    # CC pointing at a nonexistent binary must fall back, not raise.
+    # A fresh cache dir is forced by clearing TMPDIR to a new location.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        assert (
+            _probe_backend({"CC": "/nonexistent/cc", "TMPDIR": scratch})
+            == "pure-python"
+        )
+
+
+def test_backend_name_matches_module_state(monkeypatch):
+    monkeypatch.setattr(backend_module, "compiled", None)
+    assert backend_module.backend_name() == "pure-python"
