@@ -14,11 +14,17 @@ noisier than a 48-request mean).
 
 The report's ``planner`` section carries its own self-relative gate:
 in every bucket, ``auto``'s p95 must stay within the
-``--planner-threshold`` factor (default 1.05) plus an absolute 0.25 ms
+``--planner-threshold`` factor (default 1.05) plus the bench's absolute
 slack of the best *fixed* algorithm measured in the same run — so the
 adaptive planner can never quietly become slower than just picking one
 algorithm.  It compares within the current run (not against the
 baseline) because both sides move together with host speed.
+
+The ``serve`` section is gated self-relatively the same way: the
+daemon hot-swap cycle must complete every scheduled reload with zero
+dropped or failed requests, and the churn-phase p99 must stay within
+``bench_serve.CHURN_P99_FACTOR`` (2.0x) of the same run's steady-state
+p99 plus a small absolute slack.
 
 The baseline is regenerated with::
 
@@ -79,7 +85,7 @@ def main(argv=None):
                              "the frozen open-to-first-answer time")
     parser.add_argument("--planner-threshold", type=float, default=1.05,
                         help="maximum tolerated auto-vs-best-fixed p95 "
-                             "factor per planner bucket (plus 0.25 ms "
+                             "factor per planner bucket (plus the bench's "
                              "absolute slack)")
     args = parser.parse_args(argv)
 
@@ -152,7 +158,8 @@ def main(argv=None):
             "malformed report: missing 'planner' section", file=sys.stderr
         )
         return 2
-    planner_slack_ms = 0.25
+    import bench_hotpath
+    planner_slack_ms = bench_hotpath.PLANNER_P95_SLACK_MS
     for bucket, entry in current["planner"]["buckets"].items():
         if entry["requests"] < 20:
             # p95 over a handful of requests is a max statistic —
@@ -217,6 +224,60 @@ def main(argv=None):
             f"OK: kernel cold p95 {p95:.3f} ms "
             f"(x{speedup:.2f} vs pre-kernel baseline)"
         )
+
+    if "serve" not in current:
+        print(
+            "malformed report: missing 'serve' section", file=sys.stderr
+        )
+        return 2
+    import bench_serve
+
+    serve = current["serve"]
+    failed = serve["failed_requests"]
+    reloads = serve["reloads_completed"]
+    expected_reloads = (
+        serve["config"]["reload_cycles"] * serve["config"]["churn_passes"]
+    )
+    print(
+        f"serving: {failed} failed requests, {reloads} hot swaps "
+        f"({expected_reloads} expected)"
+    )
+    if failed > bench_serve.FAILURE_BUDGET:
+        print(
+            f"FAIL: {failed} serving requests failed across the daemon "
+            f"hot-swap cycle (budget {bench_serve.FAILURE_BUDGET})",
+            file=sys.stderr,
+        )
+        return 1
+    if reloads < expected_reloads:
+        print(
+            f"FAIL: only {reloads} of {expected_reloads} hot swaps "
+            f"completed under load",
+            file=sys.stderr,
+        )
+        return 1
+    # Self-relative like the planner gate: steady and churn are measured
+    # in the same run, so host speed cancels out.
+    limit = (
+        serve["steady"]["p99_ms"] * bench_serve.CHURN_P99_FACTOR
+        + bench_serve.CHURN_P99_SLACK_MS
+    )
+    print(
+        f"serving p99: steady {serve['steady']['p99_ms']:.2f} ms, "
+        f"churn {serve['churn']['p99_ms']:.2f} ms, limit {limit:.2f} ms "
+        f"(x{bench_serve.CHURN_P99_FACTOR:.1f} + "
+        f"{bench_serve.CHURN_P99_SLACK_MS} ms)"
+    )
+    if serve["churn"]["p99_ms"] > limit:
+        print(
+            "FAIL: hot-swap churn p99 breaks the steady-state envelope",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "OK: zero failed requests and the churn p99 holds the "
+        "steady-state envelope across hot swaps"
+    )
     return 0
 
 

@@ -10,6 +10,7 @@ Usage (``python -m repro <command> ...``)::
     repro slca corpus.idx database 2003 --algorithm scan
     repro specialize corpus.idx query -k 3
     repro stats corpus.idx
+    repro serve corpus.frz --port 8391 --parallelism 2
 
 ``search``/``slca``/``specialize``/``stats`` accept a saved index
 directory (from ``repro index``), a frozen snapshot file (from
@@ -27,33 +28,17 @@ from . import __version__
 from .core.engine import ALGORITHMS, SLCA_ALGORITHMS, XRefine
 from .core.specialize import specialize_query
 from .datasets import generate_baseball, generate_dblp
-from .errors import IndexingError, ReproError
+from .errors import ReproError
 from .index.builder import build_document_index
-from .index.frozen import MAGIC as FROZEN_MAGIC
-from .index.frozen import freeze_index, load_frozen_index
-from .index.persist import load_index, save_index
+from .index.frozen import freeze_index
+from .index.persist import open_index_source, save_index
 from .xmltree.parser import parse_file
 from .xmltree.serialize import write_file
 
 
-def _is_frozen_file(path):
-    """True when ``path`` is a frozen snapshot (checked by magic)."""
-    try:
-        with open(path, "rb") as handle:
-            return handle.read(len(FROZEN_MAGIC)) == FROZEN_MAGIC
-    except OSError:
-        return False
-
-
 def _load_document_index(source):
     """Index from a saved dir, a frozen snapshot file, or raw XML."""
-    if os.path.isdir(source):
-        return load_index(source)
-    if not os.path.exists(source):
-        raise IndexingError(f"no such index or document: {source!r}")
-    if _is_frozen_file(source):
-        return load_frozen_index(source)
-    return build_document_index(parse_file(source))
+    return open_index_source(source)
 
 
 def _load_engine(source):
@@ -232,6 +217,37 @@ def _cmd_repl(args, out, lines=None):
     return 0
 
 
+def _cmd_serve(args, out):
+    """Run the always-on serving daemon until SIGTERM/SIGINT."""
+    from .serve.server import run_server
+    from .shard.shm import install_signal_cleanup
+
+    # Belt-and-braces /dev/shm cleanup for any teardown path that
+    # bypasses the daemon's graceful drain (e.g. a signal delivered
+    # before the event loop installs its own handlers).
+    install_signal_cleanup()
+
+    def ready(server):
+        print(
+            f"serving {args.source} on http://{server.host}:{server.port} "
+            f"(pid={os.getpid()}, parallelism={args.parallelism})",
+            file=out,
+            flush=True,
+        )
+
+    run_server(
+        args.source,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        parallelism=args.parallelism,
+        max_inflight=args.max_inflight,
+        ready_callback=ready,
+    )
+    print("daemon stopped", file=out)
+    return 0
+
+
 def _cmd_verify_diff(args, out):
     from .verify.runner import verify_diff
 
@@ -357,6 +373,31 @@ def build_parser():
     stats = commands.add_parser("stats", help="corpus/index statistics")
     stats.add_argument("source")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="always-on serving daemon with zero-downtime snapshot "
+        "hot-swap (POST /reload)",
+    )
+    serve.add_argument("source", help="saved index dir, snapshot, or .xml")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8391,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--parallelism", type=int, default=1, metavar="N",
+        help="shard workers for cache-miss evaluation (1 = serial)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=512,
+        help="query-result LRU capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control cap; excess requests get 429",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     verify = commands.add_parser(
         "verify-diff",

@@ -36,6 +36,7 @@ from ..slca.multiway import multiway_slca
 from ..slca.scan_eager import scan_eager_slca
 from ..slca.stack import stack_slca
 from ..xmltree.parser import parse
+from .common import QueryContext
 from .partition_refine import partition_refine
 from .ranking.model import full_model
 from .result import RefinementResponse
@@ -56,6 +57,50 @@ SLCA_ALGORITHMS = {
     # comparison; see repro.slca.elca.
     "elca": elca,
 }
+
+
+class SwapWarmup:
+    """Pre-built per-generation state from :meth:`XRefine.prepare_swap`.
+
+    Carries everything the first post-flip evaluations would otherwise
+    build cold on the serving thread: the new vocabulary's rule miner
+    with pre-mined rule sets for the hot queries (``miner`` is ``None``
+    for engines with a caller-supplied miner, which is never replaced),
+    and the packed posting-list store with the hot keywords' columns
+    already decoded.  Opaque to callers — build it with
+    :meth:`~XRefine.prepare_swap` against the *same* index that is then
+    passed to :meth:`~XRefine.swap_index`.
+    """
+
+    __slots__ = ("miner", "rules_memo", "packed", "queries", "seen")
+
+    def __init__(self, miner, packed):
+        self.miner = miner
+        self.rules_memo = {}
+        self.packed = packed
+        #: Distinct query signatures successfully warmed.
+        self.queries = 0
+        #: Signatures already processed (dedup across prepare calls).
+        self.seen = set()
+
+    def seed_only(self):
+        """A miner+rules-only copy safe to retain across generations.
+
+        Drops the packed store (and with it any zero-copy views into
+        the generation's snapshot), so a cached seed never pins a
+        swapped-out mmap; :meth:`~XRefine.prepare_swap` reads only the
+        miner and its pre-mined rule sets from a ``seed``.
+        """
+        clone = SwapWarmup(self.miner, None)
+        clone.rules_memo.update(self.rules_memo)
+        return clone
+
+    def __repr__(self):
+        packed = len(self.packed) if self.packed is not None else "no"
+        return (
+            f"SwapWarmup({self.queries} queries, "
+            f"{packed} packed keywords)"
+        )
 
 
 def _validate_parallelism(parallelism):
@@ -250,6 +295,153 @@ class XRefine:
             self._shard_runtime.close()
             self._shard_runtime = None
 
+    # ------------------------------------------------------------------
+    # Snapshot hot-swap (repro.serve)
+    # ------------------------------------------------------------------
+    def prepare_swap(self, new_index, queries=(), warmup=None, seed=None):
+        """Warm a generation about to swap in for a set of hot queries.
+
+        The optional slow companion of :meth:`swap_index`.  The first
+        post-flip occurrence of every query pays the new generation's
+        cold costs on the serving thread — mining its rule set against
+        the fresh vocabulary (tens of milliseconds), decoding and
+        packing its posting lists, and re-inferring the search-for
+        statistics.  Run this on a background thread while the old
+        generation keeps serving — it only reads ``new_index`` (whose
+        memos are not yet shared with the serving path) plus the
+        immutable miner — then hand the result to
+        ``swap_index(new_index, warmup=...)``, which installs the
+        pre-built state atomically with the flip.
+
+        Pass a previous call's ``warmup`` back in to warm more queries
+        incrementally — the daemon mines its hot set in small chunks
+        with pauses between them, so the background mining never
+        monopolizes the interpreter against in-flight evaluations.
+
+        ``seed`` is an optional *earlier* generation's warmup (e.g. the
+        one installed the last time this snapshot was swapped in): when
+        its miner was built over exactly ``new_index``'s vocabulary —
+        mining depends on nothing else — the miner and every rule set
+        it already mined are reused instead of re-mined, so cycling
+        back to a recently served snapshot skips the dominant warmup
+        cost entirely.  A seed whose vocabulary differs is ignored; the
+        per-index state (packed columns, search-for and decode memos)
+        is always rebuilt against ``new_index``.
+        """
+        if warmup is None:
+            miner = None
+            if self._auto_miner:
+                vocabulary = set(new_index.inverted.keywords())
+                if (
+                    seed is not None
+                    and seed.miner is not None
+                    and seed.miner.vocabulary == vocabulary
+                ):
+                    miner = seed.miner
+                else:
+                    miner = RuleMiner(vocabulary)
+            warmup = SwapWarmup(miner=miner, packed=PackedListStore(new_index))
+            if seed is not None and miner is not None and miner is seed.miner:
+                warmup.rules_memo.update(seed.rules_memo)
+        packed = warmup.packed
+        for query in queries:
+            terms = tuple(query_terms(query))
+            if not terms or terms in warmup.seen:
+                continue
+            warmup.seen.add(terms)
+            if warmup.miner is not None:
+                cached = warmup.rules_memo.get(terms)
+                if cached is not None and cached[0] is warmup.miner:
+                    rules = cached[1]
+                else:
+                    rules = warmup.miner.mine(terms)
+                    if len(warmup.rules_memo) < self._RULES_MEMO_LIMIT:
+                        warmup.rules_memo[terms] = (warmup.miner, rules)
+            else:
+                rules = self.miner.mine(terms)
+            try:
+                # Constructing the context decodes the keyword space's
+                # inverted lists (memoized on new_index) and populates
+                # its search-for memo — exactly the per-generation
+                # state the first evaluation would otherwise build.
+                context = QueryContext(new_index, terms, rules)
+            except QueryError:
+                continue
+            for keyword in context.keyword_space:
+                packed.get(keyword).partition_count()
+            warmup.queries += 1
+        return warmup
+
+    def swap_index(self, new_index, warmup=None):
+        """Atomically re-point this engine at a freshly loaded index.
+
+        The zero-downtime reload primitive of the serving daemon
+        (:mod:`repro.serve`): one long-lived engine keeps serving while
+        a newer snapshot is loaded elsewhere, then flips to it here.
+        Returns the previous :class:`~repro.index.builder.DocumentIndex`
+        so the caller can release its resources (mmap, shm) once the
+        last in-flight reader of the old generation has exited.
+
+        What the flip guarantees:
+
+        * ``new_index.version`` is restamped to ``old version + 1``, so
+          version numbers stay unique and monotonic across generations
+          — a freshly loaded snapshot starts at version 0, which would
+          otherwise collide with the first generation's stamp and let
+          version-checked caches serve cross-snapshot answers.
+        * The index reference flip and the result-cache purge happen
+          under the result cache's lock, making them atomic with
+          respect to every concurrent stamp check-and-return.
+        * The planner drops its per-version plan-cache entries and the
+          drift corrections learned on the old corpus
+          (:meth:`~repro.plan.planner.QueryPlanner.on_index_swap`).
+        * The shard runtime is handed the new index and its old
+          executor (workers + shared-memory segment) is closed.
+
+        The caller must ensure no query is *executing* on this engine
+        during the flip (the daemon runs it on its single query thread,
+        serialized behind in-flight requests); concurrent cache *reads*
+        from other threads are safe.
+
+        ``warmup`` is an optional :meth:`prepare_swap` result built
+        against the same ``new_index``: the pre-constructed miner and
+        its pre-mined rule sets are installed with the flip, so hot
+        queries skip the first-mine cost on the new generation.
+        """
+        old_index = self.index
+        if new_index is old_index:
+            return old_index
+        new_index.version = getattr(old_index, "version", 0) + 1
+        new_packed = (
+            warmup.packed
+            if warmup is not None and warmup.packed is not None
+            else PackedListStore(new_index)
+        )
+        with self.result_cache.lock:
+            self.index = new_index
+            self.packed = new_packed
+            self.result_cache.purge_other_versions(new_index.version)
+        # The auto-miner lags one _refresh_miner() call behind by
+        # design; dropping the memo here keeps no rule set mined from
+        # the old vocabulary reachable in the meantime.
+        self._rules_memo.clear()
+        if (
+            warmup is not None
+            and self._auto_miner
+            and warmup.miner is not None
+        ):
+            # A prepare_swap() result for this index: adopt its miner
+            # and pre-mined rule sets so the first post-flip queries
+            # skip the fresh-vocabulary mining cost entirely.
+            self.miner = warmup.miner
+            self._miner_version = new_index.version
+            self._rules_memo.update(warmup.rules_memo)
+        if self._planner is not None:
+            self._planner.on_index_swap(new_index, packed=new_packed)
+        if self._shard_runtime is not None:
+            self._shard_runtime.swap(new_index)
+        return old_index
+
     def __enter__(self):
         return self
 
@@ -358,6 +550,15 @@ class XRefine:
         # but not hashable into a key) and returned as the same object —
         # treat responses as read-only.
         cache_key = None
+        # The version every cache interaction for this request uses is
+        # captured exactly once, atomically with the lookup (under the
+        # cache lock, which swap_index also holds while it flips the
+        # index): a hit can never race a snapshot swap into returning
+        # an old generation's answer, and the eventual put is stamped
+        # with the version the response was *computed against*, so an
+        # evaluation that straddles a swap stores an unreachable entry
+        # instead of poisoning the new generation.
+        version = getattr(self.index, "version", 0)
         if rules is None and self.result_cache.enabled:
             cache_key = (
                 "search",
@@ -367,9 +568,9 @@ class XRefine:
                 bool(rank_results),
                 self._model_key(),
             )
-            cached = self.result_cache.get(
-                cache_key, getattr(self.index, "version", 0)
-            )
+            with self.result_cache.lock:
+                version = getattr(self.index, "version", 0)
+                cached = self.result_cache.get(cache_key, version)
             if cached is not None:
                 return cached
         if rules is None:
@@ -420,9 +621,7 @@ class XRefine:
 
             rank_response_results(self.index, response)
         if cache_key is not None:
-            self.result_cache.put(
-                cache_key, response, getattr(self.index, "version", 0)
-            )
+            self.result_cache.put(cache_key, response, version)
         return response
 
     def _execute_plan(self, plan, terms, rules, k):
@@ -479,7 +678,10 @@ class XRefine:
         and duplicate queries are deduplicated *before dispatch* — each
         distinct normalized query is evaluated exactly once per batch
         even when the LRU result cache is disabled or thrashing.
-        Responses for duplicate queries are the same object.
+        Duplicate queries receive mutation-isolated **copies**
+        (:meth:`RefinementResponse.copy`) of the one evaluated
+        response, so a caller sorting or truncating one answer's lists
+        can never corrupt another position's answer.
         ``k``/``algorithm``/``parallelism`` are validated **once** for
         the whole batch (not per unique query); dispatch goes straight
         to the post-validation path.
@@ -516,7 +718,12 @@ class XRefine:
                     False,
                 )
                 batch[terms] = response
-            responses.append(response)
+                responses.append(response)
+            else:
+                # Dedup-before-dispatch used to hand the *same* object
+                # to every duplicate position; one caller mutating a
+                # result list then corrupted every other's answer.
+                responses.append(response.copy())
         return responses
 
     def slca_search(self, query, algorithm="scan"):
@@ -542,7 +749,11 @@ class XRefine:
         version = getattr(self.index, "version", 0)
         if self.result_cache.enabled:
             cache_key = ("slca", tuple(terms), algorithm)
-            cached = self.result_cache.get(cache_key, version)
+            # Same atomic version-capture-plus-lookup as refinement
+            # search: the stamp check cannot race a snapshot swap.
+            with self.result_cache.lock:
+                version = getattr(self.index, "version", 0)
+                cached = self.result_cache.get(cache_key, version)
             if cached is not None:
                 return list(cached)
         # Packed posting arrays: each keyword's list is decoded and

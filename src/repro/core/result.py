@@ -82,6 +82,21 @@ class RankedRefinement:
     def result_count(self):
         return len(self.slcas)
 
+    def copy(self):
+        """A mutation-isolated duplicate (fresh ``slcas`` list).
+
+        The :class:`~repro.core.common.RefinedQuery` is shared — it is
+        treated as immutable everywhere — but the result-label list is
+        the caller-facing mutable surface and gets its own copy.
+        """
+        return RankedRefinement(
+            self.rq,
+            self.slcas,
+            self.rank_score,
+            self.similarity_score,
+            self.dependence_score,
+        )
+
     def __repr__(self):
         return (
             f"RankedRefinement({{{', '.join(self.rq.keywords)}}}, "
@@ -132,6 +147,35 @@ class RefinementResponse:
         #: ``explain=True``; ``None`` otherwise.  Not part of the
         #: answer fingerprint.
         self.plan = plan
+
+    def copy(self):
+        """A mutation-isolated duplicate of this response.
+
+        Every caller-facing list — ``original_results``,
+        ``refinements`` (and each refinement's ``slcas``),
+        ``candidates``, ``search_for`` — is freshly allocated, so a
+        caller sorting or truncating one returned response can never
+        corrupt another caller's answer.  :class:`RankedRefinement`
+        objects shared between ``refinements`` and ``candidates`` keep
+        that sharing in the copy (they are the same ranked entry, not
+        coincidentally equal ones); immutable leaves (``rq``, Dewey
+        labels) and the ``stats``/``plan`` records are shared.
+        """
+        copies = {id(r): r.copy() for r in self.refinements}
+        for candidate in self.candidates:
+            if id(candidate) not in copies:
+                copies[id(candidate)] = candidate.copy()
+        clone = RefinementResponse(
+            self.query,
+            self.needs_refinement,
+            self.original_results,
+            [copies[id(r)] for r in self.refinements],
+            self.search_for,
+            self.stats,
+            candidates=[copies[id(r)] for r in self.candidates],
+            plan=self.plan,
+        )
+        return clone
 
     def top(self, k=1):
         """The best ``k`` refined queries (best first)."""

@@ -83,6 +83,22 @@ class RefinementError(ReproError):
     """A refinement algorithm was invoked with inconsistent inputs."""
 
 
+class ServeError(ReproError):
+    """Base class for the always-on serving daemon (:mod:`repro.serve`)."""
+
+
+class ServerOverloadedError(ServeError):
+    """Admission control rejected a request: the daemon is at capacity.
+
+    Mapped to HTTP 429 by the serving layer.  Carries ``retry_after``
+    (seconds, advisory) so well-behaved clients can back off.
+    """
+
+    def __init__(self, message, retry_after=0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class DatasetError(ReproError):
     """A synthetic dataset generator was misconfigured."""
 

@@ -123,8 +123,18 @@ def _encode_tree(tree):
     return bytes(out)
 
 
-def _decode_tree(view):
-    """Rebuild the :class:`XMLTree` from a mapped tree section."""
+#: Nodes decoded between ``pause()`` calls in a cooperative tree decode.
+_TREE_DECODE_CHUNK = 512
+
+
+def _decode_tree(view, pause=None):
+    """Rebuild the :class:`XMLTree` from a mapped tree section.
+
+    With ``pause`` set, the decode loop invokes it every
+    ``_TREE_DECODE_CHUNK`` nodes — a cooperative yield point for
+    loaders running next to live request threads (see
+    :func:`load_frozen_index`).
+    """
     tag_count, pos = decode_uvarint(view, 0)
     tags = []
     for _ in range(tag_count):
@@ -146,7 +156,9 @@ def _decode_tree(view):
     tag, ordinal, child_count, text, pos = read_node(pos)
     root = XMLNode(tag, Dewey.from_trusted((ordinal,)), (tag,), text)
     stack = [(root, child_count)]
-    for _ in range(node_count - 1):
+    for decoded in range(node_count - 1):
+        if pause is not None and decoded and decoded % _TREE_DECODE_CHUNK == 0:
+            pause()
         while stack and stack[-1][1] == 0:
             stack.pop()
         if not stack:
@@ -369,11 +381,42 @@ class FrozenSnapshot:
         """Zero-copy memoryview of one section's bytes."""
         return self._sections[index]
 
+    @property
+    def closed(self):
+        return self._mapped is None
+
+    def close(self):
+        """Release the section views and unmap the file (best effort).
+
+        Used by the serving daemon when the last reader of a swapped-
+        out snapshot exits.  Stores layered on the sections may still
+        hold exported sub-views (lazily decoded posting lists keep
+        zero-copy slices of the map); releasing those is their owner's
+        job, so a :class:`BufferError` here simply leaves the final
+        unmap to garbage collection — the close is advisory, never
+        required for correctness.  Idempotent.
+        """
+        if self._mapped is None:
+            return
+        for section in self._sections:
+            try:
+                section.release()
+            except BufferError:
+                pass
+        self._sections = ()
+        try:
+            self._mapped.close()
+        except BufferError:
+            pass
+        self._mapped = None
+
     def __repr__(self):
+        if self._mapped is None:
+            return f"FrozenSnapshot({self.path!r}, closed)"
         return f"FrozenSnapshot({self.path!r}, {len(self._mapped)} bytes)"
 
 
-def load_frozen_index(path):
+def load_frozen_index(path, pause=None):
     """Open a frozen snapshot as a fully functional :class:`DocumentIndex`.
 
     The inverted and frequency stores stay on the mapped bytes behind
@@ -382,6 +425,11 @@ def load_frozen_index(path):
     table materialize eagerly.  The returned index supports the full
     mutation API; updates divert into the overlays and the file on disk
     is untouched.
+
+    ``pause`` (optional zero-argument callable) is invoked
+    periodically during the tree decode — the one CPU-bound stretch of
+    the open — so a loader on a background thread of a live server can
+    yield the interpreter to request threads between chunks.
     """
     snapshot = FrozenSnapshot.open(path)
     try:
@@ -390,7 +438,7 @@ def load_frozen_index(path):
         statistics_block = SortedKVBlock(
             snapshot.section(_SECTION_STATISTICS)
         )
-        tree = _decode_tree(snapshot.section(_SECTION_TREE))
+        tree = _decode_tree(snapshot.section(_SECTION_TREE), pause=pause)
     except IndexingError:
         raise
     except Exception as exc:

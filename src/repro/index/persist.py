@@ -48,6 +48,40 @@ _COOCCUR_FILE = "cooccur.db"
 _STATISTICS_FILE = "statistics.db"
 
 
+def open_index_source(source, pause=None):
+    """A :class:`DocumentIndex` from any on-disk source.
+
+    Dispatches on what ``source`` is: a saved index directory (from
+    :func:`save_index`), a frozen snapshot file (checked by magic), or
+    a raw ``.xml`` document indexed on the fly.  This is the loader
+    behind both the CLI source argument and the serving daemon's
+    startup/hot-reload paths.
+
+    ``pause`` is an optional zero-argument callable invoked
+    periodically during the frozen tree decode (the one CPU-bound
+    stretch of a snapshot open): a loader running on a background
+    thread of a live server passes a short ``time.sleep`` so the
+    decode yields the interpreter to concurrent request threads
+    instead of monopolizing it.  Ignored for the other source kinds,
+    whose loads are not on any serving path.
+    """
+    from .builder import build_document_index
+    from .frozen import MAGIC
+
+    if os.path.isdir(source):
+        return load_index(source)
+    if not os.path.exists(source):
+        raise IndexingError(f"no such index or document: {source!r}")
+    try:
+        with open(source, "rb") as handle:
+            frozen = handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        frozen = False
+    if frozen:
+        return load_frozen_index(source, pause=pause)
+    return build_document_index(parse_file(source))
+
+
 def _copy_store(source, destination):
     # Stores iterate in key order, so the copy can stream through the
     # destination's bottom-up bulk load instead of paying one

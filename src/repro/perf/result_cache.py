@@ -14,10 +14,22 @@ it was computed against, and the index-maintenance entry points
 :func:`repro.index.update.remove_partition`) bump that version.  A hit
 whose recorded version no longer matches is discarded on read, so a
 cached answer can never outlive the index state it was derived from.
+
+Snapshot hot-swaps (:meth:`repro.XRefine.swap_index`) add a second
+hazard that version stamps alone cannot close: a reader that has
+already observed the *old* index version can race the swap and pull an
+old-generation entry whose stamp still matches the version it read.
+Every cache operation therefore runs under :attr:`lock` (an
+:class:`~threading.RLock`), and the swap performs its index flip and
+:meth:`purge_other_versions` **while holding the same lock** — the
+stamp check-and-return is atomic with respect to the flip, so once the
+swap completes no entry from the previous generation is reachable even
+for a caller still holding the pre-swap version number.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 #: Default number of distinct (query, parameters) answers retained.
@@ -34,7 +46,9 @@ class QueryResultCache:
         (every :meth:`get` misses, :meth:`put` is a no-op).
     """
 
-    __slots__ = ("maxsize", "_entries", "hits", "misses", "invalidations")
+    __slots__ = (
+        "maxsize", "_entries", "hits", "misses", "invalidations", "lock",
+    )
 
     def __init__(self, maxsize=DEFAULT_CAPACITY):
         if maxsize < 0:
@@ -44,6 +58,10 @@ class QueryResultCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Guards every operation; reentrant so callers may compose a
+        #: version read + lookup (or an index flip + purge) atomically
+        #: with ``with cache.lock:`` around the individual calls.
+        self.lock = threading.RLock()
 
     @property
     def enabled(self):
@@ -60,46 +78,77 @@ class QueryResultCache:
         """The cached value for ``key`` at ``version``, or ``None``.
 
         An entry computed against a different index version is evicted
-        (it is unreachable for good — versions never repeat).
+        (it is unreachable for good — versions never repeat within one
+        engine, including across snapshot swaps).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        cached_version, value = entry
-        if cached_version != version:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached_version, value = entry
+            if cached_version != version:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value, version):
-        """Store ``value`` for ``key``, evicting the LRU entry if full."""
+        """Store ``value`` for ``key``, evicting the LRU entry if full.
+
+        ``version`` must be the index version the value was *computed
+        against* (captured before evaluation began), not the version at
+        store time — an evaluation that raced a swap then stores a
+        stamp that can never be served, instead of poisoning the new
+        generation with an old-index answer.
+        """
         if not self.maxsize:
             return
-        self._entries[key] = (version, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self.lock:
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def purge_other_versions(self, version):
+        """Drop every entry whose stamp differs from ``version``.
+
+        Called by :meth:`repro.XRefine.swap_index` under :attr:`lock`
+        while it flips the engine's index, so a concurrent reader can
+        never interleave between the flip and the purge.  Returns the
+        number of entries dropped.
+        """
+        with self.lock:
+            stale = [
+                key
+                for key, (cached_version, _) in self._entries.items()
+                if cached_version != version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     def clear(self):
         """Drop every entry (explicit invalidation)."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
+        with self.lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
 
     def stats(self):
         """Counters for monitoring / the benchmark report."""
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-        }
+        with self.lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
 
     def __repr__(self):
         return (

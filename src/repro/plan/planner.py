@@ -213,6 +213,24 @@ class PlanCache:
         """Entry lookup without touching hit/miss/LRU accounting."""
         return self._entries.get(key)
 
+    def purge_stale(self, current_version):
+        """Drop every entry planned against a different index version.
+
+        Plan keys end with the index version, so entries for other
+        versions can never *hit* — but until a snapshot hot-swap
+        started reusing one engine across index generations they also
+        never needed to leave.  Dropping them on the flip keeps the
+        LRU from carrying a full generation of dead routing decisions
+        (and their learned-drift-scored estimates) into the new
+        snapshot's working set.  Returns the number of entries dropped.
+        """
+        stale = [
+            key for key in self._entries if key[-1] != current_version
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     def __len__(self):
         return len(self._entries)
 
@@ -238,6 +256,13 @@ class QueryPlanner:
     #: near-ties go to the algorithm with the bounded tail, which is
     #: what a p95 latency target rewards.
     SPECIALIST_MARGIN = 0.85
+    #: Stack must additionally be predicted this much cheaper than SLE
+    #: to win a direct-hit route.  The stack model has the worst
+    #: observed misestimate tail (~4-5x under actual on mid-sized-list
+    #: direct hits, which saturates the clamped drift correction), so a
+    #: narrow predicted win over SLE is more often model error than a
+    #: real one — and SLE's actuals track its estimate closely.
+    STACK_VS_SLE_MARGIN = 0.7
     #: Learned per-route corrections: the static model's systematic
     #: bias (e.g. SLE's step 2 running ~1.5x its estimate on a given
     #: corpus) shows up as a drift in the actual/estimated ratio, so
@@ -283,6 +308,40 @@ class QueryPlanner:
         self.cost_ratios = []
         #: Per-route actual/raw-estimate ratios feeding _corrected().
         self._route_ratios = {name: [] for name in FIXED_ROUTES}
+
+    # ------------------------------------------------------------------
+    # Snapshot hot-swap
+    # ------------------------------------------------------------------
+    def on_index_swap(self, index, packed=None):
+        """Re-point the planner at a hot-swapped index.
+
+        Everything derived from the *previous* corpus is dropped:
+
+        * per-version plan-cache entries (they could never hit again,
+          but they would otherwise survive the reload and occupy the
+          LRU — the bug this method exists to fix);
+        * the learned per-route drift corrections and ratio samples —
+          they encode the old corpus's systematic cost-model bias, and
+          applying them to the new snapshot mis-routes the first
+          queries until the medians wash out;
+        * the partition-count memo, the DP memos (rule sets are mined
+          from the old vocabulary) and the calibration, which is
+          re-read from the new snapshot (or re-measured) on first use.
+
+        Routing *counters* (``planned``/``routed``/``fallbacks``) are
+        monitoring state for the whole engine lifetime and survive.
+        """
+        self.index = index
+        if packed is not None:
+            self.packed = packed
+        self._calibration = None
+        self.cache.purge_stale(getattr(index, "version", 0))
+        self._partition_counts.clear()
+        self._counts_version = None
+        self._dp_memos.clear()
+        self.cost_ratios.clear()
+        for samples in self._route_ratios.values():
+            samples.clear()
 
     # ------------------------------------------------------------------
     # Inputs
@@ -429,6 +488,13 @@ class QueryPlanner:
             corrected,
             key=lambda name: (corrected[name], _ROUTE_ORDER[name]),
         )
+        if (
+            chosen == "stack"
+            and "sle" in corrected
+            and corrected["stack"]
+            > corrected["sle"] * self.STACK_VS_SLE_MARGIN
+        ):
+            chosen = "sle"
         if (
             chosen != "partition"
             and corrected[chosen]

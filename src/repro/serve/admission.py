@@ -1,0 +1,88 @@
+"""Admission control: bounded in-flight work, typed overload rejection.
+
+The daemon funnels every evaluation through one query thread (the
+engine is not thread-safe), so under overload requests would otherwise
+queue without bound — each admitted request making every later one
+slower, the classic latency death spiral.  The controller instead caps
+concurrently admitted requests and rejects the excess *immediately*
+with :class:`~repro.errors.ServerOverloadedError`, which the HTTP
+layer maps to ``429 Too Many Requests`` plus a ``Retry-After`` hint.
+
+Single-event-loop use only (a plain counter, no lock): admission and
+release both happen on the server's asyncio loop.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import ServerOverloadedError
+
+#: Default cap on concurrently admitted requests.  Generous relative
+#: to the single query thread — the bound exists to keep worst-case
+#: queue latency proportional to ``max_inflight``×(per-query cost),
+#: not to serialize admission.
+DEFAULT_MAX_INFLIGHT = 64
+
+
+class AdmissionController:
+    """Bounded in-flight request budget for one event loop."""
+
+    __slots__ = ("max_inflight", "retry_after", "inflight", "admitted",
+                 "rejected", "peak")
+
+    def __init__(self, max_inflight=DEFAULT_MAX_INFLIGHT,
+                 retry_after=0.05):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        #: Seconds clients are told to back off on rejection.
+        self.retry_after = retry_after
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak = 0
+
+    def acquire(self):
+        """Admit one request or raise ``ServerOverloadedError``."""
+        if self.inflight >= self.max_inflight:
+            self.rejected += 1
+            raise ServerOverloadedError(
+                f"server overloaded: {self.inflight} requests in "
+                f"flight (limit {self.max_inflight})",
+                retry_after=self.retry_after,
+            )
+        self.inflight += 1
+        self.admitted += 1
+        if self.inflight > self.peak:
+            self.peak = self.inflight
+        return self
+
+    def release(self):
+        self.inflight -= 1
+
+    @contextmanager
+    def admit(self):
+        """``with admission.admit():`` — acquire/release around a request."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def stats(self):
+        return {
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "peak": self.peak,
+        }
+
+    def __repr__(self):
+        return (
+            f"AdmissionController({self.inflight}/{self.max_inflight} "
+            f"in flight, rejected={self.rejected})"
+        )

@@ -1,0 +1,126 @@
+"""A small keep-alive JSON client for the refinement daemon.
+
+Built on :mod:`http.client` (stdlib), one persistent connection per
+:class:`ServeClient`.  Non-2xx answers raise :class:`ServeClientError`
+carrying the HTTP status and the server's typed error body — a 429
+rejection, for instance, exposes ``retry_after`` so callers can back
+off exactly as the daemon suggested.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from .server import DEFAULT_PORT
+
+
+class ServeClientError(Exception):
+    """A non-2xx daemon answer, with its typed error body."""
+
+    def __init__(self, status, error, error_type=None, retry_after=None):
+        super().__init__(f"HTTP {status}: {error}")
+        self.status = status
+        self.error = error
+        self.error_type = error_type
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`RefineServer`."""
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method, path, payload=None):
+        body = None
+        headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=body,
+                                     headers=headers)
+            response = self._connection.getresponse()
+        except (http.client.RemoteDisconnected, BrokenPipeError,
+                ConnectionResetError):
+            # The daemon closed the idle keep-alive connection (e.g.
+            # across a shutdown/restart in tests); retry once fresh.
+            self.close()
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection.request(method, path, body=body,
+                                     headers=headers)
+            response = self._connection.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            retry_after = decoded.get("retry_after")
+            header = response.getheader("Retry-After")
+            if retry_after is None and header is not None:
+                retry_after = float(header)
+            raise ServeClientError(
+                response.status,
+                decoded.get("error", "unknown server error"),
+                error_type=decoded.get("error_type"),
+                retry_after=retry_after,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def search(self, query, k=1, algorithm="auto", rank_results=False):
+        return self._request("POST", "/search", {
+            "query": query, "k": k, "algorithm": algorithm,
+            "rank_results": rank_results,
+        })
+
+    def search_many(self, queries, k=1, algorithm="auto",
+                    rank_results=False):
+        return self._request("POST", "/search_many", {
+            "queries": queries, "k": k, "algorithm": algorithm,
+            "rank_results": rank_results,
+        })
+
+    def explain(self, query, k=1, algorithm="auto"):
+        return self._request("POST", "/explain", {
+            "query": query, "k": k, "algorithm": algorithm,
+        })
+
+    def reload(self, snapshot):
+        return self._request("POST", "/reload", {"snapshot": snapshot})
+
+    def stats(self):
+        return self._request("GET", "/stats")
+
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def shutdown(self):
+        return self._request("POST", "/shutdown")
+
+    def close(self):
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return f"ServeClient({self.host}:{self.port})"

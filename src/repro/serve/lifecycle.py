@@ -1,0 +1,218 @@
+"""Refcounted snapshot generations behind one long-lived engine.
+
+The daemon serves every request through the *same* :class:`~repro.XRefine`
+across snapshot reloads; what changes underneath is the
+:class:`~repro.index.builder.DocumentIndex` generation.  This module
+owns that lifetime:
+
+* a :class:`SnapshotHandle` wraps one loaded generation with a
+  reference count — every request acquires the current handle for the
+  duration of its evaluation, and a swapped-out generation's resources
+  (the frozen snapshot's mmap) are released only when the **last**
+  such reader exits, never while a request may still be decoding
+  posting lists out of the mapped file;
+* a :class:`SnapshotManager` owns the engine plus the current handle
+  and implements the two halves of a hot swap — :meth:`~SnapshotManager.load`
+  (slow, runs on a background thread while serving continues) and
+  :meth:`~SnapshotManager.flip` (fast, runs on the query thread so it
+  is serialized behind every in-flight evaluation — the drain — and
+  calls :meth:`repro.XRefine.swap_index` for the atomic pointer flip).
+
+The shard runtime's shared-memory segment is handled inside
+``swap_index`` (the old pool is closed on the flip, after the drain);
+the handle only needs to care about the mmap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.engine import XRefine
+from ..index.persist import open_index_source
+from ..perf.result_cache import DEFAULT_CAPACITY
+
+
+class SnapshotHandle:
+    """One loaded index generation with a reader refcount.
+
+    The manager holds one owning reference (dropped by :meth:`retire`
+    when the generation is swapped out); every request holds one for
+    the duration of its evaluation (:meth:`acquire` / :meth:`release`).
+    When the count reaches zero the generation's frozen mmap is
+    closed.  All transitions are lock-protected and idempotent.
+    """
+
+    __slots__ = ("index", "source", "generation", "_refs", "_lock",
+                 "_disposed")
+
+    def __init__(self, index, source, generation):
+        self.index = index
+        self.source = source
+        self.generation = generation
+        self._refs = 1  # the manager's owning reference
+        self._lock = threading.Lock()
+        self._disposed = False
+
+    @property
+    def refs(self):
+        return self._refs
+
+    @property
+    def disposed(self):
+        return self._disposed
+
+    def acquire(self):
+        """Register a reader; returns ``self`` for chaining."""
+        with self._lock:
+            if self._disposed:
+                raise RuntimeError(
+                    f"snapshot generation {self.generation} is disposed"
+                )
+            self._refs += 1
+        return self
+
+    def release(self):
+        """Drop a reader reference; disposes on the last one."""
+        self._drop()
+
+    def retire(self):
+        """Drop the manager's owning reference (the swap-out)."""
+        self._drop()
+
+    def _drop(self):
+        with self._lock:
+            if self._disposed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._disposed = True
+        snapshot = getattr(self.index, "frozen_snapshot", None)
+        if snapshot is not None:
+            snapshot.close()
+
+    def __repr__(self):
+        state = "disposed" if self._disposed else f"refs={self._refs}"
+        return (
+            f"SnapshotHandle(gen={self.generation}, "
+            f"{self.source!r}, {state})"
+        )
+
+
+class SnapshotManager:
+    """The engine plus its current (and draining) snapshot generations."""
+
+    def __init__(self, source, model=None, cache_size=DEFAULT_CAPACITY,
+                 parallelism=1):
+        index = open_index_source(source)
+        self.engine = XRefine(
+            index, model=model, cache_size=cache_size,
+            parallelism=parallelism,
+        )
+        self._lock = threading.Lock()
+        self._current = SnapshotHandle(index, source, generation=0)
+        #: Completed swaps (monitoring).
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self):
+        return self._current.generation
+
+    @property
+    def current_source(self):
+        return self._current.source
+
+    def current(self):
+        """Acquire the serving generation for one request's lifetime."""
+        with self._lock:
+            return self._current.acquire()
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def load(self, source, pause_seconds=None):
+        """Load a new generation from disk (slow half; any thread).
+
+        Raises :class:`~repro.errors.IndexingError` on a missing or
+        corrupt snapshot — in which case nothing has changed and the
+        old generation keeps serving.
+
+        ``pause_seconds`` makes the load cooperative: the CPU-bound
+        tree decode sleeps that long between chunks, yielding the
+        interpreter to the query thread so a reload on a busy host
+        does not inflate serving tail latency.
+        """
+        pause = None
+        if pause_seconds:
+            pause = lambda: time.sleep(pause_seconds)  # noqa: E731
+        return open_index_source(source, pause=pause)
+
+    def prepare(self, new_index, queries=(), warmup=None, seed=None):
+        """Pre-mine hot rule sets against the pending generation.
+
+        The second slow half of a reload (any thread, like
+        :meth:`load`): the first post-flip evaluation of a query pays
+        the new generation's cold costs — rule mining against the
+        fresh vocabulary, posting-list decode + packing, search-for
+        inference — so the daemon pre-builds that state for its
+        recently served query signatures here, off the serving path,
+        and hands the returned :class:`~repro.core.engine.SwapWarmup`
+        to :meth:`flip`, which installs it atomically.  Chain calls by
+        passing the previous return value as ``warmup`` to warm
+        incrementally; pass an earlier generation's warmup as ``seed``
+        to reuse its mined rule sets when the vocabulary matches
+        (cycling back to a recently served snapshot).
+        """
+        return self.engine.prepare_swap(
+            new_index, queries, warmup=warmup, seed=seed
+        )
+
+    def flip(self, new_index, source, warmup=None):
+        """Swap the engine onto ``new_index`` (fast half; query thread).
+
+        Must run where no evaluation can be concurrently executing —
+        the daemon submits it to its single query executor, which
+        serializes it behind all in-flight evaluations (that *is* the
+        drain).  The old generation is retired; its mmap closes when
+        the last already-admitted reader releases it.
+        """
+        with self._lock:
+            old = self._current
+            self.engine.swap_index(new_index, warmup=warmup)
+            self._current = SnapshotHandle(
+                new_index, source, old.generation + 1
+            )
+            self.swaps += 1
+        old.retire()
+        return {
+            "generation": self._current.generation,
+            "source": source,
+            "index_version": getattr(new_index, "version", 0),
+            "prewarmed": warmup.queries if warmup is not None else 0,
+        }
+
+    def prewarm(self):
+        """Spin up the shard pool ahead of the first parallel query.
+
+        The runtime builds its worker pool (and publishes the shared-
+        memory segment) lazily on first use; forcing it here moves the
+        fork + publish cost to daemon startup instead of the first
+        parallel request's latency.
+        """
+        engine = self.engine
+        if engine.parallelism > 1:
+            engine._shard_runtime_for(engine.parallelism).executor()
+
+    def close(self):
+        """Release the engine's pool and the current generation."""
+        self.engine.close()
+        with self._lock:
+            self._current.retire()
+
+    def __repr__(self):
+        return (
+            f"SnapshotManager(gen={self._current.generation}, "
+            f"{self._current.source!r}, swaps={self.swaps})"
+        )

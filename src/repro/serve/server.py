@@ -1,0 +1,467 @@
+"""The always-on refinement daemon.
+
+:class:`RefineServer` is an asyncio TCP/HTTP server that owns one
+:class:`~repro.XRefine` via a :class:`~repro.serve.lifecycle.SnapshotManager`
+and serves it forever:
+
+====================  ==================================================
+``POST /search``      One refinement search (``query``, ``k``,
+                      ``algorithm``, ``rank_results``).
+``POST /search_many`` A batch (``queries`` plus the same knobs).
+``POST /explain``     ``/search`` with the routing plan attached.
+``POST /reload``      Zero-downtime hot swap onto ``snapshot``.
+``POST /shutdown``    Graceful stop.
+``GET /stats``        Engine + serving counters.
+``GET /healthz``      Liveness (never touches the query thread).
+====================  ==================================================
+
+Concurrency model — the part everything else leans on:
+
+* The **event loop** does protocol work only (framing, JSON, admission,
+  singleflight bookkeeping).
+* All engine calls run on a **single-worker executor** (the engine is
+  not thread-safe); requests queue FIFO behind it, admission caps the
+  queue, singleflight collapses identical entries in it.
+* ``/reload`` does its slow half (loading the new snapshot, then
+  pre-mining recently served queries' rule sets against it) on a
+  separate **reload executor**, so serving continues at full rate, and
+  submits its fast half — :meth:`SnapshotManager.flip` — to the *query*
+  executor.  FIFO ordering of that single thread is the drain: the flip
+  cannot start until every already-admitted evaluation has finished,
+  and nothing evaluates mid-flip.  Requests admitted after the flip see
+  the new generation; the old generation's mmap is released by the
+  refcount when its last reader exits.
+
+Error mapping: validation failures (:class:`~repro.errors.QueryError`)
+are 400s, overload (:class:`~repro.errors.ServerOverloadedError`) is a
+429 with ``Retry-After``, a failed reload
+(:class:`~repro.errors.IndexingError`) is a 500 whose body names the
+type — and leaves the old snapshot serving.  Every error body is
+``{"error": ..., "error_type": ...}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os.path
+import signal
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import (
+    IndexingError,
+    QueryError,
+    ReproError,
+    ServerOverloadedError,
+)
+from ..index.tokenize_text import query_terms
+from ..perf.result_cache import DEFAULT_CAPACITY
+from .admission import DEFAULT_MAX_INFLIGHT, AdmissionController
+from .http import HttpError, read_request, render_response
+from .lifecycle import SnapshotManager
+from .singleflight import SingleFlight
+from .wire import (
+    decode_reload_body,
+    decode_search_body,
+    decode_search_many_body,
+    encode_response,
+)
+
+DEFAULT_PORT = 8391
+
+
+class RefineServer:
+    """One engine, one port, zero-downtime reloads."""
+
+    #: Recently served query signatures kept for reload pre-mining.
+    RECENT_TERMS_LIMIT = 128
+    #: Hot signatures pre-warmed per reload-executor burst, and the
+    #: pause between bursts that hands the interpreter back to the
+    #: query thread (long enough for a few queued evaluations to
+    #: drain at steady-state service times).
+    PREWARM_CHUNK = 1
+    PREWARM_PAUSE_SECONDS = 0.015
+    #: Sleep between tree-decode chunks of the reload's snapshot open,
+    #: so the load yields the interpreter to in-flight evaluations.
+    LOAD_PAUSE_SECONDS = 0.005
+    #: Installed warmups remembered per snapshot path, so cycling back
+    #: to a recently served snapshot reuses its mined rule sets.
+    SWAP_SEED_LIMIT = 8
+
+    def __init__(self, source, host="127.0.0.1", port=0, model=None,
+                 cache_size=DEFAULT_CAPACITY, parallelism=1,
+                 max_inflight=DEFAULT_MAX_INFLIGHT):
+        self.manager = SnapshotManager(
+            source, model=model, cache_size=cache_size,
+            parallelism=parallelism,
+        )
+        self.host = host
+        self.port = port  # rebound to the real port after start()
+        self.admission = AdmissionController(max_inflight)
+        self.singleflight = SingleFlight()
+        self._query_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="xrefine-query"
+        )
+        self._reload_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="xrefine-reload"
+        )
+        self._server = None
+        self.loop = None
+        self._stopping = None
+        self._started = time.monotonic()
+        #: LRU set of recently served term tuples (event-loop only);
+        #: /reload pre-mines these against the incoming snapshot.
+        self._recent_terms = OrderedDict()
+        #: LRU of installed warmups keyed by snapshot path (event-loop
+        #: only).  A reload seeds its pre-warm from the target's last
+        #: warmup; vocabulary equality is checked in `prepare_swap`, so
+        #: a changed file behind the same path is never trusted.
+        self._swap_seeds = OrderedDict()
+        self.requests = 0
+        self.errors = 0
+        self.reloads = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self):
+        """Bind and start accepting (use port 0 for an ephemeral port)."""
+        self.loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self.manager.prewarm()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_stopped(self):
+        """Serve until :meth:`request_shutdown`, then tear down."""
+        async with self._server:
+            await self._stopping.wait()
+        await self._shutdown_resources()
+
+    def request_shutdown(self):
+        """Signal the serve loop to stop (threadsafe via the loop)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def _shutdown_resources(self):
+        # The single-worker pools drain their queues on shutdown, so
+        # in-flight evaluations complete before the engine closes.
+        await self.loop.run_in_executor(None, self._query_pool.shutdown)
+        await self.loop.run_in_executor(None, self._reload_pool.shutdown)
+        self.manager.close()
+
+    @property
+    def uptime_seconds(self):
+        return time.monotonic() - self._started
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = await read_request(reader)
+                except HttpError as err:
+                    writer.write(render_response(
+                        err.status,
+                        {"error": str(err), "error_type": "HttpError"},
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload, extra = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._stopping.is_set()
+                writer.write(render_response(
+                    status, payload, keep_alive=keep_alive,
+                    extra_headers=extra,
+                ))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request):
+        """Route one request; returns (status, payload, extra_headers)."""
+        self.requests += 1
+        route = (request.method, request.path)
+        try:
+            if route == ("POST", "/search"):
+                return 200, await self._search(request.json()), ()
+            if route == ("POST", "/explain"):
+                return 200, await self._search(
+                    request.json(), explain=True
+                ), ()
+            if route == ("POST", "/search_many"):
+                return 200, await self._search_many(request.json()), ()
+            if route == ("POST", "/reload"):
+                return 200, await self._reload(request.json()), ()
+            if route == ("POST", "/shutdown"):
+                self.request_shutdown()
+                return 200, {"ok": True, "stopping": True}, ()
+            if route == ("GET", "/healthz"):
+                return 200, {
+                    "ok": True,
+                    "generation": self.manager.generation,
+                    "uptime_seconds": round(self.uptime_seconds, 3),
+                }, ()
+            if route == ("GET", "/stats"):
+                return 200, await self._stats(), ()
+            if request.path in (
+                "/search", "/search_many", "/explain", "/reload",
+                "/shutdown", "/stats", "/healthz",
+            ):
+                self.errors += 1
+                return 405, {
+                    "error": f"{request.method} not allowed on "
+                             f"{request.path}",
+                    "error_type": "HttpError",
+                }, ()
+            self.errors += 1
+            return 404, {
+                "error": f"no such endpoint: {request.path}",
+                "error_type": "HttpError",
+            }, ()
+        except HttpError as err:
+            self.errors += 1
+            return err.status, {
+                "error": str(err), "error_type": "HttpError",
+            }, ()
+        except ServerOverloadedError as err:
+            self.errors += 1
+            return 429, {
+                "error": str(err),
+                "error_type": "ServerOverloadedError",
+                "retry_after": err.retry_after,
+            }, (("Retry-After", f"{err.retry_after:.3f}"),)
+        except QueryError as err:
+            self.errors += 1
+            return 400, {
+                "error": str(err), "error_type": "QueryError",
+            }, ()
+        except ReproError as err:
+            self.errors += 1
+            return 500, {
+                "error": str(err),
+                "error_type": type(err).__name__,
+            }, ()
+        except Exception as err:  # noqa: BLE001 — the daemon must not die
+            self.errors += 1
+            return 500, {
+                "error": f"internal error: {err!r}",
+                "error_type": "InternalError",
+            }, ()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _note_terms(self, terms):
+        """Record a served query signature for reload pre-mining.
+
+        Event-loop only (like the rest of the singleflight/admission
+        bookkeeping), so no lock is needed.
+        """
+        recent = self._recent_terms
+        recent.pop(terms, None)
+        recent[terms] = None
+        while len(recent) > self.RECENT_TERMS_LIMIT:
+            recent.popitem(last=False)
+
+    async def _search(self, body, explain=False):
+        params = decode_search_body(body)
+        engine = self.manager.engine
+        # Normalization is index-independent, so the singleflight key
+        # can be computed on the event loop; it extends the engine's
+        # result-cache key with the snapshot generation so identical
+        # queries coalesce only within a generation.
+        terms = tuple(query_terms(params["query"]))
+        self._note_terms(terms)
+        key = (
+            "explain" if explain else "search",
+            terms,
+            params["k"],
+            params["algorithm"],
+            params["rank_results"],
+            engine._model_key(),
+            self.manager.generation,
+        )
+        with self.admission.admit():
+            handle = self.manager.current()
+            try:
+                async def evaluate():
+                    def call():
+                        response = engine.search(
+                            params["query"],
+                            k=params["k"],
+                            algorithm=params["algorithm"],
+                            rank_results=params["rank_results"],
+                            explain=explain,
+                        )
+                        payload = encode_response(
+                            response, include_plan=explain
+                        )
+                        if explain and response.plan is not None:
+                            payload["plan_text"] = response.plan.describe()
+                        # Read on the query thread, where a flip cannot
+                        # be concurrent: the label always matches the
+                        # generation the answer was evaluated against,
+                        # even for requests admitted mid-drain (their
+                        # `handle` may pin the previous generation).
+                        payload["generation"] = self.manager.generation
+                        return payload
+
+                    return await self.loop.run_in_executor(
+                        self._query_pool, call
+                    )
+
+                return await self.singleflight.run(key, evaluate)
+            finally:
+                handle.release()
+
+    async def _search_many(self, body):
+        params = decode_search_many_body(body)
+        engine = self.manager.engine
+        for query in params["queries"]:
+            self._note_terms(tuple(query_terms(query)))
+        with self.admission.admit():
+            handle = self.manager.current()
+            try:
+                def call():
+                    responses = engine.search_many(
+                        params["queries"],
+                        k=params["k"],
+                        algorithm=params["algorithm"],
+                        rank_results=params["rank_results"],
+                    )
+                    return {
+                        "responses": [
+                            encode_response(r) for r in responses
+                        ],
+                        # Query-thread read; see _search.
+                        "generation": self.manager.generation,
+                    }
+
+                return await self.loop.run_in_executor(
+                    self._query_pool, call
+                )
+            finally:
+                handle.release()
+
+    async def _reload(self, body):
+        source = decode_reload_body(body)
+        # Slow half off the hot path: serving continues at full rate
+        # while the new snapshot loads.  An IndexingError here (missing
+        # or corrupt snapshot) propagates as a typed 500 and nothing
+        # has changed — the old generation keeps serving.
+        new_index = await self.loop.run_in_executor(
+            self._reload_pool, self.manager.load, source,
+            self.LOAD_PAUSE_SECONDS,
+        )
+        # Still the slow half: pre-warm the recently served query
+        # signatures against the new generation (rule mining, posting
+        # decode + packing, search-for inference), so their first
+        # post-flip occurrence skips the cold costs on the query
+        # thread.  Mined in small chunks with pauses between them —
+        # mining is GIL-heavy, and an unbroken burst on the reload
+        # thread would inflate concurrent requests' tail latency.
+        warmup = None
+        seed_key = os.path.realpath(source)
+        seed = self._swap_seeds.get(seed_key)
+        hot = list(self._recent_terms)
+        for start in range(0, len(hot), self.PREWARM_CHUNK):
+            warmup = await self.loop.run_in_executor(
+                self._reload_pool, self.manager.prepare, new_index,
+                hot[start:start + self.PREWARM_CHUNK], warmup, seed,
+            )
+            await asyncio.sleep(self.PREWARM_PAUSE_SECONDS)
+        # Fast half on the query thread: FIFO behind every in-flight
+        # evaluation (the drain), and nothing evaluates mid-flip.
+        flip = await self.loop.run_in_executor(
+            self._query_pool, self.manager.flip, new_index, source,
+            warmup,
+        )
+        if warmup is not None and warmup.miner is not None:
+            # Retain only miner + rules (never the packed store, which
+            # would pin the swapped-out generation's mmap).
+            self._swap_seeds.pop(seed_key, None)
+            self._swap_seeds[seed_key] = warmup.seed_only()
+            while len(self._swap_seeds) > self.SWAP_SEED_LIMIT:
+                self._swap_seeds.popitem(last=False)
+        self.reloads += 1
+        return {"ok": True, **flip}
+
+    async def _stats(self):
+        manager = self.manager
+        engine_stats = await self.loop.run_in_executor(
+            self._query_pool, manager.engine.cache_stats
+        )
+        return {
+            "generation": manager.generation,
+            "source": str(manager.current_source),
+            "swaps": manager.swaps,
+            "reloads": self.reloads,
+            "engine": engine_stats,
+            "admission": self.admission.stats(),
+            "singleflight": self.singleflight.stats(),
+            "server": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "uptime_seconds": round(self.uptime_seconds, 3),
+                "parallelism": manager.engine.parallelism,
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"RefineServer({self.host}:{self.port}, "
+            f"gen={self.manager.generation})"
+        )
+
+
+async def _amain(server, ready_callback, handle_signals):
+    await server.start()
+    if handle_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                server.loop.add_signal_handler(
+                    signum, server.request_shutdown
+                )
+            except (NotImplementedError, RuntimeError):
+                break
+    if ready_callback is not None:
+        ready_callback(server)
+    await server.serve_until_stopped()
+
+
+def run_server(source, host="127.0.0.1", port=DEFAULT_PORT, *,
+               model=None, cache_size=DEFAULT_CAPACITY, parallelism=1,
+               max_inflight=DEFAULT_MAX_INFLIGHT, ready_callback=None,
+               handle_signals=True):
+    """Build a :class:`RefineServer` and serve until shutdown.
+
+    ``ready_callback(server)`` fires once the socket is bound (the CLI
+    prints the port; the test harness grabs ``server.loop`` to stop it
+    from another thread).  With ``handle_signals`` (the default),
+    SIGTERM/SIGINT trigger the same graceful path as ``/shutdown`` —
+    drain, close the engine's pool, release the snapshot.
+    """
+    server = RefineServer(
+        source, host=host, port=port, model=model,
+        cache_size=cache_size, parallelism=parallelism,
+        max_inflight=max_inflight,
+    )
+    asyncio.run(_amain(server, ready_callback, handle_signals))
+    return server

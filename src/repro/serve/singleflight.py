@@ -1,0 +1,85 @@
+"""Coalescing of identical in-flight queries (singleflight).
+
+A burst of identical queries — the paper's motivating workload is many
+users mistyping the *same* popular query — would each miss the result
+cache until the first evaluation lands, then stampede the single query
+thread with redundant work.  :class:`SingleFlight` collapses the burst:
+the first arrival (the *leader*) evaluates; every identical request
+that arrives while it is still in flight awaits the leader's future
+and shares its wire-level payload.
+
+Keys mirror the engine's result-cache key (normalized terms, ``k``,
+algorithm, ranking flag, model parameters) **plus the snapshot
+generation**, so a request admitted after a hot swap can never be
+coalesced onto an evaluation against the previous generation.
+
+Single-event-loop use only: the map is touched exclusively from the
+server's asyncio loop, so no lock is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class SingleFlight:
+    """Future-per-key coalescing for one event loop."""
+
+    __slots__ = ("_inflight", "leaders", "coalesced")
+
+    def __init__(self):
+        self._inflight = {}
+        #: Evaluations actually started.
+        self.leaders = 0
+        #: Requests served by awaiting another request's evaluation.
+        self.coalesced = 0
+
+    @property
+    def inflight(self):
+        return len(self._inflight)
+
+    async def run(self, key, supplier):
+        """Return ``await supplier()``, shared across identical keys.
+
+        ``supplier`` is an async callable invoked only by the leader.
+        A failing supplier propagates its exception to the leader *and*
+        every coalesced follower, then clears the key so the next
+        arrival retries fresh.  Cancelling a follower does not cancel
+        the leader's evaluation.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+            return await asyncio.wait_for(asyncio.shield(future), None)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                if isinstance(exc, Exception):
+                    future.set_exception(exc)
+                    # Mark retrieved: followers re-raise via their own
+                    # awaits; an unobserved leader error must not warn.
+                    future.exception()
+                else:
+                    future.cancel()
+            raise
+        self._inflight.pop(key, None)
+        future.set_result(result)
+        return result
+
+    def stats(self):
+        return {
+            "leaders": self.leaders,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+        }
+
+    def __repr__(self):
+        return (
+            f"SingleFlight(inflight={len(self._inflight)}, "
+            f"leaders={self.leaders}, coalesced={self.coalesced})"
+        )

@@ -365,6 +365,20 @@ class ShardRuntime:
             self.close()
             return self.executor().run(tasks)
 
+    def swap(self, index):
+        """Hand the runtime over to a hot-swapped index.
+
+        Closes the current executor immediately — stopping the workers
+        and unlinking the old snapshot's shared-memory segment — rather
+        than waiting for the next request's version check to notice the
+        stale stamp.  The caller must have drained in-flight sharded
+        requests first (the serving daemon flips on its query thread,
+        where none can be running); the next request transparently
+        publishes the new index and forks a fresh pool.
+        """
+        self.index = index
+        self.close()
+
     def close(self):
         if self._executor is not None:
             self._executor.close()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import signal as _signal
 import weakref
 from multiprocessing import shared_memory
 
@@ -40,6 +41,11 @@ from ..index.inverted import decode_posting_payload
 
 #: Prefix of every segment this module creates (leak checks key on it).
 SEGMENT_PREFIX = "xrefshard_"
+
+#: Every live publisher-owned blob in this process.  Weak so the set
+#: never extends a blob's lifetime; the signal-cleanup handler walks it
+#: to unlink segments before the process dies.
+_OWNED_BLOBS = weakref.WeakSet()
 
 
 def _fresh_name():
@@ -102,6 +108,8 @@ class SharedPostingBlob:
         self.version = version
         self._lists = {}
         self._finalizer = weakref.finalize(self, _release, segment, owner)
+        if owner:
+            _OWNED_BLOBS.add(self)
 
     # ------------------------------------------------------------------
     # Publish / attach
@@ -214,6 +222,61 @@ class SharedPostingBlob:
             f"SharedPostingBlob({self.name!r}, {len(self.layout)} keywords, "
             f"v{self.version}, {role}, {state})"
         )
+
+
+def unlink_owned_segments():
+    """Close (and unlink) every publisher-owned blob in this process.
+
+    Idempotent and safe to call from a signal handler: closing an
+    already-closed blob is a no-op, and the weak registry only ever
+    holds blobs this process published.
+    """
+    for blob in list(_OWNED_BLOBS):
+        blob.close()
+
+
+#: Signals an install has already chained, mapped to the prior handler.
+_INSTALLED_HANDLERS = {}
+
+
+def install_signal_cleanup(signals=(_signal.SIGTERM, _signal.SIGINT)):
+    """Unlink published segments before dying on SIGTERM/SIGINT.
+
+    Python's default SIGTERM disposition kills the process without
+    running ``weakref`` finalizers or ``atexit`` hooks, so a daemon
+    holding a published posting blob would leave its ``/dev/shm``
+    segment to the ``resource_tracker`` reaper (a delayed, warning-
+    emitting cleanup path — and no cleanup at all if the tracker died
+    with the process group).  This installs handlers that unlink every
+    owned segment first and then defer to the previous disposition:
+    a previously installed Python handler is chained, otherwise the
+    default action is restored and the signal re-raised so the exit
+    status still reports death-by-signal.
+
+    Only callable from the main thread (a :mod:`signal` restriction);
+    installing twice is a no-op per signal.  Long-lived servers that
+    run an asyncio loop typically install their own graceful-shutdown
+    handlers *on top of* (after) this one — this module-level hook is
+    the backstop for the window before the loop exists and for
+    non-async callers such as ``repro search --parallel``.
+    """
+    for signum in signals:
+        if signum in _INSTALLED_HANDLERS:
+            continue
+        previous = _signal.getsignal(signum)
+
+        def _handler(received, frame, _previous=previous):
+            unlink_owned_segments()
+            if callable(_previous):
+                _previous(received, frame)
+                return
+            # SIG_DFL / SIG_IGN / None: restore and re-raise so the
+            # process exits with the conventional 128+signum status.
+            _signal.signal(received, _previous or _signal.SIG_DFL)
+            os.kill(os.getpid(), received)
+
+        _signal.signal(signum, _handler)
+        _INSTALLED_HANDLERS[signum] = previous
 
 
 def live_segments():

@@ -91,11 +91,15 @@ class WorkloadGenerator:
                 f"no entity nodes with tags {entity_tags} in the corpus"
             )
         # Stranger terms for over-constraining: rare corpus keywords.
+        # The sort key must be total — list length alone leaves ties at
+        # the cutoff to set-iteration order, which varies per process
+        # with hash randomization and silently changed the "fully
+        # deterministic" workload between runs.
         lengths = [
             (keyword, index.inverted.list_length(keyword))
             for keyword in self.vocabulary
         ]
-        lengths.sort(key=lambda pair: pair[1])
+        lengths.sort(key=lambda pair: (pair[1], pair[0]))
         self._rare_terms = [keyword for keyword, _ in lengths[:50]]
 
     # ------------------------------------------------------------------

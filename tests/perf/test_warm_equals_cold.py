@@ -112,9 +112,21 @@ class TestBatchAPI:
             fresh = cold_engine.search(query, k=2)
             assert response_fingerprint(response) == response_fingerprint(fresh)
 
-    def test_search_many_shares_duplicates(self, dblp_index, query_mix):
+    def test_search_many_dedups_but_isolates_duplicates(
+        self, dblp_index, query_mix
+    ):
+        """Duplicates are evaluated once but returned as copies.
+
+        Identity sharing (the pre-serve behavior) let one caller's
+        list mutation corrupt every duplicate position's answer; the
+        batch still deduplicates before dispatch, the duplicate
+        positions just get mutation-isolated copies now.
+        """
         engine = XRefine(dblp_index, cache_size=0)  # even with LRU off
         log = [query_mix[0], query_mix[1], query_mix[0]]
         responses = engine.search_many(log)
-        assert responses[0] is responses[2]
+        assert responses[0] is not responses[2]
         assert responses[0] is not responses[1]
+        assert response_fingerprint(responses[0]) == response_fingerprint(
+            responses[2]
+        )

@@ -112,7 +112,12 @@ class TestSearchManyValidationHoist:
             ["databse systems"] * 10_000, k=2, algorithm="auto"
         )
         assert len(responses) == 10_000
-        assert all(r is responses[0] for r in responses)
+        # One evaluation, mutation-isolated copies for the duplicates.
+        assert all(
+            r.refinements[0].keywords == responses[0].refinements[0].keywords
+            and r.stats is responses[0].stats
+            for r in responses
+        )
         assert calls["k"] == 1
 
     def test_batch_rejects_bad_arguments_up_front(self, dblp_index):

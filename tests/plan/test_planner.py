@@ -149,6 +149,36 @@ class TestCostRegimes:
         assert PARALLEL_ROUTE not in estimates
 
 
+class TestStackSleMargin:
+    """Stack must beat SLE by STACK_VS_SLE_MARGIN to win the route.
+
+    The stack model has the worst misestimate tail of the three routes
+    (~4-5x under actual on mid-sized-list direct hits, which saturates
+    the clamped drift correction), so a narrow predicted win over SLE
+    is treated as model error and the route goes to SLE instead.
+    """
+
+    def test_narrow_stack_win_reroutes_to_sle(self, planner):
+        chosen, estimated = planner._choose_serial(
+            {"partition": 1.0, "sle": 0.5, "stack": 0.4}
+        )
+        assert chosen == "sle"
+        assert estimated == 0.5
+
+    def test_decisive_stack_win_keeps_stack(self, planner):
+        chosen, estimated = planner._choose_serial(
+            {"partition": 1.0, "sle": 0.5, "stack": 0.3}
+        )
+        assert chosen == "stack"
+        assert estimated == 0.3
+
+    def test_guard_inert_when_sle_ineligible(self, planner):
+        # Without SLE in the mix only the partition specialist margin
+        # applies: a near-tie stack prediction still goes to partition.
+        chosen, _ = planner._choose_serial({"partition": 1.0, "stack": 0.9})
+        assert chosen == "partition"
+
+
 class TestPlanRouting:
     def test_plan_routes_to_the_cheapest_estimate(self, planner, monkeypatch):
         features = make_features(

@@ -1,0 +1,38 @@
+"""Fixtures for the serving-daemon tests: frozen snapshots + a daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp
+from repro.index.builder import build_document_index
+from repro.index.frozen import freeze_index
+from repro.serve import BackgroundServer
+
+
+@pytest.fixture(scope="session")
+def serve_snapshots(tmp_path_factory):
+    """Two frozen snapshots of *different* corpora (generations A, B)."""
+    root = tmp_path_factory.mktemp("serve_snapshots")
+    paths = []
+    for name, authors, seed in (("gen_a", 40, 7), ("gen_b", 55, 8)):
+        index = build_document_index(
+            generate_dblp(num_authors=authors, seed=seed)
+        )
+        path = str(root / f"{name}.frz")
+        freeze_index(index, path)
+        paths.append(path)
+    return tuple(paths)
+
+
+@pytest.fixture(scope="module")
+def daemon(serve_snapshots):
+    """One shared in-process daemon serving generation A."""
+    with BackgroundServer(serve_snapshots[0]) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(daemon):
+    with daemon.client() as connection:
+        yield connection

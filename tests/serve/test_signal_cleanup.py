@@ -1,0 +1,157 @@
+"""SIGTERM must not leave shared-memory segments in /dev/shm.
+
+The regression: a serving process holding a published posting blob
+(``parallelism>1``) dies on SIGTERM without running finalizers, so its
+``xrefshard_*`` segment survived in ``/dev/shm`` until a reboot.  Two
+layers now prevent that, each tested in a real subprocess:
+
+* the daemon's graceful-shutdown path (asyncio signal handler → drain
+  → engine close) unlinks the segment and exits 0;
+* :func:`repro.shard.shm.install_signal_cleanup` backstops non-async
+  processes — unlink first, then die with the conventional
+  128+signum status.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.shard.shm import live_segments
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the shard pool needs the fork start method",
+)
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+)
+
+
+def subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    return env
+
+
+def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@fork_available
+class TestServingDaemon:
+    def test_sigterm_unlinks_segments_and_exits_cleanly(
+        self, serve_snapshots
+    ):
+        before = set(live_segments())
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                serve_snapshots[0], "--port", "0",
+                "--parallelism", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "serving" in ready and "http://" in ready
+            # The daemon prewarms its shard pool on startup, so the
+            # published segment is already live.
+            assert wait_for(lambda: set(live_segments()) - before), (
+                "daemon never published a shared-memory segment"
+            )
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            stderr = process.stderr.read()
+            process.stdout.close()
+            process.stderr.close()
+        assert process.returncode == 0, stderr
+        leaked = set(live_segments()) - before
+        assert not leaked, f"SIGTERM leaked segments: {leaked}"
+
+
+SIGNAL_BACKSTOP_SCRIPT = """\
+import os, signal, sys
+from repro.datasets import generate_dblp
+from repro.index.builder import build_document_index
+from repro.shard.shm import SharedPostingBlob, install_signal_cleanup
+
+index = build_document_index(generate_dblp(num_authors=10, seed=3))
+blob = SharedPostingBlob.publish(index.inverted, 0)
+install_signal_cleanup()
+print(blob.name, flush=True)
+signal.pause()
+"""
+
+
+class TestSignalBackstop:
+    def test_handler_unlinks_then_dies_by_signal(self):
+        """The non-async backstop: unlink first, then 128+SIGTERM."""
+        process = subprocess.Popen(
+            [sys.executable, "-c", SIGNAL_BACKSTOP_SCRIPT],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            name = process.stdout.readline().strip()
+            assert name, process.stderr.read()
+            assert name in live_segments()
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            process.stdout.close()
+            process.stderr.close()
+        # Cleaned up, yet the exit status still reports the signal.
+        assert name not in live_segments()
+        assert process.returncode == -signal.SIGTERM
+
+    def test_sigint_is_covered_too(self):
+        process = subprocess.Popen(
+            [sys.executable, "-c", SIGNAL_BACKSTOP_SCRIPT],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            name = process.stdout.readline().strip()
+            assert name, process.stderr.read()
+            assert name in live_segments()
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            process.stdout.close()
+            process.stderr.close()
+        assert name not in live_segments()
+        # SIGINT lands on Python's default KeyboardInterrupt handler
+        # (chained by install_signal_cleanup), which exits non-zero.
+        assert process.returncode != 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import XRefine
+from repro.verify.oracle import response_fingerprint
 from repro.workload import WorkloadGenerator
 
 
@@ -50,9 +51,30 @@ class TestSearchManyDedup:
         assert len(responses) == len(log)
         assert len(calls) == len(pool)
         assert len(set(calls)) == len(pool)
-        # Duplicate requests share the very same response object.
-        assert responses[0] is responses[2] is responses[5]
-        assert responses[3] is responses[6] is responses[7]
+        # Duplicate requests get mutation-isolated copies of the one
+        # evaluated response (same answer, distinct objects).
+        fingerprint = response_fingerprint
+        assert responses[0] is not responses[2]
+        assert fingerprint(responses[0]) == fingerprint(responses[2])
+        assert fingerprint(responses[0]) == fingerprint(responses[5])
+        assert fingerprint(responses[3]) == fingerprint(responses[6])
+
+    def test_duplicate_responses_are_mutation_isolated(
+        self, dblp_index, skewed_log
+    ):
+        """Regression: one caller mutating a duplicate's result lists
+        must not corrupt any other position's answer."""
+        _, log = skewed_log
+        engine = XRefine(dblp_index, cache_size=0)
+        responses = engine.search_many(log, k=2)
+        victim, twin = responses[0], responses[2]
+        reference = response_fingerprint(twin)
+        # Trash every caller-facing list on the duplicate position.
+        victim.refinements[0].slcas.append("garbage")
+        victim.refinements.clear()
+        victim.original_results.append("garbage")
+        victim.candidates.clear()
+        assert response_fingerprint(twin) == reference
 
     def test_parallel_executes_once_per_unique_query(
         self, dblp_index, skewed_log, monkeypatch
@@ -86,4 +108,6 @@ class TestSearchManyDedup:
         second = engine.search_many(log, k=2)
         assert len(first) == len(second) == len(log)
         for a, b in zip(first, second):
-            assert a is b  # served from the LRU on the second batch
+            # Served from the LRU on the second batch (same answer);
+            # duplicate positions are per-batch copies of the hit.
+            assert response_fingerprint(a) == response_fingerprint(b)

@@ -1,5 +1,9 @@
 """Tests for the workload pool generator and query log simulator."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.workload import (
@@ -99,3 +103,41 @@ class TestQueryLog:
             dblp_index, sessions=5, rewrite_probability=0.0, seed=3
         )
         assert log.rewrite_pairs() == []
+
+
+_POOL_SCRIPT = """
+from repro.datasets import generate_dblp
+from repro.index.builder import build_document_index
+from repro.workload import WorkloadGenerator
+
+index = build_document_index(generate_dblp(num_authors=20, seed=7))
+generator = WorkloadGenerator(index, seed=23)
+print(generator._rare_terms)
+queries = [generator.refinable_query().query for _ in range(6)]
+queries += [generator.clean_query().query for _ in range(2)]
+print(queries)
+"""
+
+
+class TestDeterminism:
+    def test_pool_is_identical_across_hash_seeds(self):
+        """The generator must not depend on set-iteration order.
+
+        ``_rare_terms`` used to be cut from a length-only sort whose
+        ties fell back to vocabulary-set iteration order — which
+        varies per process under hash randomization, so the "fully
+        deterministic" pool (and every benchmark built on it) silently
+        changed between runs.  Pin it: two interpreters with different
+        hash seeds must produce byte-identical pools.
+        """
+        outputs = []
+        for hash_seed in ("101", "202"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            env["PYTHONPATH"] = os.path.abspath(src)
+            result = subprocess.run(
+                [sys.executable, "-c", _POOL_SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
