@@ -26,6 +26,14 @@ dropped or failed requests, and the churn-phase p99 must stay within
 ``bench_serve.CHURN_P99_FACTOR`` (2.0x) of the same run's steady-state
 p99 plus a small absolute slack.
 
+The ``paging`` section carries both kinds of gate: the RSS-vs-corpus
+sub-linearity verdict is self-relative (both sides of the growth ratio
+come from the current run's sweep), while the largest point's cold p95
+is compared against the baseline's paging section with its own
+``--paging-threshold`` — loose, because a 12-query p95 is a max
+statistic, but enough to catch the lazy block decode quietly turning
+into an eager one.
+
 The baseline is regenerated with::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \
@@ -87,6 +95,9 @@ def main(argv=None):
                         help="maximum tolerated auto-vs-best-fixed p95 "
                              "factor per planner bucket (plus the bench's "
                              "absolute slack)")
+    parser.add_argument("--paging-threshold", type=float, default=1.0,
+                        help="maximum tolerated fractional regression of "
+                             "the paging sweep's largest-point cold p95")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -277,6 +288,53 @@ def main(argv=None):
     print(
         "OK: zero failed requests and the churn p99 holds the "
         "steady-state envelope across hot swaps"
+    )
+
+    if "paging" not in baseline:
+        print(
+            "baseline has no 'paging' section — regenerate it with the "
+            "command in this file's docstring and re-commit",
+            file=sys.stderr,
+        )
+        return 2
+    if "paging" not in current:
+        print(
+            "malformed report: missing 'paging' section", file=sys.stderr
+        )
+        return 2
+    paging = current["paging"]
+    print(
+        f"paging RSS growth: x{paging['rss_growth']:.2f} over a "
+        f"x{paging['corpus_growth']:.2f} corpus spread "
+        f"(limit x{paging['rss_growth_limit']:.2f})"
+    )
+    if not paging["rss_sublinear"]:
+        # Self-relative like the planner gate: both sides of the growth
+        # ratio come from the current run, so host speed cancels out.
+        print(
+            "FAIL: serving RSS grows linearly with corpus size — the "
+            "blocked snapshot is faulting in more than the queries touch",
+            file=sys.stderr,
+        )
+        return 1
+    reference = baseline["paging"]["cold_p95_ms"]
+    measured = paging["cold_p95_ms"]
+    limit = reference * (1.0 + args.paging_threshold)
+    print(
+        f"paging cold p95 (largest point): baseline {reference:.2f} ms, "
+        f"current {measured:.2f} ms, limit {limit:.2f} ms "
+        f"(+{args.paging_threshold:.0%})"
+    )
+    if measured > limit:
+        print(
+            f"FAIL: paging cold p95 regressed "
+            f"{measured / reference - 1.0:+.0%} over the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "OK: paging RSS stays sub-linear and the cold p95 is within "
+        "the regression budget"
     )
     return 0
 

@@ -4,7 +4,8 @@ Usage (``python -m repro <command> ...``)::
 
     repro generate dblp -o corpus.xml --authors 300 --seed 7
     repro index corpus.xml -o corpus.idx
-    repro freeze-index corpus.idx -o corpus.frz
+    repro freeze-index corpus.idx -o corpus.frz --block-size 256
+    repro compact corpus.d2.dlt -o corpus.frz
     repro search corpus.frz online databse -k 3 --explain
     repro search corpus.frz online databse -k 3 --algorithm partition
     repro slca corpus.idx database 2003 --algorithm scan
@@ -76,11 +77,24 @@ def _cmd_index(args, out):
 
 def _cmd_freeze_index(args, out):
     index = _load_document_index(args.source)
-    freeze_index(index, args.output)
+    freeze_index(index, args.output, block_size=args.block_size)
     size = os.path.getsize(args.output)
     print(
         f"froze {args.source}: {len(index.tree)} nodes, "
         f"{index.inverted.vocabulary_size()} keywords -> "
+        f"{args.output} ({size} bytes)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_compact(args, out):
+    from .index.delta import compact
+
+    layers = compact(args.source, args.output, block_size=args.block_size)
+    size = os.path.getsize(args.output)
+    print(
+        f"compacted {args.source}: folded {layers} delta layer(s) -> "
         f"{args.output} ({size} bytes)",
         file=out,
     )
@@ -328,7 +342,28 @@ def build_parser():
     )
     freeze.add_argument("source", help="saved index dir, .xml file, or snapshot")
     freeze.add_argument("-o", "--output", required=True)
+    freeze.add_argument(
+        "--block-size", type=int, default=None, metavar="N",
+        help="postings per lazily-decoded block in the v3 block "
+        "directory (default 256); lists of at most N postings carry "
+        "no directory and decode eagerly",
+    )
     freeze.set_defaults(handler=_cmd_freeze_index)
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold a delta snapshot chain into one monolithic frozen "
+        "snapshot (byte-identical to a fresh refreeze)",
+    )
+    compact.add_argument(
+        "source", help="chain top: a delta file, or a plain snapshot"
+    )
+    compact.add_argument("-o", "--output", required=True)
+    compact.add_argument(
+        "--block-size", type=int, default=None, metavar="N",
+        help="block directory granularity of the compacted snapshot",
+    )
+    compact.set_defaults(handler=_cmd_compact)
 
     search = commands.add_parser(
         "search", help="refinement search (the full XRefine loop)"

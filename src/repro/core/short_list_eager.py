@@ -84,6 +84,15 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     original_results = []
     probe_memo, beam_memo = dp_memos if dp_memos is not None else ({}, {})
     presence_bound = PresenceBoundCache(context.query, rules, lanes)
+    lane_columns = [columns[keyword] for keyword in lanes]
+    query_lane_mask = 0
+    query_covered = bool(query_set)
+    for keyword in query_set:
+        lane = lane_of.get(keyword)
+        if lane is None:
+            query_covered = False
+        else:
+            query_lane_mask |= 1 << lane
 
     def probe_minimum(available):
         """Memoized 1-beam DP: the least dSim achievable in ``available``."""
@@ -128,6 +137,35 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
                 continue
             visited_partitions.add(partition_id)
             stats.partitions_visited += 1
+
+            # Block-max pre-screen: reject the partition from the
+            # block headers alone, before a single posting block is
+            # decoded or probe runs.  ``header_bound`` masks are
+            # supersets of the real presence masks, so the bound can
+            # only be lower than the post-probe one — pruning on it is
+            # answer-identical.  A partition that may still hold every
+            # query keyword is never pre-screened, so original-result
+            # discovery sees exactly the partitions it always did.
+            if sorted_list.is_full or not needs_refine:
+                bound, may_mask = presence_bound.header_bound(
+                    partition_id, lane_columns
+                )
+                query_may = query_covered and (
+                    may_mask & query_lane_mask == query_lane_mask
+                )
+                if not needs_refine:
+                    # Only original results remain; a partition that
+                    # cannot hold all of Q's keywords has nothing left
+                    # to offer.
+                    if not query_may:
+                        stats.partitions_skipped += 1
+                        continue
+                elif (
+                    not query_may
+                    and bound > sorted_list.max_dissimilarity()
+                ):
+                    stats.partitions_skipped += 1
+                    continue
 
             # Random-access probes of every other keyword list: one
             # partition-table lookup each, no posting is touched.

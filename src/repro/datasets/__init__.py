@@ -8,7 +8,15 @@ data-size sweep of Fig. 6.
 
 from .baseball import BaseballConfig, generate_baseball
 from .dblp import DBLPConfig, generate_dblp
-from .scaling import DEFAULT_FRACTIONS, scaled_series, scaled_subtree
+from .scaling import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_NODE_TARGETS,
+    SMOKE_NODE_TARGETS,
+    authors_for_nodes,
+    corpus_for_nodes,
+    scaled_series,
+    scaled_subtree,
+)
 from .vocabulary import AREAS, all_title_terms, area_terms
 
 __all__ = [
@@ -19,6 +27,10 @@ __all__ = [
     "scaled_subtree",
     "scaled_series",
     "DEFAULT_FRACTIONS",
+    "DEFAULT_NODE_TARGETS",
+    "SMOKE_NODE_TARGETS",
+    "authors_for_nodes",
+    "corpus_for_nodes",
     "AREAS",
     "area_terms",
     "all_title_terms",

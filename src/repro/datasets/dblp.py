@@ -59,6 +59,7 @@ class DBLPConfig:
         book_probability=0.08,
         article_probability=0.35,
         cross_area_probability=0.15,
+        rare_token_period=0,
         seed=7,
     ):
         if num_authors < 1:
@@ -76,6 +77,17 @@ class DBLPConfig:
         self.book_probability = book_probability
         self.article_probability = article_probability
         self.cross_area_probability = cross_area_probability
+        #: Every Nth author (0 = off) carries a unique ``<id>`` token
+        #: (``a000016``-style).  Real DBLP's vocabulary is long-tailed
+        #: — author names and rare title words occur a handful of
+        #: times no matter how big the corpus — while the synthetic
+        #: area vocabulary is bounded, so every generated term's list
+        #: grows linearly with the corpus.  The planted tokens restore
+        #: the tail: they are what a selective (point-lookup) query
+        #: workload can target.  Deliberately deterministic and drawn
+        #: outside the rng stream, so enabling them never perturbs the
+        #: rest of a seeded corpus.
+        self.rare_token_period = rare_token_period
         self.seed = seed
 
 
@@ -127,10 +139,18 @@ def _publication(rng, area, config):
     )
 
 
-def _author(rng, config):
+def rare_token(ordinal):
+    """The unique token planted on author ``ordinal`` (when enabled)."""
+    return f"a{ordinal:06d}"
+
+
+def _author(rng, config, ordinal=0):
     name = f"{rng.choice(vocabulary.FIRST_NAMES)} {rng.choice(vocabulary.LAST_NAMES)}"
     area = rng.choice(sorted(vocabulary.AREAS))
     children = [("name", name)]
+    period = config.rare_token_period
+    if period and ordinal % period == 0:
+        children.append(("id", rare_token(ordinal)))
     if rng.random() < config.affiliation_probability:
         children.append(
             (
@@ -161,5 +181,8 @@ def generate_dblp(config=None, **overrides):
     elif overrides:
         raise DatasetError("pass either a config object or overrides")
     rng = random.Random(config.seed)
-    authors = [_author(rng, config) for _ in range(config.num_authors)]
+    authors = [
+        _author(rng, config, ordinal)
+        for ordinal in range(config.num_authors)
+    ]
     return build_tree(("bib", None, authors))

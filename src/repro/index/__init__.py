@@ -8,8 +8,9 @@ embedded store, plus the one-pass builder that fills them.
 from .builder import DocumentIndex, build_document_index
 from .cooccur import CooccurrenceTable
 from .frequency import FrequencyTable
+from .delta import compact, load_index_chain, resolve_chain, save_delta
 from .frozen import FrozenSnapshot, freeze_index, load_frozen_index
-from .persist import load_index, save_index
+from .persist import load_index, open_index_source, save_index
 from .inverted import InvertedIndex, InvertedList, ListCursor, Posting
 from .statistics import StatisticsTable, TypeStatistics
 from .update import append_partition, remove_partition
@@ -21,7 +22,12 @@ __all__ = [
     "load_index",
     "freeze_index",
     "load_frozen_index",
+    "open_index_source",
     "FrozenSnapshot",
+    "save_delta",
+    "load_index_chain",
+    "resolve_chain",
+    "compact",
     "append_partition",
     "remove_partition",
     "build_document_index",

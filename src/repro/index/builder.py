@@ -94,6 +94,9 @@ class DocumentIndex:
     def partitions(self):
         return self.tree.partitions()
 
+    def partition_count(self):
+        return self.tree.partition_count()
+
     def __repr__(self):
         return (
             f"DocumentIndex(nodes={len(self.tree)}, "

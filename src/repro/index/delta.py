@@ -1,0 +1,680 @@
+"""Delta snapshots: persist index mutations as a layer over a base.
+
+A frozen snapshot (:mod:`repro.index.frozen`) is immutable on disk;
+live mutations (``append_partition`` / ``remove_partition``) divert
+into :class:`~repro.storage.CowKVStore` overlays and are lost when the
+process exits — the only durable exit was a full monolithic refreeze,
+whose cost is proportional to the *corpus*, not the change.
+
+:func:`save_delta` instead persists exactly the session's changes as a
+**delta file** stacking on the snapshot the index was loaded from:
+
+* the inverted / frequency overlay puts (each a sorted key-value
+  block — the identical payload encodings a refreeze would produce)
+  and the overlay delete sets;
+* the full (small) statistics table, calibration record included;
+* the tree-operation log — every partition append (with its assigned
+  ordinal and the original build spec) and removal, in order.
+
+Deltas chain: each names its parent file and binds to the parent's
+header bytes by CRC, so a mismatched or regenerated parent fails
+loudly at open time.  :func:`load_index_chain` walks the chain down to
+the base snapshot, stacks the keyword-keyed sections into one
+:class:`~repro.storage.StackedKVBase` (an LSM-style merge-on-demand
+view — no section is rewritten or merged eagerly), replays the tree
+logs **tree-only** (the index-level effects already live in the
+overlay sections), and takes statistics from the top delta.
+
+:func:`compact` folds a chain back into one monolithic frozen snapshot
+— byte-identical to refreezing an equivalently mutated in-memory
+index, which ``verify-diff`` holds it to.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+
+from ..errors import IndexingError
+from ..storage import (
+    CowKVStore,
+    SortedKVBlock,
+    StackedKVBase,
+    decode_key,
+    decode_uvarint,
+    encode_sorted_kv_block,
+    encode_uvarint,
+)
+from ..xmltree.dewey import Dewey
+from .frozen import (
+    _SECTION_FREQUENCY,
+    _SECTION_INVERTED,
+    _SECTION_STATISTICS,
+    CALIBRATION_KEY,
+    FrozenSnapshot,
+    _STATS_VALUE,
+    _calibration_pairs,
+    freeze_index,
+)
+
+#: Delta file magic — distinct from the base-snapshot magic so
+#: ``open_index_source`` can dispatch on the first 8 bytes.
+DELTA_MAGIC = b"XRFZDLT\x01"
+DELTA_VERSION = 1
+
+# magic + version u16 + section_count u16 + body crc32 u32 (same shape
+# as the base snapshot header, so header-CRC parent binding covers
+# both kinds uniformly).
+_HEADER = struct.Struct("<8sHHI")
+_CRC = struct.Struct("<I")
+
+_SECTION_META = 0
+_SECTION_INV_PUTS = 1
+_SECTION_INV_DELETES = 2
+_SECTION_FREQ_PUTS = 3
+_SECTION_FREQ_DELETES = 4
+_SECTION_STATS = 5
+_SECTION_TREE_OPS = 6
+_SECTION_COUNT = 7
+
+#: Hard ceiling on chain length — far above any sane deployment
+#: (compaction is cheap relative to 64 stacked deltas) and a backstop
+#: against parent-pointer cycles from hand-edited files.
+MAX_CHAIN_DEPTH = 64
+
+_OP_APPEND = 0
+_OP_REMOVE = 1
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+def _encode_bytes(out, raw):
+    out += encode_uvarint(len(raw))
+    out += raw
+
+
+def _decode_bytes(view, pos):
+    length, pos = decode_uvarint(view, pos)
+    return bytes(view[pos : pos + length]), pos + length
+
+
+def _encode_spec(out, spec):
+    """Recursive codec for a normalized ``(tag, text, children)`` spec."""
+    tag, text, children = spec
+    _encode_bytes(out, tag.encode("utf-8"))
+    _encode_bytes(out, (text or "").encode("utf-8"))
+    out += encode_uvarint(len(children))
+    for child in children:
+        _encode_spec(out, child)
+
+
+def _decode_spec(view, pos):
+    tag, pos = _decode_bytes(view, pos)
+    text, pos = _decode_bytes(view, pos)
+    count, pos = decode_uvarint(view, pos)
+    children = []
+    for _ in range(count):
+        child, pos = _decode_spec(view, pos)
+        children.append(child)
+    return (tag.decode("utf-8"), text.decode("utf-8"), children), pos
+
+
+def _encode_keys(keys):
+    out = bytearray()
+    out += encode_uvarint(len(keys))
+    for key in keys:
+        _encode_bytes(out, bytes(key))
+    return bytes(out)
+
+
+def _decode_keys(view):
+    count, pos = decode_uvarint(view, 0)
+    keys = []
+    for _ in range(count):
+        key, pos = _decode_bytes(view, pos)
+        keys.append(key)
+    return keys
+
+
+def _encode_tree_ops(ops):
+    out = bytearray()
+    out += encode_uvarint(len(ops))
+    for op in ops:
+        if op[0] == "append":
+            _, ordinal, spec = op
+            out += encode_uvarint(_OP_APPEND)
+            out += encode_uvarint(ordinal)
+            _encode_spec(out, spec)
+        elif op[0] == "remove":
+            _, components = op
+            out += encode_uvarint(_OP_REMOVE)
+            out += encode_uvarint(len(components))
+            for part in components:
+                out += encode_uvarint(part)
+        else:
+            raise IndexingError(f"unknown tree operation {op[0]!r}")
+    return bytes(out)
+
+
+def _decode_tree_ops(view):
+    count, pos = decode_uvarint(view, 0)
+    ops = []
+    for _ in range(count):
+        kind, pos = decode_uvarint(view, pos)
+        if kind == _OP_APPEND:
+            ordinal, pos = decode_uvarint(view, pos)
+            spec, pos = _decode_spec(view, pos)
+            ops.append(("append", ordinal, spec))
+        elif kind == _OP_REMOVE:
+            length, pos = decode_uvarint(view, pos)
+            parts = []
+            for _ in range(length):
+                part, pos = decode_uvarint(view, pos)
+                parts.append(part)
+            ops.append(("remove", tuple(parts)))
+        else:
+            raise IndexingError(
+                f"delta snapshot has an unknown tree operation kind {kind}"
+            )
+    return ops
+
+
+def _header_crc(path):
+    """CRC32 of a snapshot file's header bytes (the parent binding).
+
+    The header embeds the body checksum, so binding to the header
+    transitively binds to the parent's full content.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read(_HEADER.size)
+    except OSError as exc:
+        raise IndexingError(
+            f"cannot read snapshot parent {path!r}: {exc}"
+        ) from exc
+    if len(raw) != _HEADER.size:
+        raise IndexingError(f"snapshot parent {path!r} is truncated")
+    return zlib.crc32(raw)
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+def _statistics_pairs(index):
+    return sorted(
+        [
+            (
+                _stat_key(node_type),
+                _STATS_VALUE.pack(
+                    stats.node_count,
+                    stats.distinct_keywords,
+                    stats.total_terms,
+                ),
+            )
+            for node_type, stats in index.statistics.items()
+        ]
+        + _calibration_pairs(index)
+    )
+
+
+def _stat_key(node_type):
+    from ..storage import encode_key
+
+    return encode_key(node_type)
+
+
+def save_delta(index, path, parent_path, source_depth=None):
+    """Persist ``index``'s in-session mutations as a delta over
+    ``parent_path``.
+
+    ``index`` must have been loaded from ``parent_path`` (a base
+    frozen snapshot or an earlier delta) — its stores must be
+    :class:`~repro.storage.CowKVStore` overlays and its mutation log
+    (``index.delta_log``) must cover every tree operation since the
+    load.  Crash-safe like :func:`~repro.index.frozen.freeze_index`:
+    temp file, fsync, atomic rename.
+    """
+    store = getattr(index.inverted, "_store", None)
+    if not isinstance(store, CowKVStore) or not hasattr(
+        index, "delta_log"
+    ):
+        raise IndexingError(
+            "save_delta needs an index loaded from a frozen snapshot "
+            "or delta chain (overlay stores + mutation log)"
+        )
+    depth = source_depth
+    if depth is None:
+        depth = getattr(index, "delta_depth", 0)
+
+    index.inverted.save_metadata()
+    if index.frequency._pending:
+        index.frequency.finalize()
+
+    meta = bytearray()
+    _encode_bytes(meta, os.path.basename(parent_path).encode("utf-8"))
+    meta += _CRC.pack(_header_crc(parent_path))
+    meta += encode_uvarint(depth + 1)
+
+    inverted_store = index.inverted._store
+    frequency_store = index.frequency._store
+    sections = [
+        bytes(meta),
+        encode_sorted_kv_block(inverted_store.overlay_items()),
+        _encode_keys(inverted_store.overlay_deletes()),
+        encode_sorted_kv_block(frequency_store.overlay_items()),
+        _encode_keys(frequency_store.overlay_deletes()),
+        encode_sorted_kv_block(_statistics_pairs(index)),
+        _encode_tree_ops(index.delta_log),
+    ]
+    body = b"".join(sections)
+    table = bytearray()
+    offset = 0
+    entry = struct.Struct("<QQ")
+    for section in sections:
+        table += entry.pack(offset, len(section))
+        offset += len(section)
+    header = _HEADER.pack(
+        DELTA_MAGIC, DELTA_VERSION, len(sections), zlib.crc32(body)
+    )
+
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(table)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    from .frozen import _fsync_directory
+
+    _fsync_directory(directory)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+class DeltaFile:
+    """A validated, memory-mapped delta file."""
+
+    __slots__ = (
+        "path",
+        "parent_name",
+        "parent_crc",
+        "depth",
+        "_mapped",
+        "_sections",
+    )
+
+    def __init__(self, path, mapped, sections):
+        self.path = path
+        self._mapped = mapped
+        self._sections = sections
+        meta = sections[_SECTION_META]
+        parent_raw, pos = _decode_bytes(meta, 0)
+        (self.parent_crc,) = _CRC.unpack_from(meta, pos)
+        self.depth, _ = decode_uvarint(meta, pos + _CRC.size)
+        self.parent_name = parent_raw.decode("utf-8")
+
+    @classmethod
+    def open(cls, path):
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise IndexingError(
+                f"cannot open delta snapshot {path!r}: {exc}"
+            ) from exc
+        with handle:
+            try:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError) as exc:
+                raise IndexingError(
+                    f"delta snapshot {path!r} is truncated or unmappable"
+                ) from exc
+        view = memoryview(mapped)
+        try:
+            return cls._validate(path, mapped, view)
+        except BaseException:
+            view.release()
+            mapped.close()
+            raise
+
+    @classmethod
+    def _validate(cls, path, mapped, view):
+        if len(view) < _HEADER.size:
+            raise IndexingError(f"delta snapshot {path!r} is truncated")
+        magic, version, section_count, checksum = _HEADER.unpack_from(view, 0)
+        if magic != DELTA_MAGIC:
+            raise IndexingError(
+                f"{path!r} is not a delta snapshot (bad magic)"
+            )
+        if version != DELTA_VERSION:
+            raise IndexingError(
+                f"delta snapshot {path!r} has version {version}; this "
+                f"build reads version {DELTA_VERSION}"
+            )
+        if section_count != _SECTION_COUNT:
+            raise IndexingError(
+                f"delta snapshot {path!r} declares {section_count} "
+                f"sections, expected {_SECTION_COUNT}"
+            )
+        entry = struct.Struct("<QQ")
+        body_start = _HEADER.size + entry.size * section_count
+        if len(view) < body_start:
+            raise IndexingError(
+                f"delta snapshot {path!r} is truncated inside the "
+                "section table"
+            )
+        body = view[body_start:]
+        sections = []
+        try:
+            if zlib.crc32(body) != checksum:
+                raise IndexingError(
+                    f"delta snapshot {path!r} failed its checksum — the "
+                    "file is corrupt"
+                )
+            for i in range(section_count):
+                offset, length = entry.unpack_from(
+                    view, _HEADER.size + entry.size * i
+                )
+                if offset + length > len(body):
+                    raise IndexingError(
+                        f"delta snapshot {path!r} section {i} exceeds "
+                        "the file body (truncated?)"
+                    )
+                sections.append(body[offset : offset + length])
+        except BaseException:
+            for section in sections:
+                section.release()
+            body.release()
+            raise
+        body.release()
+        return cls(path, mapped, sections)
+
+    def section(self, index):
+        return self._sections[index]
+
+    def close(self):
+        if self._mapped is None:
+            return
+        for section in self._sections:
+            try:
+                section.release()
+            except BufferError:
+                pass
+        self._sections = ()
+        try:
+            self._mapped.close()
+        except BufferError:
+            pass
+        self._mapped = None
+
+    def __repr__(self):
+        return f"DeltaFile({self.path!r}, depth={self.depth})"
+
+
+class ChainSnapshot:
+    """The open file set behind a chain-loaded index.
+
+    Quacks like :class:`~repro.index.frozen.FrozenSnapshot` where the
+    serving layer cares (``path``, ``format_version``, ``close()``):
+    closing releases every delta mmap and then the base snapshot.
+    """
+
+    __slots__ = ("path", "base", "deltas", "format_version")
+
+    def __init__(self, path, base, deltas):
+        self.path = path
+        self.base = base
+        self.deltas = deltas
+        self.format_version = base.format_version
+
+    @property
+    def chain_length(self):
+        return len(self.deltas)
+
+    @property
+    def closed(self):
+        return self.base.closed
+
+    def close(self):
+        for delta in self.deltas:
+            delta.close()
+        self.base.close()
+
+    def __repr__(self):
+        return (
+            f"ChainSnapshot({self.path!r}, base={self.base.path!r}, "
+            f"deltas={len(self.deltas)})"
+        )
+
+
+def resolve_chain(path):
+    """``(base_path, [delta paths bottom-up])`` for a chain top.
+
+    Walks parent pointers, verifying each stored parent-header CRC
+    against the actual file, refusing cycles and over-deep chains.
+    """
+    chain = []
+    current = os.path.abspath(path)
+    seen = set()
+    while True:
+        if current in seen:
+            raise IndexingError(
+                f"delta snapshot chain at {path!r} contains a cycle"
+            )
+        seen.add(current)
+        if len(seen) > MAX_CHAIN_DEPTH:
+            raise IndexingError(
+                f"delta snapshot chain at {path!r} exceeds "
+                f"{MAX_CHAIN_DEPTH} layers; compact it"
+            )
+        try:
+            with open(current, "rb") as handle:
+                magic = handle.read(len(DELTA_MAGIC))
+        except OSError as exc:
+            raise IndexingError(
+                f"cannot open snapshot {current!r}: {exc}"
+            ) from exc
+        if magic != DELTA_MAGIC:
+            return current, list(reversed(chain))
+        delta = DeltaFile.open(current)
+        try:
+            parent = os.path.join(
+                os.path.dirname(current), delta.parent_name
+            )
+            expected = delta.parent_crc
+        finally:
+            delta.close()
+        if _header_crc(parent) != expected:
+            raise IndexingError(
+                f"delta snapshot {current!r} binds to a different "
+                f"{parent!r} than the one on disk (regenerated or "
+                "corrupt parent)"
+            )
+        chain.append(current)
+        current = parent
+
+
+def _replay_tree_ops(tree, ops, path):
+    """Apply one delta's tree-operation log, tree-only."""
+    from ..xmltree.build import _attach_children, _normalize_spec
+    from ..xmltree.tree import XMLNode, build_node_type
+
+    for op in ops:
+        if op[0] == "append":
+            _, ordinal, spec = op
+            expected = tree.next_partition_ordinal()
+            if ordinal != expected:
+                raise IndexingError(
+                    f"delta snapshot {path!r} replays partition "
+                    f"{ordinal} but the tree is at {expected} — the "
+                    "chain is out of order"
+                )
+            tag, text, children = _normalize_spec(spec)
+            node = XMLNode(
+                tag,
+                Dewey((0, ordinal)),
+                build_node_type(tree.root.node_type, tag),
+                text or "",
+            )
+            _attach_children(node, children)
+            tree.append_partition(node)
+        else:
+            tree.remove_partition(Dewey(op[1]))
+
+
+def load_index_chain(path, pause=None):
+    """Open a delta chain (or plain frozen snapshot) as a
+    :class:`~repro.index.builder.DocumentIndex`.
+
+    The base's keyword-keyed sections and every delta's overlay
+    sections stack into :class:`~repro.storage.StackedKVBase` reads —
+    nothing is merged eagerly, and base posting payloads untouched by
+    any delta still serve through the lazy block directory.
+    """
+    from .builder import DocumentIndex
+    from .cooccur import CooccurrenceTable
+    from .frequency import FrequencyTable
+    from .frozen import load_frozen_index
+    from .inverted import InvertedIndex
+    from .statistics import StatisticsTable
+
+    base_path, delta_paths = resolve_chain(path)
+    if not delta_paths:
+        return load_frozen_index(base_path, pause=pause)
+
+    base = FrozenSnapshot.open(base_path)
+    deltas = []
+    try:
+        for delta_path in delta_paths:
+            deltas.append(DeltaFile.open(delta_path))
+
+        inverted_layers = []
+        frequency_layers = []
+        for delta in deltas:
+            inverted_layers.append(
+                (
+                    SortedKVBlock(delta.section(_SECTION_INV_PUTS)),
+                    _decode_keys(delta.section(_SECTION_INV_DELETES)),
+                )
+            )
+            frequency_layers.append(
+                (
+                    SortedKVBlock(delta.section(_SECTION_FREQ_PUTS)),
+                    _decode_keys(delta.section(_SECTION_FREQ_DELETES)),
+                )
+            )
+
+        inverted_stack = StackedKVBase(
+            SortedKVBlock(base.section(_SECTION_INVERTED)), inverted_layers
+        )
+        frequency_stack = StackedKVBase(
+            SortedKVBlock(base.section(_SECTION_FREQUENCY)),
+            frequency_layers,
+        )
+
+        directory_table = None
+        tree_directory = None
+        if base.format_version >= 3:
+            from .blocks import BlockDirectoryTable
+            from .frozen import _SECTION_BLOCKS, TREE_PARTITIONS_KEY
+
+            blocks_block = SortedKVBlock(base.section(_SECTION_BLOCKS))
+            directory_table = BlockDirectoryTable(blocks_block)
+            tree_directory = blocks_block.get(TREE_PARTITIONS_KEY)
+        if tree_directory is not None:
+            from .frozen import _SECTION_TREE
+            from .paged_tree import decode_paged_tree
+
+            tree = decode_paged_tree(
+                base.section(_SECTION_TREE),
+                bytes(tree_directory),
+                pause=pause,
+            )
+        else:
+            from .frozen import _SECTION_TREE, _decode_tree
+
+            tree = _decode_tree(base.section(_SECTION_TREE), pause=pause)
+        for delta in deltas:
+            _replay_tree_ops(
+                tree,
+                _decode_tree_ops(delta.section(_SECTION_TREE_OPS)),
+                delta.path,
+            )
+
+        inverted = InvertedIndex(store=CowKVStore(inverted_stack))
+        inverted.load_metadata()
+        inverted._block_directory = directory_table
+        frequency = FrequencyTable(
+            type_ids=inverted._type_ids,
+            type_table=inverted._type_table,
+            store=CowKVStore(frequency_stack),
+        )
+
+        statistics = StatisticsTable()
+        calibration = None
+        top_stats = SortedKVBlock(deltas[-1].section(_SECTION_STATS))
+        for key, value in top_stats.items():
+            if bytes(key) == CALIBRATION_KEY:
+                from ..plan.cost_model import decode_calibration
+
+                calibration = decode_calibration(bytes(value))
+                continue
+            node_type = decode_key(key)
+            node_count, distinct, total_terms = _STATS_VALUE.unpack(value)
+            entry = statistics._entry(node_type)
+            entry.node_count = node_count
+            entry.distinct_keywords = distinct
+            entry.total_terms = total_terms
+        cooccurrence = CooccurrenceTable(inverted)
+    except BaseException:
+        for delta in deltas:
+            delta.close()
+        base.close()
+        raise
+
+    index = DocumentIndex(
+        tree, inverted, frequency, statistics, cooccurrence
+    )
+    index.frozen_snapshot = ChainSnapshot(
+        os.path.abspath(path), base, deltas
+    )
+    index.calibration = calibration
+    index.delta_log = []
+    index.delta_depth = deltas[-1].depth
+    return index
+
+
+def compact(source, destination, block_size=None):
+    """Fold a delta chain into one monolithic frozen snapshot.
+
+    Loads the chain (merge-on-demand) and refreezes — byte-identical
+    to freezing an equivalently mutated in-memory index, because the
+    merged store iteration passes every posting payload through
+    untouched.  Returns the number of chain layers folded.
+    """
+    index = load_index_chain(source)
+    try:
+        layers = getattr(index.frozen_snapshot, "chain_length", 0)
+        freeze_index(index, destination, block_size=block_size)
+    finally:
+        index.frozen_snapshot.close()
+    return layers

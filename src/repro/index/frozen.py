@@ -18,6 +18,12 @@ memory and serves **without an upfront decode**:
   (interned tag table; per node: tag id, Dewey ordinal, child count,
   text).  Ordinals are stored explicitly because partition removal
   leaves sibling ordinals non-dense.
+* Section 4 (format v3) — the block directory: per-keyword posting
+  block headers (byte extents, CRC32, first/max Dewey per fixed-size
+  block; see :mod:`repro.index.blocks`) plus the tree partition
+  directory consumed by :mod:`repro.index.paged_tree`.  Directories
+  describe the unchanged section-0/-3 bytes, so v3 adds laziness
+  without touching any earlier section's encoding.
 
 Opening a snapshot is O(header + tree): the header and section table
 are validated (magic, format version, section bounds, CRC-32 over the
@@ -62,16 +68,24 @@ MAGIC = b"XRFZIDX\x01"
 #: Version 2 added the planner-calibration record to the statistics
 #: section (an additive change: version-1 files stay readable, they
 #: just carry no calibration and the planner falls back to its
-#: uncalibrated defaults).
-FORMAT_VERSION = 2
+#: uncalibrated defaults).  Version 3 added the block-directory
+#: section (posting-block headers + tree partition directory); the
+#: first four sections are encoded exactly as in version 2, so older
+#: sections decode unchanged and v1/v2 files simply load without
+#: lazy paging.
+FORMAT_VERSION = 3
 #: Versions this build can read.
-_COMPAT_VERSIONS = (1, 2)
+_COMPAT_VERSIONS = (1, 2, 3)
 
 _SECTION_INVERTED = 0
 _SECTION_FREQUENCY = 1
 _SECTION_STATISTICS = 2
 _SECTION_TREE = 3
-_SECTION_COUNT = 4
+#: Version-3 only: block directories for long posting lists plus the
+#: tree partition directory, as one sorted key-value block.
+_SECTION_BLOCKS = 4
+_SECTION_COUNT_V2 = 4
+_SECTION_COUNT = 5
 
 # magic + format_version u16 + section_count u16 + body crc32 u32
 _HEADER = struct.Struct("<8sHHI")
@@ -85,32 +99,65 @@ _STATS_VALUE = struct.Struct(">III")  # node_count, distinct, total_terms
 #: non-empty XML names) and sorts before every real key.
 CALIBRATION_KEY = encode_key(("\x00calibration",))
 
+#: Reserved block-section key holding the tree partition directory
+#: (same NUL-prefix reservation trick as the calibration record).
+TREE_PARTITIONS_KEY = encode_key(("\x00tree-partitions",))
+
 
 # ----------------------------------------------------------------------
 # Tree section codec
 # ----------------------------------------------------------------------
 def _encode_tree(tree):
-    """Serialize an :class:`XMLTree` into the preorder binary form."""
+    """Serialize an :class:`XMLTree` into the preorder binary form.
+
+    Returns ``(section_bytes, partition_directory)``.  The section
+    bytes are the exact preorder layout of format v1/v2 (root record
+    followed by each partition's subtree records); the directory maps
+    every partition ordinal to its byte offset within the node blob
+    and its subtree node count, so a v3 reader can decode partitions
+    independently (:mod:`repro.index.paged_tree`).
+    """
     tag_ids = {}
     tag_table = []
     nodes = bytearray()
-    count = 0
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        count += 1
+    total = 0
+
+    def encode_record(node):
+        nonlocal total
+        total += 1
         tag_id = tag_ids.get(node.tag)
         if tag_id is None:
             tag_id = len(tag_table)
             tag_ids[node.tag] = tag_id
             tag_table.append(node.tag)
         text = node.text.encode("utf-8")
-        nodes += encode_uvarint(tag_id)
-        nodes += encode_uvarint(node.dewey.components[-1])
-        nodes += encode_uvarint(len(node.children))
-        nodes += encode_uvarint(len(text))
-        nodes += text
-        stack.extend(reversed(node.children))
+        nodes.extend(encode_uvarint(tag_id))
+        nodes.extend(encode_uvarint(node.dewey.components[-1]))
+        nodes.extend(encode_uvarint(len(node.children)))
+        nodes.extend(encode_uvarint(len(text)))
+        nodes.extend(text)
+
+    root = tree.root
+    encode_record(root)
+    partitions = []
+    for child in root.children:
+        offset = len(nodes)
+        before = total
+        stack = [child]
+        while stack:
+            node = stack.pop()
+            encode_record(node)
+            stack.extend(reversed(node.children))
+        partitions.append((child.dewey.components[-1], offset, total - before))
+
+    directory = bytearray()
+    directory.extend(encode_uvarint(len(partitions)))
+    previous_offset = 0
+    for ordinal, offset, node_count in partitions:
+        directory.extend(encode_uvarint(ordinal))
+        directory.extend(encode_uvarint(offset - previous_offset))
+        directory.extend(encode_uvarint(node_count))
+        previous_offset = offset
 
     out = bytearray()
     out += encode_uvarint(len(tag_table))
@@ -118,9 +165,9 @@ def _encode_tree(tree):
         raw = tag.encode("utf-8")
         out += encode_uvarint(len(raw))
         out += raw
-    out += encode_uvarint(count)
+    out += encode_uvarint(total)
     out += nodes
-    return bytes(out)
+    return bytes(out), bytes(directory)
 
 
 #: Nodes decoded between ``pause()`` calls in a cooperative tree decode.
@@ -199,13 +246,29 @@ def _calibration_pairs(index):
     return [(CALIBRATION_KEY, encode_calibration(calibration))]
 
 
-def freeze_index(index, path):
+def freeze_index(index, path, block_size=None):
     """Write ``index`` as a frozen snapshot file at ``path``.
 
     The write is crash-safe: bytes land in a temporary sibling file
     which is fsynced and atomically renamed over ``path``, so readers
     only ever observe a complete snapshot.
+
+    ``block_size`` (postings per block, default
+    :data:`repro.index.blocks.DEFAULT_BLOCK_SIZE`) controls the paging
+    granularity of the v3 block directory; lists no longer than one
+    block carry no directory and decode eagerly.
     """
+    from .blocks import DEFAULT_BLOCK_SIZE, build_block_directory_payload
+
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    if not isinstance(block_size, int) or isinstance(block_size, bool):
+        raise IndexingError(
+            f"block size must be an integer, got {block_size!r}"
+        )
+    if block_size < 1:
+        raise IndexingError(f"block size must be >= 1, got {block_size}")
+
     index.inverted.save_metadata()
     if index.frequency._pending:
         index.frequency.finalize()
@@ -224,12 +287,25 @@ def freeze_index(index, path):
         ]
         + _calibration_pairs(index)
     )
+    inverted_items = list(_owned_items(index.inverted._store))
+    tree_section, tree_directory = _encode_tree(index.tree)
     sections = [
-        encode_sorted_kv_block(_owned_items(index.inverted._store)),
+        encode_sorted_kv_block(inverted_items),
         encode_sorted_kv_block(_owned_items(index.frequency._store)),
         encode_sorted_kv_block(statistics_pairs),
-        _encode_tree(index.tree),
+        tree_section,
     ]
+    if FORMAT_VERSION >= 3:
+        types_key = encode_key((InvertedIndex._TYPES_KEY,))
+        block_pairs = [(TREE_PARTITIONS_KEY, tree_directory)]
+        for key, payload in inverted_items:
+            if key == types_key:
+                continue
+            directory = build_block_directory_payload(payload, block_size)
+            if directory is not None:
+                block_pairs.append((key, directory))
+        block_pairs.sort()
+        sections.append(encode_sorted_kv_block(block_pairs))
     body = b"".join(sections)
     table = bytearray()
     offset = 0
@@ -279,6 +355,50 @@ def _fsync_directory(directory):
 # ----------------------------------------------------------------------
 # Snapshot reader
 # ----------------------------------------------------------------------
+#: Chunk size for the open-time body checksum.  Bounds how many mapped
+#: pages the validation sweep holds resident at once.
+_CRC_CHUNK = 4 << 20
+
+
+def _paging_checksum(mapped, body, body_start):
+    """CRC-32 of ``body`` without faulting the whole file resident.
+
+    A straight ``zlib.crc32(body)`` touches every mapped page and — on
+    a host with free memory — leaves the entire snapshot resident, so
+    opening a beyond-RAM corpus would cost RSS proportional to the
+    *file*, defeating the paged layout before the first query.  Feed
+    the CRC in chunks instead and ``madvise(MADV_DONTNEED)`` each
+    validated stretch of pages, so peak residency during validation is
+    one chunk; the pages re-fault on demand (from the page cache,
+    typically) when a query actually needs them.  The checksum value
+    is identical to the one-shot computation.
+    """
+    advise = getattr(mapped, "madvise", None)
+    dontneed = getattr(mmap, "MADV_DONTNEED", None)
+    if advise is None or dontneed is None or len(body) <= _CRC_CHUNK:
+        return zlib.crc32(body)
+    page = mmap.PAGESIZE
+    checksum = 0
+    advised = 0
+    for start in range(0, len(body), _CRC_CHUNK):
+        chunk = body[start : start + _CRC_CHUNK]
+        checksum = zlib.crc32(chunk, checksum)
+        chunk.release()
+        boundary = (body_start + start + _CRC_CHUNK) // page * page
+        if boundary > advised:
+            try:
+                advise(dontneed, advised, boundary - advised)
+            except (ValueError, OSError):
+                # madvise stopped cooperating (odd platform/mapping);
+                # finish eagerly — correctness over residency.
+                tail = body[start + _CRC_CHUNK :]
+                checksum = zlib.crc32(tail, checksum)
+                tail.release()
+                return checksum
+            advised = boundary
+    return checksum
+
+
 class FrozenSnapshot:
     """A validated, memory-mapped frozen snapshot file.
 
@@ -291,8 +411,9 @@ class FrozenSnapshot:
         self.path = path
         self._mapped = mapped
         self._sections = sections
-        #: The version the file on disk declares (1 or 2); version-1
-        #: snapshots carry no calibration record.
+        #: The version the file on disk declares (1, 2 or 3);
+        #: version-1 snapshots carry no calibration record, and only
+        #: version-3 snapshots carry the block-directory section.
         self.format_version = format_version
 
     @classmethod
@@ -337,10 +458,13 @@ class FrozenSnapshot:
                 f"frozen snapshot {path!r} has format version {version}; "
                 f"this build reads versions {_COMPAT_VERSIONS}"
             )
-        if section_count != _SECTION_COUNT:
+        expected_sections = (
+            _SECTION_COUNT if version >= 3 else _SECTION_COUNT_V2
+        )
+        if section_count != expected_sections:
             raise IndexingError(
                 f"frozen snapshot {path!r} declares {section_count} "
-                f"sections, expected {_SECTION_COUNT}"
+                f"sections, expected {expected_sections}"
             )
         body_start = _HEADER.size + _SECTION_ENTRY.size * section_count
         if len(view) < body_start:
@@ -351,7 +475,7 @@ class FrozenSnapshot:
         body = view[body_start:]
         sections = []
         try:
-            if zlib.crc32(body) != checksum:
+            if _paging_checksum(mapped, body, body_start) != checksum:
                 raise IndexingError(
                     f"frozen snapshot {path!r} failed its checksum — the "
                     "file is corrupt"
@@ -438,7 +562,24 @@ def load_frozen_index(path, pause=None):
         statistics_block = SortedKVBlock(
             snapshot.section(_SECTION_STATISTICS)
         )
-        tree = _decode_tree(snapshot.section(_SECTION_TREE), pause=pause)
+        directory_table = None
+        tree_directory = None
+        if snapshot.format_version >= 3:
+            from .blocks import BlockDirectoryTable
+
+            blocks_block = SortedKVBlock(snapshot.section(_SECTION_BLOCKS))
+            directory_table = BlockDirectoryTable(blocks_block)
+            tree_directory = blocks_block.get(TREE_PARTITIONS_KEY)
+        if tree_directory is not None:
+            from .paged_tree import decode_paged_tree
+
+            tree = decode_paged_tree(
+                snapshot.section(_SECTION_TREE),
+                bytes(tree_directory),
+                pause=pause,
+            )
+        else:
+            tree = _decode_tree(snapshot.section(_SECTION_TREE), pause=pause)
     except IndexingError:
         raise
     except Exception as exc:
@@ -448,6 +589,7 @@ def load_frozen_index(path, pause=None):
 
     inverted = InvertedIndex(store=CowKVStore(inverted_block))
     inverted.load_metadata()
+    inverted._block_directory = directory_table
     frequency = FrequencyTable(
         type_ids=inverted._type_ids,
         type_table=inverted._type_table,
@@ -476,4 +618,8 @@ def load_frozen_index(path, pause=None):
     index = DocumentIndex(tree, inverted, frequency, statistics, cooccurrence)
     index.frozen_snapshot = snapshot
     index.calibration = calibration
+    # Mutations are logged so save_delta() can replay tree operations
+    # on top of this snapshot (see repro.index.delta).
+    index.delta_log = []
+    index.delta_depth = 0
     return index

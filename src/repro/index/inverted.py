@@ -185,7 +185,14 @@ class ListCursor:
         """
         target = dewey.components
         keys = self.source._dewey_keys
-        new_pos = bisect.bisect_left(keys, target, lo=self.position)
+        search = getattr(keys, "bisect_left", None)
+        if search is not None:
+            # Blocked lists search their block headers first, so the
+            # skip decodes at most one block instead of O(log n)
+            # random positions.
+            new_pos = search(target, self.position)
+        else:
+            new_pos = bisect.bisect_left(keys, target, lo=self.position)
         if new_pos < self.position:
             raise IndexingError("cursor cannot move backwards")
         self.scanned += new_pos - self.position
@@ -253,6 +260,11 @@ class InvertedIndex:
         self._cache = {}
         self._type_table = []
         self._type_ids = {}
+        #: Optional :class:`repro.index.blocks.BlockDirectoryTable`
+        #: attached by the v3 frozen loader; when set, long lists whose
+        #: payload is still the pristine frozen bytes decode block-by-
+        #: block instead of all at once.
+        self._block_directory = None
 
     # ------------------------------------------------------------------
     # Node-type interning
@@ -337,11 +349,26 @@ class InvertedIndex:
         cached = self._cache.get(keyword)
         if cached is not None:
             return cached
-        raw = self._store.get(encode_key((keyword,)))
-        if raw is None:
-            decoded = InvertedList(keyword, [])
-        else:
-            decoded = self._decode(keyword, raw)
+        key = encode_key((keyword,))
+        decoded = None
+        if self._block_directory is not None:
+            # The directory describes the *frozen* payload bytes, so it
+            # only applies while the store still serves the pristine
+            # base value — an overlay write invalidates it (base_view
+            # returns None) and the keyword falls back to eager decode.
+            base_view = getattr(self._store, "base_view", None)
+            if base_view is not None:
+                payload = base_view(key)
+                if payload is not None:
+                    decoded = self._block_directory.open_list(
+                        keyword, payload, self._type_table
+                    )
+        if decoded is None:
+            raw = self._store.get(key)
+            if raw is None:
+                decoded = InvertedList(keyword, [])
+            else:
+                decoded = self._decode(keyword, raw)
         self._cache[keyword] = decoded
         return decoded
 

@@ -66,6 +66,7 @@ def open_index_source(source, pause=None):
     whose loads are not on any serving path.
     """
     from .builder import build_document_index
+    from .delta import DELTA_MAGIC
     from .frozen import MAGIC
 
     if os.path.isdir(source):
@@ -74,11 +75,15 @@ def open_index_source(source, pause=None):
         raise IndexingError(f"no such index or document: {source!r}")
     try:
         with open(source, "rb") as handle:
-            frozen = handle.read(len(MAGIC)) == MAGIC
+            magic = handle.read(len(MAGIC))
     except OSError:
-        frozen = False
-    if frozen:
+        magic = b""
+    if magic == MAGIC:
         return load_frozen_index(source, pause=pause)
+    if magic == DELTA_MAGIC:
+        from .delta import load_index_chain
+
+        return load_index_chain(source, pause=pause)
     return build_document_index(parse_file(source))
 
 

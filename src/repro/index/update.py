@@ -72,6 +72,25 @@ def _subtree_contribution(nodes):
     return df, tf, postings, type_counts
 
 
+def _subtree_spec(node):
+    """A built subtree as a fully normalized ``(tag, text, children)``
+    spec — the replayable form :mod:`repro.index.delta` persists.
+
+    Derived from the constructed nodes rather than the caller's input
+    spec, so short forms (omitted text/children) come out canonical
+    and replay rebuilds byte-identical Dewey assignments.
+    """
+    spec = (node.tag, node.text, [])
+    stack = [(node, spec[2])]
+    while stack:
+        current, children_out = stack.pop()
+        for child in current.children:
+            child_spec = (child.tag, child.text, [])
+            children_out.append(child_spec)
+            stack.append((child, child_spec[2]))
+    return spec
+
+
 def _apply_deltas(index, df, tf, type_counts, sign):
     """Apply signed df/tf/N_T/G_T deltas; fixes up root-level DF."""
     root_type = index.tree.root.node_type
@@ -134,6 +153,11 @@ def append_partition(index, spec):
     for keyword, new_postings in postings.items():
         index.inverted.append_postings(keyword, new_postings)
     _apply_deltas(index, df, tf, type_counts, sign=+1)
+    # Snapshot-backed indexes log the operation so save_delta() can
+    # replay it over the base at chain-load time (repro.index.delta).
+    log = getattr(index, "delta_log", None)
+    if log is not None:
+        log.append(("append", dewey.components[1], _subtree_spec(node)))
     # Bumps the index version: every query-result / statistics cache
     # keyed on the old state self-invalidates (includes co-occurrence).
     index.invalidate_caches()
@@ -151,5 +175,8 @@ def remove_partition(index, dewey):
     for keyword in postings:
         index.inverted.remove_postings_under(keyword, dewey)
     _apply_deltas(index, df, tf, type_counts, sign=-1)
+    log = getattr(index, "delta_log", None)
+    if log is not None:
+        log.append(("remove", dewey.components))
     index.invalidate_caches()
     return node

@@ -23,6 +23,7 @@ Every kernel is byte-identical to the loop it replaced; the
 from .backend import backend_name, compiled  # noqa: F401
 from .bounds import PresenceBoundCache  # noqa: F401
 from .columns import (  # noqa: F401
+    BlockedListColumns,
     ListColumns,
     columns_for,
     columns_of_labels,
@@ -32,6 +33,7 @@ from .lcp import merged_lcp  # noqa: F401
 from .slca import slca_columns, slca_ranges  # noqa: F401
 
 __all__ = [
+    "BlockedListColumns",
     "ListColumns",
     "PresenceBoundCache",
     "backend_name",

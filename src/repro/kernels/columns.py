@@ -94,6 +94,10 @@ class ListColumns:
             self._offs = offs
         return flat, self._offs
 
+    def may_contain(self, pid):
+        """Exact membership — the eager table *is* the ground truth."""
+        return pid in self.pid_range
+
     def __len__(self):
         return self.size
 
@@ -101,11 +105,170 @@ class ListColumns:
         return f"ListColumns(n={self.size}, partitions={len(self.pids)})"
 
 
+class _LazyPidRanges:
+    """``pid -> (lo, hi)`` probes that decode at most two blocks.
+
+    The blocked twin of ``ListColumns.pid_range``: a probe first asks
+    the block headers whether the partition's key interval intersects
+    any block at all (:meth:`BlockedListColumns.may_contain` — zero
+    decodes); only a may-hit falls through to the two header-guided
+    binary searches that pin the exact range.  Results (including
+    definite misses) are memoized, so SLE's repeated probes of the
+    same partition stay dict hits.
+    """
+
+    __slots__ = ("_columns", "_memo")
+
+    def __init__(self, columns):
+        self._columns = columns
+        self._memo = {}
+
+    def get(self, pid, default=None):
+        memo = self._memo
+        if pid in memo:
+            span = memo[pid]
+        else:
+            columns = self._columns
+            span = None
+            if columns.may_contain(pid):
+                keys = columns.keys
+                lo = keys.bisect_left(pid)
+                hi = keys.bisect_left((pid[0], pid[1] + 1), lo)
+                if lo < hi:
+                    span = (lo, hi)
+            memo[pid] = span
+        return span if span is not None else default
+
+    def __contains__(self, pid):
+        return self.get(pid) is not None
+
+
+class BlockedListColumns:
+    """Columns over a :class:`~repro.index.blocks.BlockedInvertedList`.
+
+    Duck-compatible with :class:`ListColumns`, but nothing decodes at
+    construction: partition probes (``pid_range.get`` /
+    ``may_contain``) answer from the block headers first, and the full
+    partition table / flat arrays materialize only when a whole-list
+    consumer (the partition kernel, the compiled SLCA backend) asks
+    for them.
+    """
+
+    __slots__ = ("keys", "size", "pid_range", "_firsts", "_lasts",
+                 "_pids", "_starts", "_ends", "_root_count",
+                 "_flat", "_offs")
+
+    def __init__(self, blocked_list):
+        self.keys = blocked_list.dewey_keys
+        self.size = len(self.keys)
+        self._firsts, self._lasts = blocked_list.block_intervals()
+        self.pid_range = _LazyPidRanges(self)
+        self._pids = None
+        self._starts = None
+        self._ends = None
+        self._root_count = 0
+        self._flat = None
+        self._offs = None
+
+    def may_contain(self, pid):
+        """Header-only presence test — a superset of the truth.
+
+        ``False`` is definite (no block's key interval intersects the
+        partition); ``True`` only means a probe must look inside.
+        """
+        lasts = self._lasts
+        block = bisect_left(lasts, pid)
+        if block == len(lasts):
+            return False
+        return self._firsts[block] < (pid[0], pid[1] + 1)
+
+    def _ensure_tables(self):
+        if self._pids is not None:
+            return
+        keys = self.keys
+        size = self.size
+        pids = []
+        starts = []
+        ends = []
+        root_count = 0
+        position = 0
+        while position < size:
+            key = keys[position]
+            if len(key) < 2:
+                root_count += 1
+                position += 1
+                continue
+            pid = key[:2]
+            end = keys.bisect_left((pid[0], pid[1] + 1), position)
+            pids.append(pid)
+            starts.append(position)
+            ends.append(end)
+            position = end
+        self._pids = pids
+        self._starts = starts
+        self._ends = ends
+        self._root_count = root_count
+
+    @property
+    def pids(self):
+        self._ensure_tables()
+        return self._pids
+
+    @property
+    def starts(self):
+        self._ensure_tables()
+        return self._starts
+
+    @property
+    def ends(self):
+        self._ensure_tables()
+        return self._ends
+
+    @property
+    def root_count(self):
+        self._ensure_tables()
+        return self._root_count
+
+    def flat_offs(self):
+        """Same contract as :meth:`ListColumns.flat_offs` (full decode)."""
+        flat = self._flat
+        if flat is None:
+            from array import array
+
+            flat = array("q")
+            offs = array("q", bytes(8 * (self.size + 1)))
+            position = 0
+            for i, key in enumerate(self.keys):
+                flat.extend(key)
+                position += len(key)
+                offs[i + 1] = position
+            self._flat = flat
+            self._offs = offs
+        return flat, self._offs
+
+    def __len__(self):
+        return self.size
+
+    def __repr__(self):
+        return (
+            f"BlockedListColumns(n={self.size}, "
+            f"blocks={len(self._lasts)})"
+        )
+
+
 def columns_for(inverted_list):
-    """The cached :class:`ListColumns` of one inverted list."""
+    """The cached columns of one inverted list.
+
+    Blocked lists (frozen v3 long lists) get the header-first
+    :class:`BlockedListColumns`; everything else the eager
+    :class:`ListColumns`.
+    """
     columns = inverted_list._kernel_columns
     if columns is None:
-        columns = ListColumns(inverted_list.dewey_keys)
+        if hasattr(inverted_list, "block_intervals"):
+            columns = BlockedListColumns(inverted_list)
+        else:
+            columns = ListColumns(inverted_list.dewey_keys)
         inverted_list._kernel_columns = columns
     return columns
 

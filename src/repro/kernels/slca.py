@@ -46,9 +46,16 @@ def _lcp(a, b):
 def _fold_depths_python(anchor_keys, a_lo, a_hi, keys, m_lo, m_hi, depths):
     """Pure-Python twin of the compiled ``repro_slca_fold``."""
     position = m_lo
+    # Lazy key columns ship a header-guided bisect that decodes at
+    # most one posting block per probe; prefer it over random-access
+    # bisection (which would fault O(log n) blocks per anchor).
+    search = getattr(keys, "bisect_right", None)
     for i in range(a_lo, a_hi):
         target = anchor_keys[i]
-        position = bisect_right(keys, target, position, m_hi)
+        if search is not None:
+            position = search(target, position, m_hi)
+        else:
+            position = bisect_right(keys, target, position, m_hi)
         depth = 0
         if position > m_lo:
             depth = _lcp(keys[position - 1], target)

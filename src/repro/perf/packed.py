@@ -20,6 +20,37 @@ decoded list detects staleness exactly.
 from __future__ import annotations
 
 
+class _LazyPostingColumn:
+    """One posting attribute as a read-only sequence, decoded on touch.
+
+    Blocked inverted lists (frozen v3) expose their postings as a lazy
+    block-backed sequence; materializing ``[p.dewey for p in ...]`` at
+    pack time would decode every block up front.  This view defers the
+    attribute projection to access time, so a packed column over a
+    blocked list costs exactly the blocks the consumer touches.
+    """
+
+    __slots__ = ("_postings", "_attr")
+
+    def __init__(self, postings, attr):
+        self._postings = postings
+        self._attr = attr
+
+    def __len__(self):
+        return len(self._postings)
+
+    def __iter__(self):
+        attr = self._attr
+        for posting in self._postings:
+            yield getattr(posting, attr)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            attr = self._attr
+            return [getattr(p, attr) for p in self._postings[idx]]
+        return getattr(self._postings[idx], self._attr)
+
+
 class PackedPostings:
     """Flat decoded arrays for one keyword's inverted list.
 
@@ -48,9 +79,16 @@ class PackedPostings:
         # The list already carries its component-tuple column (built
         # during decode); share it instead of re-deriving per pack.
         self.components = source.dewey_keys
-        self.labels = [p.dewey for p in postings]
-        self.node_types = [p.node_type for p in postings]
-        self.counts = [p.count for p in postings]
+        if isinstance(postings, list):
+            self.labels = [p.dewey for p in postings]
+            self.node_types = [p.node_type for p in postings]
+            self.counts = [p.count for p in postings]
+        else:
+            # A lazy (block-backed) posting sequence: project lazily
+            # so packing never forces a whole-list decode.
+            self.labels = _LazyPostingColumn(postings, "dewey")
+            self.node_types = _LazyPostingColumn(postings, "node_type")
+            self.counts = _LazyPostingColumn(postings, "count")
         self._partition_count = None
 
     def partition_count(self):
@@ -69,15 +107,21 @@ class PackedPostings:
             from bisect import bisect_left
 
             components = self.components
-            position = bisect_left(components, (0, 0))
+            # Lazy key columns carry a header-guided bisect that jumps
+            # straight to the candidate block; prefer it so the count
+            # touches only the blocks the jumps land in.
+            search = getattr(components, "bisect_left", None)
+            if search is None:
+                def search(target, lo=0):
+                    return bisect_left(components, target, lo)
+
+            position = search((0, 0))
             size = len(components)
             count = 0
             while position < size:
                 pid = components[position][:2]
                 count += 1
-                position = bisect_left(
-                    components, (pid[0], pid[1] + 1), position
-                )
+                position = search((pid[0], pid[1] + 1), position)
             self._partition_count = count
         return count
 

@@ -36,7 +36,12 @@ _FIELDS = (
     "partition_visit",  # per-partition span/mask setup (Partition/SLE loop)
     "stack_posting",    # merged-LCP scan (stack route), per posting
     "dispatch",         # per-worker scatter/gather overhead (sharded path)
+    "stack_push_pop",   # one stack frame push+pop pair (stack route)
 )
+
+#: The record-version-1 field prefix (snapshots frozen before the
+#: ``stack_push_pop`` field existed) — decodable forever.
+_FIELDS_V1 = _FIELDS[:7]
 
 #: Uncalibrated defaults (seconds) — conservative CPython estimates
 #: used when no measurement is available (version-skewed snapshot
@@ -49,11 +54,15 @@ _DEFAULTS = {
     "partition_visit": 3.0e-6,
     "stack_posting": 2.5e-6,
     "dispatch": 2.0e-4,
+    "stack_push_pop": 4.0e-7,
 }
 
 #: One-byte record version inside the snapshot's statistics section.
-_RECORD_VERSION = 1
+#: Version 2 appended ``stack_push_pop``; version-1 records (older
+#: snapshots) still decode, with the new field at its default.
+_RECORD_VERSION = 2
 _RECORD = struct.Struct("<B%dd" % len(_FIELDS))
+_RECORD_V1 = struct.Struct("<B%dd" % len(_FIELDS_V1))
 
 
 class Calibration:
@@ -122,14 +131,22 @@ def decode_calibration(raw):
 
     Returns ``None`` (→ caller falls back to defaults) when the record
     version or size is unknown — the forward-compatibility valve for
-    snapshots written by newer builds.
+    snapshots written by newer builds.  Version-1 records (written
+    before ``stack_push_pop`` was measured) decode with the missing
+    field at its default, so older snapshots keep their measured
+    constants instead of losing them all to version skew.
     """
-    if len(raw) != _RECORD.size:
+    if len(raw) == _RECORD.size:
+        version, *values = _RECORD.unpack(raw)
+        if version == _RECORD_VERSION:
+            return Calibration("snapshot", **dict(zip(_FIELDS, values)))
         return None
-    version, *values = _RECORD.unpack(raw)
-    if version != _RECORD_VERSION:
+    if len(raw) == _RECORD_V1.size:
+        version, *values = _RECORD_V1.unpack(raw)
+        if version == 1:
+            return Calibration("snapshot", **dict(zip(_FIELDS_V1, values)))
         return None
-    return Calibration("snapshot", **dict(zip(_FIELDS, values)))
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +259,24 @@ def micro_calibrate(repeats=3):
 
     stack_posting = _best_of(repeats, run_stack) / scan_total
 
+    # One stack frame push + pop pair — stack-refine's per-posting
+    # stack maintenance, measured apart from the merged-LCP scan so the
+    # planner's stack estimate is a sum of two measured terms instead
+    # of one blended guess.  Frames mirror the real route's
+    # (node, keyword-mask, depth) triples.
+    frames = [((0, p, 0), 1 << (p % 4), p % 8) for p in range(16)]
+    pair_count = 512
+
+    def run_push_pop():
+        stack = []
+        push = stack.append
+        pop = stack.pop
+        for index in range(pair_count):
+            push(frames[index % 16])
+            pop()
+
+    stack_push_pop = _best_of(repeats, run_push_pop) / pair_count
+
     return Calibration(
         "measured",
         scan_posting=scan_posting,
@@ -251,6 +286,7 @@ def micro_calibrate(repeats=3):
         partition_visit=partition_visit,
         stack_posting=stack_posting,
         dispatch=_DEFAULTS["dispatch"],
+        stack_push_pop=stack_push_pop,
     )
 
 

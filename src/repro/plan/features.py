@@ -160,7 +160,10 @@ def extract_features(index, terms, rules, partition_counter):
             union += partition_counter(keyword)
     # The per-keyword counts overlap; cap by the document's partition
     # fan-out so dense queries do not overestimate the union.
-    document_partitions = len(index.partitions())
+    counter = getattr(index, "partition_count", None)
+    document_partitions = (
+        counter() if counter is not None else len(index.partitions())
+    )
     features.union_partitions = max(
         1, min(union, document_partitions)
     ) if features.total_postings else 0

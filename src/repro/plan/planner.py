@@ -270,6 +270,14 @@ class QueryPlanner:
     #: CORRECTION_WINDOW executions' ratios for that route — once at
     #: least CORRECTION_MIN_SAMPLES have been observed, clamped so one
     #: outlier run can never swing routing by more than 4x.
+    #:
+    #: Samples are bucketed by the direct-hit prediction: a route's
+    #: drift on direct-hit queries (early termination, probe-dominated
+    #: tails) is systematically different from its drift on genuine
+    #: refinements, and folding both into one median let the larger
+    #: population steer the smaller one's routing.  The bucket key is
+    #: ``"<route>"`` for non-direct plans and ``"<route>:direct"``
+    #: otherwise.
     CORRECTION_WINDOW = 32
     CORRECTION_MIN_SAMPLES = 4
     CORRECTION_CLAMP = (0.25, 4.0)
@@ -306,8 +314,13 @@ class QueryPlanner:
         self.planned = 0
         #: Recent (executed, actual/estimated) samples, newest last.
         self.cost_ratios = []
-        #: Per-route actual/raw-estimate ratios feeding _corrected().
-        self._route_ratios = {name: [] for name in FIXED_ROUTES}
+        #: Per-(route, direct-hit bucket) actual/raw-estimate ratios
+        #: feeding _corrected(); see the CORRECTION_* class docs.
+        self._route_ratios = {
+            key: []
+            for name in FIXED_ROUTES
+            for key in (name, name + ":direct")
+        }
 
     # ------------------------------------------------------------------
     # Snapshot hot-swap
@@ -452,8 +465,12 @@ class QueryPlanner:
             )
 
         if features.direct_hit_predicted:
+            # Per-posting cost is two measured terms: the merged-LCP
+            # scan itself plus one amortized stack frame push/pop pair
+            # (every posting enters the stack once and leaves once).
             estimates["stack"] = (
-                cal.stack_posting * features.total_postings
+                (cal.stack_posting + cal.stack_push_pop)
+                * features.total_postings
                 + dp1 * min(partitions, 16)
                 + cal.slca_posting * features.query_postings
             )
@@ -465,22 +482,31 @@ class QueryPlanner:
             )
         return estimates
 
-    def _correction_factor(self, name):
-        """Median actual/raw-estimate drift of a route, or ``None``."""
-        samples = self._route_ratios.get(name)
+    @staticmethod
+    def _bucket_key(name, direct_hit):
+        """Correction-sample key of one (route, direct-hit) bucket."""
+        return name + ":direct" if direct_hit else name
+
+    def _correction_factor(self, key):
+        """Median actual/raw-estimate drift of one bucket, or ``None``.
+
+        ``key`` is a bucket key (``"sle"``, ``"stack:direct"``, ...);
+        a bare route name reads its non-direct bucket.
+        """
+        samples = self._route_ratios.get(key)
         if not samples or len(samples) < self.CORRECTION_MIN_SAMPLES:
             return None
         low, high = self.CORRECTION_CLAMP
         return min(max(statistics.median(samples), low), high)
 
-    def _corrected(self, name, estimate):
-        factor = self._correction_factor(name)
+    def _corrected(self, name, estimate, direct_hit=False):
+        factor = self._correction_factor(self._bucket_key(name, direct_hit))
         return estimate if factor is None else estimate * factor
 
-    def _choose_serial(self, estimates):
+    def _choose_serial(self, estimates, direct_hit=False):
         """``(chosen, corrected seconds)`` over eligible serial routes."""
         corrected = {
-            name: self._corrected(name, estimates[name])
+            name: self._corrected(name, estimates[name], direct_hit)
             for name in FIXED_ROUTES
             if name in estimates
         }
@@ -550,7 +576,9 @@ class QueryPlanner:
             self.index, terms, rules, self.partition_count
         )
         estimates = self.estimate_routes(features, k, parallelism)
-        chosen, estimated = self._choose_serial(estimates)
+        chosen, estimated = self._choose_serial(
+            estimates, features.direct_hit_predicted
+        )
         parallel = False
         parallel_estimate = estimates.get(PARALLEL_ROUTE)
         if parallel_estimate is not None and parallel_estimate < estimated:
@@ -588,18 +616,22 @@ class QueryPlanner:
             raw = plan.estimates.get(
                 PARALLEL_ROUTE if plan.parallel else executed
             )
+        direct_hit = bool(
+            (plan.features or {}).get("direct_hit_predicted")
+        )
         if raw and plan.actual_seconds:
             # Ratios are taken against the *raw* estimate so the
             # learned corrections never feed back into themselves.
             ratio = plan.actual_seconds / raw
             self.cost_ratios.append((executed, round(ratio, 3)))
             del self.cost_ratios[: -self.RATIO_WINDOW]
+            bucket = self._bucket_key(executed, direct_hit)
             if (
                 not plan.parallel
                 and not plan.fallback
-                and executed in self._route_ratios
+                and bucket in self._route_ratios
             ):
-                samples = self._route_ratios[executed]
+                samples = self._route_ratios[bucket]
                 samples.append(ratio)
                 del samples[: -self.CORRECTION_WINDOW]
         if plan.forced is not None:
@@ -613,7 +645,10 @@ class QueryPlanner:
             # Re-score the cached route with the latest corrections so
             # identities planned before a drift was learned migrate to
             # the corrected winner without re-extracting features.
-            chosen, estimated = self._choose_serial(entry["estimates"])
+            chosen, estimated = self._choose_serial(
+                entry["estimates"],
+                bool(entry["features"].get("direct_hit_predicted")),
+            )
             entry["chosen"] = chosen
             entry["estimated_seconds"] = estimated
         # Record the converged Top-2K bound for cross-run seeding of
@@ -639,11 +674,11 @@ class QueryPlanner:
             "plan_cache": self.cache.stats(),
             "cost_ratios": list(self.cost_ratios[-8:]),
             "corrections": {
-                name: (
+                key: (
                     round(factor, 3) if factor is not None else None
                 )
-                for name in FIXED_ROUTES
-                for factor in (self._correction_factor(name),)
+                for key in self._route_ratios
+                for factor in (self._correction_factor(key),)
             },
             "calibration": (
                 calibration.as_dict() if calibration is not None else None

@@ -17,7 +17,13 @@ from .encoding import (
     encode_uvarint,
     key_prefix_upper_bound,
 )
-from .kvstore import CowKVStore, FileKVStore, KVStore, MemoryKVStore
+from .kvstore import (
+    CowKVStore,
+    FileKVStore,
+    KVStore,
+    MemoryKVStore,
+    StackedKVBase,
+)
 from .pager import Pager
 
 __all__ = [

@@ -167,12 +167,45 @@ class CowKVStore(KVStore):
 
         Returns None once any write lands — callers needing the
         single-buffer fast path (shared-memory publication) must then
-        fall back to per-key copies.
+        fall back to per-key copies.  Layered bases
+        (:class:`StackedKVBase`) have no single contiguous region and
+        also return None.
         """
         self._check_open()
         if not self.is_pristine():
             return None
-        return self._base.value_region(), self._base.value_spans()
+        value_region = getattr(self._base, "value_region", None)
+        if value_region is None:
+            return None
+        return value_region(), self._base.value_spans()
+
+    def base_view(self, key):
+        """Zero-copy view of ``key``'s *unmodified base* value.
+
+        Returns None when the overlay shadows or deletes the key, or
+        when the base itself serves a layered (non-frozen) value —
+        i.e. a non-None result is exactly the bytes the frozen
+        snapshot recorded for this key, which is what block
+        directories (:mod:`repro.index.blocks`) were built against.
+        """
+        self._check_open()
+        key = self._check_bytes("key", key)
+        if key in self._deleted or self._tree.get(key, _MISSING) is not _MISSING:
+            return None
+        frozen_view = getattr(self._base, "frozen_view", None)
+        if frozen_view is not None:
+            return frozen_view(key)
+        return self._base.get(key)
+
+    def overlay_items(self):
+        """The overlay's ``(key, value)`` pairs, sorted (delta export)."""
+        self._check_open()
+        return self._tree.items()
+
+    def overlay_deletes(self):
+        """Base keys deleted through the overlay, sorted (delta export)."""
+        self._check_open()
+        return sorted(self._deleted)
 
     # ------------------------------------------------------------------
     def put(self, key, value):
@@ -280,6 +313,101 @@ def next_or_none(advance):
         return advance()
     except StopIteration:
         return None
+
+
+class StackedKVBase:
+    """Read-only LSM-style view over a base block plus delta layers.
+
+    ``bottom`` is a :class:`~repro.storage.encoding.SortedKVBlock`
+    (the monolithic base snapshot section); ``layers`` is a bottom-up
+    sequence of ``(puts, deleted)`` pairs, one per delta snapshot,
+    where ``puts`` is a sorted block of overwritten records and
+    ``deleted`` a set of keys removed at that layer.  Lookups resolve
+    top-down; iteration is a k-way merge where upper layers win.
+
+    The stack is the *base* of a :class:`CowKVStore` — new writes land
+    in the store's own overlay, which :mod:`repro.index.delta` can
+    export as the next layer of the chain.  There is deliberately no
+    ``value_region``: the values of a chain are scattered across
+    files, so zero-copy single-buffer publication falls back to
+    per-key copies (``CowKVStore.contiguous_region`` returns None).
+    """
+
+    __slots__ = ("_bottom", "_layers", "_count")
+
+    def __init__(self, bottom, layers):
+        self._bottom = bottom
+        self._layers = [
+            (puts, frozenset(deleted)) for puts, deleted in layers
+        ]
+        self._count = sum(1 for _ in self.keys())
+
+    def get(self, key, default=None):
+        for puts, deleted in reversed(self._layers):
+            value = puts.get(key)
+            if value is not None:
+                return value
+            if key in deleted:
+                return default
+        return self._bottom.get(key, default)
+
+    def frozen_view(self, key):
+        """The bottom block's value, only if no layer touches ``key``.
+
+        A non-None result is bytes of the monolithic base snapshot —
+        the contract ``CowKVStore.base_view`` relies on to decide
+        whether a block directory still applies to a keyword.
+        """
+        for puts, deleted in self._layers:
+            if key in deleted or puts.get(key) is not None:
+                return None
+        return self._bottom.get(key)
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return self._count
+
+    def _merged(self, low=None, high=None):
+        def bounded(source):
+            if low is None and high is None:
+                return source.items()
+            return source.range(low, high)
+
+        pairs = bounded(self._bottom)
+        for puts, deleted in self._layers:
+            pairs = _fold_layer(pairs, bounded(puts), deleted)
+        return pairs
+
+    def items(self):
+        return self._merged()
+
+    def range(self, low=None, high=None):
+        return self._merged(low, high)
+
+    def keys(self):
+        return (key for key, _ in self._merged())
+
+
+def _fold_layer(base_pairs, put_pairs, deleted):
+    """Merge one delta layer over a sorted pair stream (puts win)."""
+    base_next = iter(base_pairs).__next__
+    put_next = iter(put_pairs).__next__
+    base = next_or_none(base_next)
+    put = next_or_none(put_next)
+    while base is not None or put is not None:
+        if put is None or (base is not None and base[0] < put[0]):
+            if base[0] not in deleted:
+                yield base
+            base = next_or_none(base_next)
+        elif base is None or put[0] < base[0]:
+            yield put
+            put = next_or_none(put_next)
+        else:  # equal keys: the upper layer shadows the lower one
+            yield put
+            base = next_or_none(base_next)
+            put = next_or_none(put_next)
 
 
 class FileKVStore(KVStore):

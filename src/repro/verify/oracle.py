@@ -24,6 +24,16 @@ path that must agree:
   columnar snapshot (:mod:`repro.index.frozen`), loaded back, and the
   plain SLCA path, all three refinement algorithms, and a sharded
   fan-out are each diffed byte-for-byte against the built index.
+* **Delta-chain layer** — the document's last partition is peeled off
+  into a base snapshot and re-added through a delta file
+  (:mod:`repro.index.delta`); the merged base+delta view must answer
+  exactly like the built index, compacting the chain must produce a
+  snapshot byte-identical to refreezing the chain-loaded index, and a
+  snapshot refrozen with a tiny block size (every posting list split
+  across blocks, decoded lazily through the block directory) must be
+  indistinguishable from the eager decode.  Runs against whichever
+  kernel backend is active, so the verify-diff sweep exercises both
+  the compiled and pure-Python block consumers.
 * **Kernel layer** — each batch primitive in :mod:`repro.kernels` is
   diffed against a per-node recomputation of the same answer: the
   columnar SLCA kernel against the classic forward-pointer scan, the
@@ -125,6 +135,10 @@ def response_fingerprint(response):
     )
 
 
+#: Sentinel: the delta-chain artifacts have not been built yet.
+_UNBUILT = object()
+
+
 class DocumentOracle:
     """All cross-checks for one document; reusable across queries."""
 
@@ -136,6 +150,7 @@ class DocumentOracle:
         #: Warm engine: result cache + packed arrays enabled.
         self.engine = XRefine(self.index)
         self._frozen_engine = None
+        self._chain_state = _UNBUILT
 
     @property
     def frozen_engine(self):
@@ -521,6 +536,168 @@ class DocumentOracle:
         return divergences
 
     # ------------------------------------------------------------------
+    # Delta-chain layer
+    # ------------------------------------------------------------------
+    @property
+    def chain_state(self):
+        """Lazily built delta-chain artifacts, or ``None``.
+
+        ``None`` when the document has fewer than two partitions —
+        there is no partition to peel into a delta.  Otherwise a
+        ``(chain_engine, blocked_engine, compaction_identical)``
+        triple:
+
+        * ``chain_engine`` serves the original document reconstructed
+          as base-minus-last-partition plus a delta re-adding it;
+        * ``blocked_engine`` serves a snapshot frozen with
+          ``block_size=2``, so every multi-posting list decodes lazily
+          block by block;
+        * ``compaction_identical`` records whether compacting the
+          chain produced bytes identical to refreezing the
+          chain-loaded index.
+
+        All temp files are deleted once the mmaps hold them open, so
+        no oracle run leaves files behind.
+        """
+        if self._chain_state is _UNBUILT:
+            self._chain_state = self._build_chain_state()
+        return self._chain_state
+
+    def _build_chain_state(self):
+        import shutil
+
+        from ..index import (
+            append_partition,
+            compact,
+            freeze_index,
+            load_frozen_index,
+            load_index_chain,
+            save_delta,
+        )
+
+        tag = self.spec[0]
+        text = self.spec[1] if len(self.spec) > 1 else None
+        children = list(self.spec[2]) if len(self.spec) > 2 else []
+        if len(children) < 2:
+            return None
+
+        reduced = build_document_index(
+            build_tree((tag, text, children[:-1]))
+        )
+        workdir = tempfile.mkdtemp(prefix="oracle_chain_")
+        try:
+            base = os.path.join(workdir, "base.frz")
+            delta = os.path.join(workdir, "delta.dlt")
+            freeze_index(reduced, base)
+            working = load_frozen_index(base)
+            append_partition(working, children[-1])
+            save_delta(working, delta, base)
+            chain_engine = XRefine(load_index_chain(delta))
+
+            compacted = os.path.join(workdir, "compacted.frz")
+            refrozen = os.path.join(workdir, "refrozen.frz")
+            compact(delta, compacted)
+            freeze_index(load_index_chain(delta), refrozen)
+            with open(compacted, "rb") as a, open(refrozen, "rb") as b:
+                compaction_identical = a.read() == b.read()
+
+            blocked = os.path.join(workdir, "blocked.frz")
+            freeze_index(self.index, blocked, block_size=2)
+            blocked_engine = XRefine(load_frozen_index(blocked))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return chain_engine, blocked_engine, compaction_identical
+
+    def check_chain(self, query):
+        """Base+delta and tiny-block views must answer identically.
+
+        The chain engine reconstructs the document from a base
+        snapshot plus one delta; the blocked engine re-reads it with
+        every posting list split into two-posting blocks.  Either view
+        diverging from the built index means the merge-on-demand
+        overlay or the lazy block decode changed an answer.  The
+        compaction byte-identity is checked once per document and
+        reported against the first query that reaches it.
+        """
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        state = self.chain_state
+        if state is None:
+            return divergences
+        chain_engine, blocked_engine, compaction_identical = state
+        k = self.k
+
+        if not compaction_identical:
+            divergences.append(
+                Divergence(
+                    "chain:compaction",
+                    "compacting the base+delta chain != refreezing the "
+                    "chain-loaded index",
+                    self.spec, query, "byte-identical snapshots",
+                    "snapshots differ",
+                )
+            )
+            # Report once, not for every query of this document.
+            self._chain_state = (chain_engine, blocked_engine, True)
+
+        for label, engine in (
+            ("chain", chain_engine), ("blocked", blocked_engine)
+        ):
+            for term in terms:
+                expected = [
+                    str(p.dewey) for p in self.index.inverted.get(term)
+                ]
+                actual = [
+                    str(p.dewey) for p in engine.index.inverted.get(term)
+                ]
+                if actual != expected:
+                    divergences.append(
+                        Divergence(
+                            f"{label}:postings",
+                            f"posting list for {term!r} through the "
+                            f"{label} view != built index",
+                            self.spec, query, expected, actual,
+                        )
+                    )
+
+            reference = [
+                str(d)
+                for d in self.engine.slca_search(terms, algorithm="scan")
+            ]
+            answered = [
+                str(d) for d in engine.slca_search(terms, algorithm="scan")
+            ]
+            if answered != reference:
+                divergences.append(
+                    Divergence(
+                        f"{label}:slca",
+                        f"SLCA search through the {label} view != built "
+                        "index",
+                        self.spec, query, reference, answered,
+                    )
+                )
+
+            for algorithm in ("partition", "sle", "stack", "auto"):
+                built = response_fingerprint(
+                    self.engine.search(terms, k=k, algorithm=algorithm)
+                )
+                answered = response_fingerprint(
+                    engine.search(terms, k=k, algorithm=algorithm)
+                )
+                if answered != built:
+                    divergences.append(
+                        Divergence(
+                            f"{label}:{algorithm}",
+                            f"{algorithm} through the {label} view "
+                            "differs from the built index",
+                            self.spec, query, built, answered,
+                        )
+                    )
+        return divergences
+
+    # ------------------------------------------------------------------
     # Kernel layer
     # ------------------------------------------------------------------
     def check_kernels(self, query):
@@ -657,6 +834,7 @@ class DocumentOracle:
             + self.check_refinement(query)
             + self.check_auto(query)
             + self.check_frozen(query)
+            + self.check_chain(query)
             + self.check_kernels(query)
         )
 

@@ -135,6 +135,14 @@ class XMLTree:
         """
         return list(self.root.children)
 
+    def partition_count(self):
+        """Number of document partitions.
+
+        Cheap on paged trees (directory length, no node
+        materialization), unlike ``len(partitions())``.
+        """
+        return len(self.root.children)
+
     def partition_of(self, dewey):
         """The partition root containing ``dewey`` (``None`` for root)."""
         pid = dewey.partition_id()

@@ -5,11 +5,15 @@ import pytest
 from repro.datasets import (
     BaseballConfig,
     DBLPConfig,
+    authors_for_nodes,
+    corpus_for_nodes,
     generate_baseball,
     generate_dblp,
     scaled_series,
     scaled_subtree,
 )
+from repro.datasets.dblp import rare_token
+from repro.datasets.scaling import RARE_TOKEN_PERIOD
 from repro.errors import DatasetError
 from repro.index import build_document_index
 from repro.xmltree import parse, serialize
@@ -127,3 +131,57 @@ class TestScaling:
         sizes = [len(tree) for _, tree in series]
         assert sizes == sorted(sizes)
         assert [f for f, _ in series] == [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+class TestCorpusForNodes:
+    def test_lands_near_the_target(self):
+        target = 8_000
+        tree = corpus_for_nodes(target, seed=7)
+        assert abs(len(tree) - target) / target < 0.10
+
+    def test_deterministic(self):
+        a = corpus_for_nodes(5_000, seed=3)
+        b = corpus_for_nodes(5_000, seed=3)
+        assert serialize(a) == serialize(b)
+
+    def test_target_validation(self):
+        with pytest.raises(DatasetError):
+            authors_for_nodes(0)
+        with pytest.raises(DatasetError):
+            corpus_for_nodes(-5)
+
+    def test_rare_tokens_planted_every_period(self):
+        tree = corpus_for_nodes(5_000, seed=7)
+        planted = [
+            node.text
+            for node in tree.iter_nodes()
+            if node.tag == "id"
+        ]
+        authors = len(tree.partitions())
+        expected = [
+            rare_token(ordinal)
+            for ordinal in range(0, authors, RARE_TOKEN_PERIOD)
+        ]
+        assert planted == expected
+
+    def test_rare_tokens_are_a_prefix_across_sizes(self):
+        """Same seed => a smaller corpus's rare tokens are a prefix of
+        a larger one's, so one query pool serves every sweep point."""
+        small = corpus_for_nodes(3_000, seed=7)
+        large = corpus_for_nodes(9_000, seed=7)
+
+        def tokens(tree):
+            return [
+                node.text for node in tree.iter_nodes() if node.tag == "id"
+            ]
+
+        small_tokens, large_tokens = tokens(small), tokens(large)
+        assert len(small_tokens) < len(large_tokens)
+        assert large_tokens[: len(small_tokens)] == small_tokens
+
+    def test_default_generator_stays_token_free(self):
+        """``rare_token_period`` defaults off: plain ``generate_dblp``
+        output is byte-identical to what it produced before planting
+        existed."""
+        tree = generate_dblp(num_authors=20, seed=5)
+        assert not any(node.tag == "id" for node in tree.iter_nodes())

@@ -1,0 +1,204 @@
+"""Blocked posting columns: laziness and block-boundary parity.
+
+The block directory must never change an answer — only when bytes are
+decoded.  These tests pin that down at the awkward geometries: blocks
+of one posting, lists whose length divides the block size exactly (an
+empty-tail trap), ranges that straddle block boundaries, and the
+header-guided binary search against the :mod:`bisect` reference — all
+under both kernel backends, since the compiled scan kernels consume
+the same lazy columns.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import pytest
+
+import repro.kernels.backend as backend_module
+from repro import XRefine
+from repro.datasets import generate_dblp
+from repro.index import build_document_index, freeze_index, load_frozen_index
+from repro.index.blocks import BlockedInvertedList
+
+BLOCK_SIZES = (1, 2, 3, 7)
+
+QUERIES = (
+    "query database",
+    "index search performance",
+    "xml keyword",
+    "join stream",
+)
+
+
+@pytest.fixture(params=["active", "pure-python"])
+def kernel_backend(request, monkeypatch):
+    """Run the test under the active backend, then the pure fallback."""
+    if request.param == "pure-python":
+        monkeypatch.setattr(backend_module, "compiled", None)
+    elif backend_module.compiled is None:
+        pytest.skip("compiled backend unavailable on this host")
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def eager_index():
+    return build_document_index(generate_dblp(num_authors=30, seed=11))
+
+
+@pytest.fixture(scope="module")
+def frozen_paths(tmp_path_factory, eager_index):
+    """One frozen snapshot per block size under test."""
+    root = tmp_path_factory.mktemp("blocked_sizes")
+    paths = {}
+    for block_size in BLOCK_SIZES:
+        path = root / f"bs{block_size}.frz"
+        freeze_index(eager_index, path, block_size=block_size)
+        paths[block_size] = path
+    return paths
+
+
+def _multiblock_keywords(index, block_size, minimum=2):
+    return [
+        keyword
+        for keyword in index.inverted.keywords()
+        if index.inverted.list_length(keyword) > block_size
+    ][: max(minimum, 12)]
+
+
+class TestListParity:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_postings_identical_at_every_block_size(
+        self, eager_index, frozen_paths, block_size
+    ):
+        loaded = load_frozen_index(frozen_paths[block_size])
+        for keyword in eager_index.inverted.keywords():
+            assert list(loaded.inverted_list(keyword)) == list(
+                eager_index.inverted_list(keyword)
+            ), (keyword, block_size)
+
+    def test_exact_divide_tail(self, eager_index, tmp_path):
+        """A list length divisible by the block size has a full tail
+        block — the off-by-one trap for ``postings_in_block``."""
+        lengths = {
+            keyword: eager_index.inverted.list_length(keyword)
+            for keyword in eager_index.inverted.keywords()
+        }
+        block_size, keyword = next(
+            (size, kw)
+            for size in (2, 3, 4, 5)
+            for kw, length in sorted(lengths.items())
+            if length > size and length % size == 0
+        )
+        path = tmp_path / "exact.frz"
+        freeze_index(eager_index, path, block_size=block_size)
+        loaded = load_frozen_index(path)
+        lazy = loaded.inverted_list(keyword)
+        assert isinstance(lazy, BlockedInvertedList)
+        directory = lazy.block_store.directory
+        assert directory.postings_in_block(directory.block_count - 1) == (
+            block_size
+        )
+        assert list(lazy) == list(eager_index.inverted_list(keyword))
+
+    def test_single_posting_blocks(self, eager_index, frozen_paths):
+        loaded = load_frozen_index(frozen_paths[1])
+        keyword = max(
+            eager_index.inverted.keywords(),
+            key=eager_index.inverted.list_length,
+        )
+        lazy = loaded.inverted_list(keyword)
+        directory = lazy.block_store.directory
+        assert directory.block_count == eager_index.inverted.list_length(
+            keyword
+        )
+        assert list(lazy) == list(eager_index.inverted_list(keyword))
+        assert lazy.block_store.blocks_decoded == directory.block_count
+
+
+class TestLazyBinarySearch:
+    @pytest.mark.parametrize("block_size", (2, 7))
+    def test_bisect_matches_reference(
+        self, eager_index, frozen_paths, block_size
+    ):
+        loaded = load_frozen_index(frozen_paths[block_size])
+        for keyword in _multiblock_keywords(eager_index, block_size):
+            eager_keys = [
+                posting.dewey.components
+                for posting in eager_index.inverted_list(keyword)
+            ]
+            lazy = loaded.inverted_list(keyword)
+            assert isinstance(lazy, BlockedInvertedList)
+            probes = list(eager_keys)
+            probes += [key + (0,) for key in eager_keys]
+            probes += [(), (999,), eager_keys[0][:-1]]
+            for probe in probes:
+                assert lazy.dewey_keys.bisect_left(probe) == (
+                    bisect.bisect_left(eager_keys, probe)
+                ), (keyword, probe)
+                assert lazy.dewey_keys.bisect_right(probe) == (
+                    bisect.bisect_right(eager_keys, probe)
+                ), (keyword, probe)
+
+    def test_single_probe_decodes_at_most_one_block(
+        self, eager_index, frozen_paths
+    ):
+        loaded = load_frozen_index(frozen_paths[2])
+        keyword = max(
+            eager_index.inverted.keywords(),
+            key=eager_index.inverted.list_length,
+        )
+        eager_keys = [
+            posting.dewey.components
+            for posting in eager_index.inverted_list(keyword)
+        ]
+        lazy = loaded.inverted_list(keyword)
+        middle = eager_keys[len(eager_keys) // 2]
+        lazy.dewey_keys.bisect_left(middle)
+        assert lazy.block_store.blocks_decoded <= 1
+
+    @pytest.mark.parametrize("block_size", (2, 7))
+    def test_range_indices_straddling_blocks(
+        self, eager_index, frozen_paths, block_size
+    ):
+        """Partition ranges that span a block boundary resolve exactly
+        as the eager binary search does."""
+        from repro.xmltree.dewey import Dewey, descendant_range_key
+
+        loaded = load_frozen_index(frozen_paths[block_size])
+        for keyword in _multiblock_keywords(eager_index, block_size):
+            eager_keys = [
+                posting.dewey.components
+                for posting in eager_index.inverted_list(keyword)
+            ]
+            lazy = loaded.inverted_list(keyword)
+            partitions = sorted({key[:2] for key in eager_keys})
+            for pid in partitions:
+                root = Dewey(pid)
+                lo, hi = lazy.range_indices(root)
+                assert lo == bisect.bisect_left(eager_keys, root.components)
+                assert hi == bisect.bisect_left(
+                    eager_keys, descendant_range_key(root)
+                )
+
+
+class TestSearchParity:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES)
+    def test_all_algorithms_all_block_sizes(
+        self, eager_index, frozen_paths, block_size, kernel_backend
+    ):
+        reference = XRefine(eager_index, cache_size=0)
+        frozen = XRefine(
+            load_frozen_index(frozen_paths[block_size]), cache_size=0
+        )
+        for algorithm in ("partition", "sle", "stack"):
+            for query in QUERIES:
+                a = reference.search(query, k=2, algorithm=algorithm)
+                b = frozen.search(query, k=2, algorithm=algorithm)
+                assert a.needs_refinement == b.needs_refinement, (
+                    query, algorithm, block_size,
+                )
+                assert [r.rq.key for r in a.refinements] == [
+                    r.rq.key for r in b.refinements
+                ], (query, algorithm, block_size)
+                assert a.original_results == b.original_results

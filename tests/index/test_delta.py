@@ -1,0 +1,182 @@
+"""Delta snapshots: chains, merge-on-demand reads, compaction.
+
+A delta file stacks one session's mutations over a base snapshot (or
+an earlier delta).  The invariants: a chain-loaded index answers
+exactly like a freshly built index of the mutated document; parent
+binding refuses a swapped-out base; and compaction folds the whole
+chain into a monolithic snapshot byte-identical to refreezing the
+chain-loaded index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import XRefine, build_document_index
+from repro.errors import IndexingError
+from repro.index import (
+    append_partition,
+    compact,
+    freeze_index,
+    load_frozen_index,
+    load_index_chain,
+    open_index_source,
+    remove_partition,
+    resolve_chain,
+    save_delta,
+)
+from repro.xmltree import parse, serialize
+
+QUERIES = ("database systems", "xml search", "stream joins", "skyline")
+
+
+def author_spec(name, titles):
+    return (
+        "author",
+        None,
+        [
+            ("name", name),
+            (
+                "publications",
+                None,
+                [("inproceedings", None, [("title", t)]) for t in titles],
+            ),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def chain(tmp_path_factory, figure1_index):
+    """``(base, delta1, delta2)`` paths for a two-delta chain."""
+    root = tmp_path_factory.mktemp("chain")
+    base = root / "base.frz"
+    freeze_index(figure1_index, base)
+
+    first = load_frozen_index(base)
+    append_partition(first, author_spec("carol", ["stream joins tuning"]))
+    delta1 = root / "delta1.dlt"
+    save_delta(first, delta1, base)
+
+    second = load_index_chain(delta1)
+    append_partition(
+        second, author_spec("dave", ["adaptive skyline maintenance"])
+    )
+    remove_partition(second, second.tree.partitions()[0].dewey)
+    delta2 = root / "delta2.dlt"
+    save_delta(second, delta2, delta1)
+    return base, delta1, delta2
+
+
+@pytest.fixture()
+def chain_index(chain):
+    return load_index_chain(chain[2])
+
+
+@pytest.fixture()
+def rebuilt(chain_index):
+    """A from-scratch index over the chain's final document."""
+    return build_document_index(parse(serialize(chain_index.tree)))
+
+
+class TestChainResolution:
+    def test_resolve_walks_to_the_base(self, chain):
+        base, delta1, delta2 = chain
+        resolved_base, deltas = resolve_chain(str(delta2))
+        assert resolved_base == str(base.resolve())
+        assert deltas == [str(delta1.resolve()), str(delta2.resolve())]
+
+    def test_plain_snapshot_resolves_to_itself(self, chain):
+        base, _delta1, _delta2 = chain
+        resolved_base, deltas = resolve_chain(str(base))
+        assert resolved_base == str(base.resolve())
+        assert deltas == []
+
+    def test_swapped_parent_is_refused(self, chain, tmp_path):
+        """The stored parent-header CRC binds the chain together."""
+        base, delta1, _delta2 = chain
+        imposter_index = build_document_index(
+            parse("<bib><author><name>eve</name></author></bib>")
+        )
+        fake_base = tmp_path / base.name
+        freeze_index(imposter_index, fake_base)
+        moved = tmp_path / delta1.name
+        moved.write_bytes(delta1.read_bytes())
+        with pytest.raises(IndexingError, match="parent"):
+            resolve_chain(str(moved))
+
+
+class TestChainAnswers:
+    def test_postings_match_rebuild(self, chain_index, rebuilt):
+        assert chain_index.inverted.keywords() == (
+            rebuilt.inverted.keywords()
+        )
+        for keyword in rebuilt.inverted.keywords():
+            assert chain_index.inverted.list_length(keyword) == (
+                rebuilt.inverted.list_length(keyword)
+            ), keyword
+
+    def test_statistics_match_rebuild(self, chain_index, rebuilt):
+        for node_type, stats in rebuilt.statistics.items():
+            assert chain_index.node_count(node_type) == stats.node_count
+
+    def test_search_matches_rebuild(self, chain_index, rebuilt):
+        over_chain = XRefine(chain_index, cache_size=0)
+        reference = XRefine(rebuilt, cache_size=0)
+        for query in QUERIES:
+            a = over_chain.search(query, k=2)
+            b = reference.search(query, k=2)
+            assert a.needs_refinement == b.needs_refinement, query
+            assert [r.rq.key for r in a.refinements] == [
+                r.rq.key for r in b.refinements
+            ], query
+
+    def test_untouched_base_lists_stay_lazy(self, chain, chain_index):
+        """Posting payloads no delta touched still serve through the
+        base's lazy block machinery (no eager merge)."""
+        tree = chain_index.tree
+        loaded_before = getattr(
+            tree, "loaded_partition_count", lambda: None
+        )()
+        if loaded_before is None:
+            pytest.skip("chain tree is not paged on this build")
+        assert chain_index.has_keyword("skyline")
+
+
+class TestCompaction:
+    def test_compact_matches_refreeze(self, chain, chain_index, tmp_path):
+        compacted = tmp_path / "compacted.frz"
+        layers = compact(str(chain[2]), str(compacted))
+        assert layers >= 2
+        refrozen = tmp_path / "refrozen.frz"
+        freeze_index(load_index_chain(chain[2]), refrozen)
+        assert compacted.read_bytes() == refrozen.read_bytes()
+
+    def test_compacted_answers_match_chain(self, chain, tmp_path):
+        compacted = tmp_path / "compacted.frz"
+        compact(str(chain[2]), str(compacted))
+        mono = XRefine(load_frozen_index(compacted), cache_size=0)
+        over_chain = XRefine(load_index_chain(chain[2]), cache_size=0)
+        for query in QUERIES:
+            a = mono.search(query, k=2)
+            b = over_chain.search(query, k=2)
+            assert [r.rq.key for r in a.refinements] == [
+                r.rq.key for r in b.refinements
+            ], query
+
+
+class TestOpenIndexSource:
+    def test_dispatches_on_content(self, chain, tmp_path, figure1_index):
+        base, _delta1, delta2 = chain
+        from_base = open_index_source(str(base))
+        from_chain = open_index_source(str(delta2))
+        assert from_base.inverted.keywords()
+        assert "skyline" in from_chain.inverted.keywords()
+
+    def test_xml_fallback(self, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(
+            "<bib><author><name>zoe</name></author></bib>",
+            encoding="utf-8",
+        )
+        index = open_index_source(str(doc))
+        assert index.has_keyword("zoe")

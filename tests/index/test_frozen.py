@@ -7,6 +7,7 @@ file, and publish its posting section to shared memory as one copy.
 """
 
 import struct
+import zlib
 
 import pytest
 
@@ -19,7 +20,20 @@ from repro.index import (
     load_frozen_index,
     remove_partition,
 )
-from repro.index.frozen import _HEADER, _SECTION_ENTRY, MAGIC
+from repro.index.blocks import (
+    BlockedInvertedList,
+    build_block_directory_payload,
+    decode_block_directory,
+)
+from repro.index.frozen import (
+    _CRC_CHUNK,
+    _HEADER,
+    _SECTION_COUNT,
+    _SECTION_ENTRY,
+    _paging_checksum,
+    MAGIC,
+)
+from repro.storage import encode_uvarint
 from repro.shard import SharedPostingBlob, sharded_partition_refine
 from repro.xmltree import Dewey, parse, serialize
 
@@ -127,6 +141,43 @@ class TestRoundTrip:
         ]
 
 
+class TestPagingChecksum:
+    """The chunked+madvise open-time CRC must equal the one-shot CRC."""
+
+    def test_multi_chunk_body_matches_one_shot(self, tmp_path):
+        import mmap as mmap_module
+        import random
+        import zlib
+
+        rng = random.Random(5)
+        payload = bytes(
+            rng.getrandbits(8) for _ in range(4096)
+        ) * ((2 * _CRC_CHUNK) // 4096 + 3)
+        path = tmp_path / "body.bin"
+        path.write_bytes(payload)
+        body_start = _HEADER.size  # any unaligned offset will do
+        with open(path, "rb") as handle:
+            mapped = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+        view = memoryview(mapped)
+        body = view[body_start:]
+        try:
+            assert _paging_checksum(mapped, body, body_start) == (
+                zlib.crc32(payload[body_start:])
+            )
+        finally:
+            body.release()
+            view.release()
+            mapped.close()
+
+    def test_small_body_takes_the_one_shot_path(self, frozen_path):
+        # Every fixture-sized snapshot is far below one chunk; loading
+        # them exercises the eager branch (and TestCorruption proves
+        # a flipped byte still fails either way).
+        assert load_frozen_index(frozen_path) is not None
+
+
 class TestCorruption:
     def corrupt(self, frozen_path, tmp_path, mutate):
         blob = bytearray(frozen_path.read_bytes())
@@ -178,7 +229,7 @@ class TestCorruption:
             load_frozen_index(bad)
 
     def test_flipped_body_byte_fails_checksum(self, frozen_path, tmp_path):
-        body_start = _HEADER.size + 4 * _SECTION_ENTRY.size
+        body_start = _HEADER.size + _SECTION_COUNT * _SECTION_ENTRY.size
 
         def flip(blob):
             offset = (body_start + len(blob)) // 2
@@ -187,6 +238,190 @@ class TestCorruption:
         bad = self.corrupt(frozen_path, tmp_path, flip)
         with pytest.raises(IndexingError, match="checksum"):
             load_frozen_index(bad)
+
+
+def _encode_directory(block_size, count, offsets, crcs, firsts, lasts):
+    """Re-encode a block directory record (mirror of the writer)."""
+
+    def components(out, parts):
+        out += encode_uvarint(len(parts))
+        for part in parts:
+            out += encode_uvarint(part)
+
+    out = bytearray()
+    out += encode_uvarint(block_size)
+    out += encode_uvarint(count)
+    out += encode_uvarint(len(crcs))
+    previous = 0
+    for offset in offsets:
+        out += encode_uvarint(offset - previous)
+        previous = offset
+    for index in range(len(crcs)):
+        out += struct.pack("<I", crcs[index])
+        components(out, firsts[index])
+        components(out, lasts[index])
+    return bytes(out)
+
+
+class TestBlockDirectoryFuzz:
+    """Corrupted block directories must fail with typed errors.
+
+    Every mutation here preserves enough structure to reach the
+    directory validator — the point is that a reordered, truncated or
+    inconsistent directory is rejected *before* it can mis-route a
+    binary search or a block-max prune.
+    """
+
+    @pytest.fixture(scope="class")
+    def payload(self, figure1_index):
+        keyword = max(
+            figure1_index.inverted.keywords(),
+            key=figure1_index.inverted.list_length,
+        )
+        assert figure1_index.inverted.list_length(keyword) >= 2
+        return figure1_index.inverted.raw_payload(keyword)
+
+    @pytest.fixture(scope="class")
+    def directory(self, payload):
+        raw = build_block_directory_payload(payload, 1)
+        assert raw is not None
+        return decode_block_directory("kw", raw)
+
+    def fields(self, directory):
+        return (
+            directory.block_size,
+            directory.count,
+            list(directory.offsets),
+            list(directory.crcs),
+            list(directory.firsts),
+            list(directory.lasts),
+        )
+
+    def test_roundtrip_is_clean(self, directory):
+        raw = _encode_directory(*self.fields(directory))
+        again = decode_block_directory("kw", raw)
+        assert again.offsets == directory.offsets
+        assert again.firsts == directory.firsts
+        assert again.lasts == directory.lasts
+
+    @pytest.mark.parametrize("cut", [1, 3, 7])
+    def test_truncated_directory(self, directory, cut):
+        raw = _encode_directory(*self.fields(directory))
+        with pytest.raises(IndexingError, match="truncated or corrupt"):
+            decode_block_directory("kw", raw[:-cut])
+
+    def test_out_of_order_block_headers(self, directory):
+        size, count, offsets, crcs, firsts, lasts = self.fields(directory)
+        firsts[0], firsts[1] = firsts[1], firsts[0]
+        lasts[0], lasts[1] = lasts[1], lasts[0]
+        raw = _encode_directory(size, count, offsets, crcs, firsts, lasts)
+        with pytest.raises(IndexingError, match="out-of-order blocks"):
+            decode_block_directory("kw", raw)
+
+    def test_inverted_block_bounds(self, directory):
+        size, count, offsets, crcs, firsts, lasts = self.fields(directory)
+        # Give block 0 a first key beyond its last key.
+        firsts[0] = lasts[-1]
+        raw = _encode_directory(size, count, offsets, crcs, firsts, lasts)
+        with pytest.raises(IndexingError, match="inverted block"):
+            decode_block_directory("kw", raw)
+
+    def test_non_ascending_offsets(self, directory):
+        size, count, offsets, crcs, firsts, lasts = self.fields(directory)
+        offsets[1] = offsets[0]
+        raw = _encode_directory(size, count, offsets, crcs, firsts, lasts)
+        with pytest.raises(IndexingError, match="non-ascending offsets"):
+            decode_block_directory("kw", raw)
+
+    def test_wrong_block_count(self, directory):
+        size, count, offsets, crcs, firsts, lasts = self.fields(directory)
+        raw = _encode_directory(size, count + 5, offsets, crcs, firsts,
+                                lasts)
+        with pytest.raises(IndexingError, match="declares"):
+            decode_block_directory("kw", raw)
+
+    def test_truncated_block_payload(self, payload, directory, figure1_index):
+        """A block cut short mid-posting fails with a typed error.
+
+        The CRC is forged to match the truncated bytes, so the decode
+        itself must detect that the block ran out of postings.
+        """
+        size, count, offsets, crcs, firsts, lasts = self.fields(directory)
+        cut = payload[: offsets[-1] - 1]
+        crcs[-1] = zlib.crc32(bytes(cut[offsets[-2] :]))
+        offsets[-1] -= 1
+        forged = decode_block_directory(
+            "kw", _encode_directory(size, count, offsets, crcs, firsts,
+                                    lasts)
+        )
+        lst = BlockedInvertedList.open(
+            "kw", cut, forged, figure1_index.inverted.node_type_table
+        )
+        with pytest.raises(IndexingError, match="truncated"):
+            list(lst.postings)
+
+
+class TestBlockCorruptionOnDisk:
+    """Per-block CRCs catch payload damage the directory cannot see.
+
+    The file-level checksum is recomputed after each mutation, so the
+    snapshot *opens* cleanly — the corruption must be caught lazily, by
+    the block CRC, exactly when the damaged block is first decoded.
+    """
+
+    def frozen_with_blocks(self, figure1_index, tmp_path):
+        path = tmp_path / "blocked.frz"
+        freeze_index(figure1_index, path, block_size=1)
+        keyword = max(
+            figure1_index.inverted.keywords(),
+            key=figure1_index.inverted.list_length,
+        )
+        payload = figure1_index.inverted.raw_payload(keyword)
+        return path, keyword, payload
+
+    def rechecksum(self, blob):
+        body_start = _HEADER.size + _SECTION_COUNT * _SECTION_ENTRY.size
+        struct.pack_into(
+            "<I", blob, len(MAGIC) + 4, zlib.crc32(bytes(blob[body_start:]))
+        )
+
+    def test_flipped_block_byte_fails_lazily(
+        self, figure1_index, tmp_path
+    ):
+        path, keyword, payload = self.frozen_with_blocks(
+            figure1_index, tmp_path
+        )
+        directory = decode_block_directory(
+            keyword, build_block_directory_payload(payload, 1)
+        )
+        blob = bytearray(path.read_bytes())
+        position = blob.find(bytes(payload))
+        assert position != -1, "payload bytes not found in the snapshot"
+        # Damage the *last* block only, then make the file-level
+        # checksum agree again.
+        blob[position + directory.offsets[-2]] ^= 0x40
+        self.rechecksum(blob)
+        bad = tmp_path / "bad_block.frz"
+        bad.write_bytes(bytes(blob))
+
+        loaded = load_frozen_index(bad)
+        lazy = loaded.inverted_list(keyword)
+        # Earlier blocks decode fine; only touching the damaged block
+        # raises, and it raises a typed checksum error.
+        assert lazy.postings[0] is not None
+        with pytest.raises(IndexingError, match="checksum"):
+            list(lazy.postings)
+
+    def test_clean_snapshot_decodes_every_block(
+        self, figure1_index, tmp_path
+    ):
+        path, keyword, _payload = self.frozen_with_blocks(
+            figure1_index, tmp_path
+        )
+        loaded = load_frozen_index(path)
+        assert list(loaded.inverted_list(keyword)) == list(
+            figure1_index.inverted_list(keyword)
+        )
 
 
 def author_spec(name, titles):

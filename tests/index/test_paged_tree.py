@@ -1,0 +1,125 @@
+"""Partition-paged tree: laziness, lookup parity, graceful degradation.
+
+A paged tree must answer every :class:`XMLTree` question identically
+to the eager decode while materializing only the partitions actually
+touched — and open-time cost must be a directory, not a node per
+partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp
+from repro.errors import XMLError
+from repro.index import build_document_index, freeze_index, load_frozen_index
+from repro.index.paged_tree import PagedXMLTree, _LazyRootChildren
+from repro.xmltree import Dewey, serialize
+
+
+@pytest.fixture(scope="module")
+def eager_index():
+    return build_document_index(generate_dblp(num_authors=25, seed=13))
+
+
+@pytest.fixture(scope="module")
+def frozen_path(tmp_path_factory, eager_index):
+    path = tmp_path_factory.mktemp("paged") / "corpus.frz"
+    freeze_index(eager_index, path)
+    return path
+
+
+@pytest.fixture()
+def paged(frozen_path):
+    tree = load_frozen_index(frozen_path).tree
+    assert isinstance(tree, PagedXMLTree)
+    return tree
+
+
+class TestOpenIsLazy:
+    def test_nothing_materializes_at_open(self, paged):
+        assert paged.loaded_partition_count() == 0
+        assert isinstance(paged.root.children, _LazyRootChildren)
+
+    def test_len_without_decode(self, paged, eager_index):
+        assert len(paged) == len(eager_index.tree)
+        assert paged.loaded_partition_count() == 0
+
+    def test_partition_count_without_decode(self, paged, eager_index):
+        assert paged.partition_count() == (
+            eager_index.tree.partition_count()
+        )
+        assert paged.loaded_partition_count() == 0
+
+    def test_next_partition_ordinal_without_decode(
+        self, paged, eager_index
+    ):
+        assert paged.next_partition_ordinal() == (
+            eager_index.tree.next_partition_ordinal()
+        )
+        assert paged.loaded_partition_count() == 0
+
+
+class TestFaulting:
+    def deep_dewey(self, eager_index, partition):
+        """The deepest node of one partition of the eager tree."""
+        root = eager_index.tree.partitions()[partition]
+        return max(
+            (node for node in root.iter_subtree()),
+            key=lambda node: len(node.dewey.components),
+        ).dewey
+
+    def test_get_faults_exactly_one_partition(self, paged, eager_index):
+        dewey = self.deep_dewey(eager_index, 3)
+        found = paged.node(dewey)
+        reference = eager_index.tree.node(dewey)
+        assert found.tag == reference.tag
+        assert found.text == reference.text
+        assert found.node_type == reference.node_type
+        assert paged.loaded_partition_count() == 1
+
+    def test_partition_root_lookup_stays_shallow(self, paged, eager_index):
+        pid = eager_index.tree.partitions()[5].dewey
+        found = paged.partition_of(self.deep_dewey(eager_index, 5))
+        assert found is not None and found.dewey == pid
+        assert paged.node(pid) is found
+        # Looking at the root alone must not decode its body.
+        assert paged.loaded_partition_count() == 0
+
+    def test_iter_subtree_touches_one_partition(self, paged, eager_index):
+        pid = eager_index.tree.partitions()[7].dewey
+        mine = [node.dewey for node in paged.iter_subtree(pid)]
+        reference = [
+            node.dewey for node in eager_index.tree.iter_subtree(pid)
+        ]
+        assert mine == reference
+        assert paged.loaded_partition_count() == 1
+
+    def test_missing_deweys(self, paged):
+        assert paged.get(Dewey((0, 10**6))) is None
+        assert paged.get(Dewey((0, 0, 10**6))) is None
+        assert Dewey((0, 10**6)) not in paged
+        with pytest.raises(XMLError):
+            paged.node(Dewey((0, 10**6, 4)))
+
+
+class TestFullLoadParity:
+    def test_serialization_identical(self, paged, eager_index):
+        assert serialize(paged) == serialize(eager_index.tree)
+        # The recursive walk forced every body without ensure_loaded.
+        assert paged.loaded_partition_count() == paged.partition_count()
+        paged.ensure_loaded()
+        assert paged.fully_loaded
+
+    def test_node_types_identical(self, paged, eager_index):
+        assert paged.node_types() == eager_index.tree.node_types()
+
+    def test_len_stable_across_full_load(self, paged):
+        before = len(paged)
+        paged.ensure_loaded()
+        assert len(paged) == before
+
+    def test_iter_nodes_order(self, paged, eager_index):
+        assert [node.dewey for node in paged.iter_nodes()] == [
+            node.dewey for node in eager_index.tree.iter_nodes()
+        ]

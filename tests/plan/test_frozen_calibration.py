@@ -1,11 +1,11 @@
-"""Calibration persistence in frozen snapshots (format version 2)."""
+"""Calibration persistence in frozen snapshots (format version 2+)."""
 
 import pytest
 
 import repro.index.frozen as frozen_module
 from repro.core.engine import XRefine
 from repro.errors import IndexingError
-from repro.index.frozen import freeze_index, load_frozen_index
+from repro.index.frozen import FORMAT_VERSION, freeze_index, load_frozen_index
 from repro.verify.oracle import response_fingerprint
 
 
@@ -19,7 +19,7 @@ def snapshot_path(tmp_path, figure1_index):
 class TestFormatVersion2:
     def test_snapshot_carries_a_calibration(self, snapshot_path):
         index = load_frozen_index(snapshot_path)
-        assert index.frozen_snapshot.format_version == 2
+        assert index.frozen_snapshot.format_version == FORMAT_VERSION
         assert index.calibration is not None
         assert index.calibration.source == "snapshot"
 
@@ -86,7 +86,7 @@ class TestVersionSkew:
     def test_future_format_version_is_rejected(
         self, tmp_path, figure1_index, monkeypatch
     ):
-        monkeypatch.setattr(frozen_module, "FORMAT_VERSION", 3)
+        monkeypatch.setattr(frozen_module, "FORMAT_VERSION", FORMAT_VERSION + 1)
         path = tmp_path / "future.frz"
         freeze_index(figure1_index, path)
         monkeypatch.undo()

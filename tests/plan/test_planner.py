@@ -319,6 +319,73 @@ class TestPlanRouting:
         assert planner.stats()["cost_ratios"]
 
 
+class TestBucketedCorrections:
+    """Drift corrections are learned per (route, direct-hit) bucket."""
+
+    def test_direct_hit_drift_lands_in_its_own_bucket(
+        self, planner, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.plan.planner.extract_features",
+            lambda *args, **kwargs: make_features(direct_hit=True),
+        )
+        plan = planner.plan(("alpha", "beta"), RuleSet(), k=1)
+
+        class FakeStats:
+            elapsed_seconds = plan.estimates[plan.chosen] * 2.0
+
+        class FakeResponse:
+            needs_refinement = False
+            candidates = []
+            stats = FakeStats()
+
+        plan.executed = plan.chosen
+        planner.record(plan, FakeResponse())
+        assert planner._route_ratios[plan.chosen + ":direct"]
+        assert not planner._route_ratios[plan.chosen]
+
+    def test_choose_serial_consults_the_right_bucket(self, planner):
+        # Teach the planner that SLE drifts 3x — but only on
+        # direct-hit queries.
+        for _ in range(planner.CORRECTION_MIN_SAMPLES):
+            planner._route_ratios["sle:direct"].append(3.0)
+        estimates = {"partition": 1.0, "sle": 0.6}
+        assert planner._choose_serial(dict(estimates))[0] == "sle"
+        assert (
+            planner._choose_serial(dict(estimates), direct_hit=True)[0]
+            == "partition"
+        )
+
+    def test_stats_reports_both_buckets(self, planner):
+        corrections = planner.stats()["corrections"]
+        assert "sle" in corrections
+        assert "sle:direct" in corrections
+
+    def test_stack_estimate_scales_with_push_pop_cost(self):
+        from repro.plan.cost_model import _FIELDS, Calibration
+
+        values = {
+            name: getattr(DEFAULT_CALIBRATION, name) for name in _FIELDS
+        }
+        cheap = Calibration("test", **values)
+        values["stack_push_pop"] = values["stack_push_pop"] * 10
+        pricey = Calibration("test", **values)
+        features = make_features(direct_hit=True, total_postings=10_000)
+
+        def stack_estimate(calibration):
+            class FakeIndex:
+                version = 0
+
+            FakeIndex.calibration = calibration
+            estimates = QueryPlanner(FakeIndex()).estimate_routes(
+                features, 1, 1
+            )
+            assert "stack" in estimates
+            return estimates["stack"]
+
+        assert stack_estimate(pricey) > stack_estimate(cheap)
+
+
 class TestPlanCacheInvalidation:
     @pytest.fixture()
     def engine(self):

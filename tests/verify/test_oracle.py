@@ -77,3 +77,66 @@ class TestPlantedFaults:
         assert divergence.query == ("xml", "database")
         assert divergence.expected != divergence.actual
         assert "indexed" in divergence.describe()
+
+
+class TestChainLayer:
+    def test_chain_state_builds_for_multi_partition_docs(self):
+        oracle = DocumentOracle(SPEC)
+        assert oracle.chain_state is not None
+        assert oracle.check_chain(("xml", "database")) == []
+
+    def test_single_partition_docs_are_skipped(self):
+        oracle = DocumentOracle(
+            ("root", None, [("only", "xml database", [])])
+        )
+        assert oracle.chain_state is None
+        assert oracle.check_chain(("xml",)) == []
+
+    def test_compaction_mismatch_reported_once(self):
+        oracle = DocumentOracle(SPEC)
+        chain_engine, blocked_engine, _ = oracle.chain_state
+        oracle._chain_state = (chain_engine, blocked_engine, False)
+        first = oracle.check_chain(("xml", "database"))
+        assert "chain:compaction" in {d.kind for d in first}
+        again = oracle.check_chain(("xml", "database"))
+        assert "chain:compaction" not in {d.kind for d in again}
+
+    def test_blocked_posting_fault_detected(self):
+        oracle = DocumentOracle(SPEC)
+        chain_engine, blocked_engine, identical = oracle.chain_state
+        # Plant: the blocked view serves a truncated posting list.
+        term = "xml"
+        lists = blocked_engine.index.inverted
+        real = lists.get
+
+        class Truncated:
+            def __init__(self, source):
+                self._source = source
+
+            @property
+            def postings(self):
+                return list(self._source.postings)[:-1]
+
+            def __iter__(self):
+                return iter(self.postings)
+
+            def __len__(self):
+                return len(self.postings)
+
+            def __getattr__(self, name):
+                return getattr(self._source, name)
+
+        class Faulty:
+            def get(self, keyword):
+                found = real(keyword)
+                return Truncated(found) if keyword == term else found
+
+            def __getattr__(self, name):
+                return getattr(lists, name)
+
+        blocked_engine.index.inverted = Faulty()
+        try:
+            divergences = oracle.check_chain(("xml", "database"))
+        finally:
+            blocked_engine.index.inverted = lists
+        assert "blocked:postings" in {d.kind for d in divergences}
