@@ -236,6 +236,49 @@ def main(argv=None):
             f"(x{speedup:.2f} vs pre-kernel baseline)"
         )
 
+    if "scoring" not in current:
+        print(
+            "malformed report: missing 'scoring' section", file=sys.stderr
+        )
+        return 2
+    scoring = current["scoring"]
+    ns = scoring["ns_per_candidate"]
+    limit = bench_hotpath.SCORING_NS_PER_CANDIDATE_LIMIT
+    print(
+        f"batch scoring: {ns:.0f} ns/candidate over "
+        f"{scoring['candidates_per_pass']} candidates (limit {limit})"
+    )
+    if ns > limit:
+        # Absolute and size-independent (per-candidate cost does not
+        # scale with the smoke corpus), so smoke runs gate it too.
+        print(
+            f"FAIL: batch scoring costs {ns:.0f} ns/candidate, over the "
+            f"{limit} ns limit",
+            file=sys.stderr,
+        )
+        return 1
+    baseline_scoring = baseline.get("scoring")
+    if baseline_scoring is None:
+        print(
+            "baseline has no 'scoring' section — regenerate it with the "
+            "command in this file's docstring and re-commit",
+            file=sys.stderr,
+        )
+        return 2
+    reference = baseline_scoring["ns_per_candidate"]
+    relative_limit = reference * (1.0 + args.threshold)
+    if ns > relative_limit and ns > limit / 2:
+        # The relative check only bites when the absolute cost is also
+        # within a factor of the hard limit: a fast baseline host must
+        # not fail a merely ordinary one.
+        print(
+            f"FAIL: batch scoring regressed {ns / reference - 1.0:+.0%} "
+            f"over the committed baseline ({reference:.0f} ns/candidate)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: batch scoring per-candidate cost is within budget")
+
     if "serve" not in current:
         print(
             "malformed report: missing 'serve' section", file=sys.stderr

@@ -262,6 +262,84 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _cmd_bench(args, out):
+    """Serve a generated workload per algorithm; report latency."""
+    import math
+    import random
+    import time
+
+    from .perf import profiling
+    from .workload import WorkloadGenerator
+
+    index = _load_document_index(args.source)
+    generator = WorkloadGenerator(index, seed=args.seed)
+    pool = []
+    for position in range(args.queries):
+        if position % 5 < 3:
+            pool.append(list(generator.refinable_query().query))
+        else:
+            pool.append(list(generator.clean_query().query))
+    rng = random.Random(args.seed + 1)
+    weights = [1.0 / rank for rank in range(1, len(pool) + 1)]
+    log = rng.choices(pool, weights=weights, k=args.requests)
+
+    def percentile(ordered, fraction):
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
+
+    algorithms = (args.algorithm,) if args.algorithm else ALGORITHMS
+    print(
+        f"bench: {len(log)} requests over {len(pool)} unique queries "
+        f"(cache disabled, one warmup pass per algorithm)",
+        file=out,
+    )
+    for algorithm in algorithms:
+        engine = XRefine(index, cache_size=0)
+        try:
+            for query in log:  # warmup: calibration, plan + memo state
+                engine.search(query, k=args.k, algorithm=algorithm)
+            latencies = []
+            if args.profile:
+                profiling.start()
+            for query in log:
+                began = time.perf_counter()
+                engine.search(query, k=args.k, algorithm=algorithm)
+                latencies.append(time.perf_counter() - began)
+            profile = profiling.stop()
+        finally:
+            engine.close()
+        ordered = sorted(latencies)
+        print(
+            f"  {algorithm:<10} p50 {percentile(ordered, 0.50) * 1000:7.3f}"
+            f"  p95 {percentile(ordered, 0.95) * 1000:7.3f}"
+            f"  p99 {percentile(ordered, 0.99) * 1000:7.3f} ms"
+            f"   total {sum(latencies) * 1000:8.1f} ms",
+            file=out,
+        )
+        if profile is not None:
+            # Exclusive per-phase seconds; everything the markers do
+            # not cover (rule mining, context setup, planning) is the
+            # remainder against the measured wall time.
+            wall = sum(latencies)
+            accounted = 0.0
+            for name in ("decode", "merge", "admit", "score"):
+                seconds = profile.totals.get(name, 0.0)
+                accounted += seconds
+                share = seconds / wall * 100 if wall else 0.0
+                print(
+                    f"      {name:<7} {seconds * 1000:8.1f} ms "
+                    f"({share:5.1f}%)",
+                    file=out,
+                )
+            other = max(wall - accounted, 0.0)
+            share = other / wall * 100 if wall else 0.0
+            print(
+                f"      other   {other * 1000:8.1f} ms ({share:5.1f}%)",
+                file=out,
+            )
+    return 0
+
+
 def _cmd_verify_diff(args, out):
     from .verify.runner import verify_diff
 
@@ -433,6 +511,30 @@ def build_parser():
         help="admission-control cap; excess requests get 429",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    bench = commands.add_parser(
+        "bench",
+        help="serve a generated workload per algorithm and report "
+        "p50/p95/p99 latency (--profile adds a per-phase breakdown)",
+    )
+    bench.add_argument("source", help="saved index dir, snapshot, or .xml")
+    bench.add_argument("--queries", type=int, default=8,
+                       help="unique queries in the generated pool")
+    bench.add_argument("--requests", type=int, default=48,
+                       help="total Zipf-weighted log requests")
+    bench.add_argument("--seed", type=int, default=23)
+    bench.add_argument("-k", type=int, default=2)
+    bench.add_argument(
+        "--algorithm", choices=ALGORITHMS, default=None,
+        help="bench only this algorithm (default: all four)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="emit the per-route phase breakdown (decode / merge / "
+        "admit / score, exclusive perf_counter seconds) alongside "
+        "the percentiles",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     verify = commands.add_parser(
         "verify-diff",

@@ -112,6 +112,20 @@ class RQSortedList:
             return float("inf")
         return self._entries[k - 1][0]
 
+    def worst_order(self):
+        """``(dissimilarity, key order)`` of the worst kept entry.
+
+        The admission threshold as a comparable tuple — the batch
+        admission sweep (:mod:`repro.kernels.scoring`) compares whole
+        candidate columns against it.  Only meaningful when the list
+        is full (``None`` otherwise, like ``max_dissimilarity``'s
+        ``inf``).
+        """
+        if not self.is_full:
+            return None
+        worst_ds, worst_key, _ = self._entries[-1]
+        return (worst_ds, worst_key)
+
     def would_admit(self, refined_query):
         """True when :meth:`insert` could keep this candidate.
 

@@ -33,8 +33,17 @@ from __future__ import annotations
 
 import time
 
-from ..kernels import PresenceBoundCache, columns_for, slca_ranges
+from ..kernels import (
+    PresenceBoundCache,
+    admission_sweep,
+    columns_for,
+    partition_presence,
+    prepare_beam,
+    presence_ready,
+    slca_ranges,
+)
 from ..lexicon.rules import RuleSet
+from ..perf.profiling import phase
 from .candidates import RQSortedList
 from .common import QueryContext, rank_candidates
 from .dp import get_top_optimal_rqs
@@ -70,8 +79,9 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     # presence bitmasks fed to the block-max bound.
     lanes = list(dict.fromkeys(context.keyword_space))
     lane_of = {keyword: lane for lane, keyword in enumerate(lanes)}
-    columns = {keyword: columns_for(context.lists[keyword])
-               for keyword in lanes}
+    with phase("decode"):
+        columns = {keyword: columns_for(context.lists[keyword])
+                   for keyword in lanes}
     remaining = {
         keyword
         for keyword in context.keyword_space
@@ -108,6 +118,36 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     for rule in rules:
         lhs_keywords.update(rule.lhs)
 
+    # Batch presence: when every lane's partition table is resident
+    # (always true for eager columns; blocked columns only after a
+    # whole-list consumer paid for the decode), the whole probe phase
+    # of an anchor round is one merge-join over flat tables instead of
+    # per-partition dict lookups.  Blocked indexes keep the header-first
+    # probe loop — the batch path must never force a lazy decode.
+    batch_ready = presence_ready(lane_columns)
+    nlanes = len(lanes)
+    present_of_mask = {}  # lane mask -> frozenset of present keywords
+    prepared_memo = {}    # present frozenset -> PreparedBeam
+
+    def present_for(mask):
+        cached = present_of_mask.get(mask)
+        if cached is None:
+            cached = frozenset(
+                lanes[lane] for lane in range(nlanes) if mask >> lane & 1
+            )
+            present_of_mask[mask] = cached
+        return cached
+
+    def build_row_sublists(spans_flat, base):
+        built = {}
+        for lane in range(nlanes):
+            lo = spans_flat[base + 2 * lane]
+            if lo >= 0:
+                built[lanes[lane]] = (
+                    lane_columns[lane], lo, spans_flat[base + 2 * lane + 1]
+                )
+        return built
+
     def choose_keyword():
         """The paper's smart choice of the next keyword to anchor on.
 
@@ -129,133 +169,190 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     # ------------------------------------------------------------------
     # Step 1: explore Top-2K candidates.
     # ------------------------------------------------------------------
-    while remaining:
-        anchor_keyword = choose_keyword()
-
-        for partition_id in columns[anchor_keyword].pids:
-            if partition_id in visited_partitions:
-                continue
-            visited_partitions.add(partition_id)
-            stats.partitions_visited += 1
-
-            # Block-max pre-screen: reject the partition from the
-            # block headers alone, before a single posting block is
-            # decoded or probe runs.  ``header_bound`` masks are
-            # supersets of the real presence masks, so the bound can
-            # only be lower than the post-probe one — pruning on it is
-            # answer-identical.  A partition that may still hold every
-            # query keyword is never pre-screened, so original-result
-            # discovery sees exactly the partitions it always did.
-            if sorted_list.is_full or not needs_refine:
-                bound, may_mask = presence_bound.header_bound(
-                    partition_id, lane_columns
+    with phase("admit"):
+        while remaining:
+            anchor_keyword = choose_keyword()
+            anchor_columns = columns[anchor_keyword]
+            if batch_ready:
+                # The whole round's probe phase at once: per anchor
+                # partition, the presence mask and every lane's posting
+                # span, from one merge-join (compiled when the backend is).
+                with phase("merge"):
+                    masks, spans_flat = partition_presence(
+                        anchor_columns, lane_columns
+                    )
+                # The sequential loop counted one probe per keyword-space
+                # entry (duplicates included) that differs from the anchor,
+                # for every partition that passed the pre-screen.
+                probes_per_partition = sum(
+                    1 for keyword in context.keyword_space
+                    if keyword != anchor_keyword
                 )
-                query_may = query_covered and (
-                    may_mask & query_lane_mask == query_lane_mask
-                )
+            else:
+                masks = None
+
+            for pindex, partition_id in enumerate(anchor_columns.pids):
+                if partition_id in visited_partitions:
+                    continue
+                visited_partitions.add(partition_id)
+                stats.partitions_visited += 1
+
+                sublists = None  # keyword -> (ListColumns, lo, hi)
+                base = pindex * nlanes * 2
+                if masks is not None:
+                    mask = masks[pindex]
+                    # Pre-screen from the batch mask: for resident tables
+                    # the mask is exact, so the decisions coincide with the
+                    # header screen's (whose may-masks are supersets that
+                    # collapse to the truth on eager columns).
+                    if sorted_list.is_full or not needs_refine:
+                        query_may = query_covered and (
+                            mask & query_lane_mask == query_lane_mask
+                        )
+                        if not needs_refine:
+                            # Only original results remain; a partition
+                            # that cannot hold all of Q's keywords has
+                            # nothing left to offer.
+                            if not query_may:
+                                stats.partitions_skipped += 1
+                                continue
+                        elif (
+                            not query_may
+                            and presence_bound.lower_bound(mask)
+                            > sorted_list.max_dissimilarity()
+                        ):
+                            stats.partitions_skipped += 1
+                            continue
+                    stats.probes += probes_per_partition
+                else:
+                    # Block-max pre-screen: reject the partition from the
+                    # block headers alone, before a single posting block is
+                    # decoded or probe runs.  ``header_bound`` masks are
+                    # supersets of the real presence masks, so the bound
+                    # can only be lower than the post-probe one — pruning
+                    # on it is answer-identical.  A partition that may
+                    # still hold every query keyword is never pre-screened,
+                    # so original-result discovery sees exactly the
+                    # partitions it always did.
+                    if sorted_list.is_full or not needs_refine:
+                        bound, may_mask = presence_bound.header_bound(
+                            partition_id, lane_columns
+                        )
+                        query_may = query_covered and (
+                            may_mask & query_lane_mask == query_lane_mask
+                        )
+                        if not needs_refine:
+                            if not query_may:
+                                stats.partitions_skipped += 1
+                                continue
+                        elif (
+                            not query_may
+                            and bound > sorted_list.max_dissimilarity()
+                        ):
+                            stats.partitions_skipped += 1
+                            continue
+
+                    # Random-access probes of every other keyword list: one
+                    # partition-table lookup each, no posting is touched.
+                    sublists = {}
+                    mask = 0
+                    for keyword in context.keyword_space:
+                        if keyword != anchor_keyword:
+                            stats.probes += 1
+                        span = columns[keyword].pid_range.get(partition_id)
+                        if span is not None:
+                            sublists[keyword] = (columns[keyword],) + span
+                            mask |= 1 << lane_of[keyword]
+
+                if query_covered and mask & query_lane_mask == query_lane_mask:
+                    stats.slca_invocations += 1
+                    if sublists is None:
+                        sublists = build_row_sublists(spans_flat, base)
+                    slcas = slca_ranges(
+                        [sublists[keyword] for keyword in context.query]
+                    )
+                    meaningful = context.meaningful_only(slcas)
+                    if meaningful:
+                        needs_refine = False
+                        original_results.extend(meaningful)
                 if not needs_refine:
-                    # Only original results remain; a partition that
-                    # cannot hold all of Q's keywords has nothing left
-                    # to offer.
-                    if not query_may:
+                    continue
+
+                # Per-partition skip bound (mirrors Partition's
+                # optimization 2): once the Top-2K list is full, a
+                # partition whose cheapest derivable RQ provably exceeds
+                # the worst kept dissimilarity cannot change the list —
+                # new keys lose under the content order, and re-offers of
+                # kept keys at a worse dSim never mutate it.  The
+                # mask-memoized presence bound runs first (no DP at all);
+                # both comparisons are strict, so skipping is
+                # answer-identical.
+                if sorted_list.is_full:
+                    threshold = sorted_list.max_dissimilarity()
+                    if presence_bound.lower_bound(mask) > threshold:
                         stats.partitions_skipped += 1
                         continue
-                elif (
-                    not query_may
-                    and bound > sorted_list.max_dissimilarity()
+                    stats.dp_invocations += 1
+                    if probe_minimum(present_for(mask)) > threshold:
+                        stats.partitions_skipped += 1
+                        continue
+
+                stats.dp_invocations += 1
+                present_key = present_for(mask)
+                local_candidates = beam_memo.get(present_key)
+                if local_candidates is None:
+                    local_candidates = get_top_optimal_rqs(
+                        context.query, present_key, rules,
+                        sorted_list.capacity
+                    )
+                    beam_memo[present_key] = local_candidates
+                prepared = prepared_memo.get(present_key)
+                if prepared is None:
+                    prepared = prepare_beam(local_candidates)
+                    prepared_memo[present_key] = prepared
+                # Vectorized admission sweep, then the exact per-candidate
+                # re-check on survivors (see kernels/scoring.py for why the
+                # superset pre-filter is answer- and stats-identical).
+                for index_in_beam in admission_sweep(
+                    prepared, sorted_list, query_key
                 ):
-                    stats.partitions_skipped += 1
-                    continue
+                    rq = local_candidates[index_in_beam]
+                    already_kept = sorted_list.has_key(rq.key)
+                    if not already_kept and not sorted_list.would_admit(rq):
+                        continue
+                    if not already_kept:
+                        # Issue 2: a candidate may only occupy a Top-2K slot
+                        # when it is assured a *meaningful* match; a cheap
+                        # partition-local SLCA check (over the already
+                        # probed ranges) prevents meaningless candidates
+                        # from evicting real ones.  Full result sets are
+                        # still deferred to step 2.
+                        stats.slca_invocations += 1
+                        if sublists is None:
+                            sublists = build_row_sublists(spans_flat, base)
+                        local = slca_ranges(
+                            [sublists[keyword] for keyword in rq.keywords]
+                        )
+                        if not context.meaningful_only(local):
+                            continue
+                    sorted_list.insert(rq)
 
-            # Random-access probes of every other keyword list: one
-            # partition-table lookup each, no posting is touched.
-            sublists = {}  # keyword -> (ListColumns, lo, hi)
-            mask = 0
-            for keyword in context.keyword_space:
-                if keyword != anchor_keyword:
-                    stats.probes += 1
-                span = columns[keyword].pid_range.get(partition_id)
-                if span is not None:
-                    sublists[keyword] = (columns[keyword],) + span
-                    mask |= 1 << lane_of[keyword]
-            present = set(sublists)
-
-            if query_set and query_set <= present:
-                stats.slca_invocations += 1
-                slcas = slca_ranges(
-                    [sublists[keyword] for keyword in context.query]
-                )
-                meaningful = context.meaningful_only(slcas)
-                if meaningful:
-                    needs_refine = False
-                    original_results.extend(meaningful)
+            remaining.discard(anchor_keyword)
             if not needs_refine:
+                # Q's SLCAs may still exist in partitions only reachable
+                # through other keywords; keep iterating only over lists of
+                # Q's own keywords to complete the original results.
+                remaining.intersection_update(query_set)
                 continue
 
-            # Per-partition skip bound (mirrors Partition's
-            # optimization 2): once the Top-2K list is full, a
-            # partition whose cheapest derivable RQ provably exceeds
-            # the worst kept dissimilarity cannot change the list —
-            # new keys lose under the content order, and re-offers of
-            # kept keys at a worse dSim never mutate it.  The
-            # mask-memoized presence bound runs first (no DP at all);
-            # both comparisons are strict, so skipping is
-            # answer-identical.
-            if sorted_list.is_full:
-                threshold = sorted_list.max_dissimilarity()
-                if presence_bound.lower_bound(mask) > threshold:
-                    stats.partitions_skipped += 1
-                    continue
+            # Stop condition: C_potential over the remaining keywords,
+            # seeded against the best (tightest) Top-2K threshold carried
+            # across anchor rounds.  Shares the 1-beam probe memo — the
+            # same pure DP over a different keyword set.
+            if sorted_list.is_full and remaining:
                 stats.dp_invocations += 1
-                if probe_minimum(present) > threshold:
-                    stats.partitions_skipped += 1
-                    continue
-
-            stats.dp_invocations += 1
-            present_key = frozenset(present)
-            local_candidates = beam_memo.get(present_key)
-            if local_candidates is None:
-                local_candidates = get_top_optimal_rqs(
-                    context.query, present, rules, sorted_list.capacity
-                )
-                beam_memo[present_key] = local_candidates
-            for rq in local_candidates:
-                if rq.key == query_key:
-                    continue
-                already_kept = sorted_list.has_key(rq.key)
-                if not already_kept and not sorted_list.would_admit(rq):
-                    continue
-                if not already_kept:
-                    # Issue 2: a candidate may only occupy a Top-2K slot
-                    # when it is assured a *meaningful* match; a cheap
-                    # partition-local SLCA check (over the already
-                    # probed ranges) prevents meaningless candidates
-                    # from evicting real ones.  Full result sets are
-                    # still deferred to step 2.
-                    stats.slca_invocations += 1
-                    local = slca_ranges(
-                        [sublists[keyword] for keyword in rq.keywords]
-                    )
-                    if not context.meaningful_only(local):
-                        continue
-                sorted_list.insert(rq)
-
-        remaining.discard(anchor_keyword)
-        if not needs_refine:
-            # Q's SLCAs may still exist in partitions only reachable
-            # through other keywords; keep iterating only over lists of
-            # Q's own keywords to complete the original results.
-            remaining.intersection_update(query_set)
-            continue
-
-        # Stop condition: C_potential over the remaining keywords,
-        # seeded against the best (tightest) Top-2K threshold carried
-        # across anchor rounds.  Shares the 1-beam probe memo — the
-        # same pure DP over a different keyword set.
-        if sorted_list.is_full and remaining:
-            stats.dp_invocations += 1
-            if probe_minimum(remaining) > sorted_list.max_dissimilarity():
-                break
+                if probe_minimum(remaining) > sorted_list.max_dissimilarity():
+                    break
 
     # ------------------------------------------------------------------
     # Step 2: SLCA computation for the kept candidates only.
@@ -263,16 +360,17 @@ def short_list_eager(index, query, rules=None, model=None, k=1,
     ranked = []
     if needs_refine:
         candidate_map = {}
-        for rq in sorted_list.queries():
-            whole_lists = [
-                (columns[keyword], 0, columns[keyword].size)
-                for keyword in rq.keywords
-            ]
-            stats.slca_invocations += 1
-            slcas = slca_ranges(whole_lists)
-            meaningful = context.meaningful_only(slcas)
-            if meaningful:
-                candidate_map[rq.key] = (rq, meaningful)
+        with phase("merge"):
+            for rq in sorted_list.queries():
+                whole_lists = [
+                    (columns[keyword], 0, columns[keyword].size)
+                    for keyword in rq.keywords
+                ]
+                stats.slca_invocations += 1
+                slcas = slca_ranges(whole_lists)
+                meaningful = context.meaningful_only(slcas)
+                if meaningful:
+                    candidate_map[rq.key] = (rq, meaningful)
         ranked = rank_candidates(context, model, candidate_map)
     else:
         original_results = sorted(set(original_results))

@@ -9,7 +9,11 @@ operations over columnar views of the inverted lists:
 * :mod:`.slca` — columnar Scan Eager: candidate depths for a whole
   anchor range per matcher sweep.
 * :mod:`.lcp` — the merged-stream adjacent-LCP table that makes the
-  stack route's LCA depth an indexed lookup.
+  stack route's LCA depth an indexed lookup, plus the sibling-leaf
+  run encoding the stack route retires whole chains with.
+* :mod:`.scoring` — batch candidate scoring: partition presence as a
+  merge-join over flat tables, Top-2K admission as one threshold
+  sweep, Formula 2-9 ranking over memoized lookup columns.
 * :mod:`.bounds` — presence bounds memoized by block bitmask (the
   WAND-style skip pre-check).
 * :mod:`.backend` — compiled (cffi + cc) fast path selection with a
@@ -28,20 +32,45 @@ from .columns import (  # noqa: F401
     columns_for,
     columns_of_labels,
     partition_view,
+    partition_view_masked,
 )
-from .lcp import merged_lcp  # noqa: F401
+from .lcp import merged_lcp, merged_lcp_runs  # noqa: F401
+from .scoring import (  # noqa: F401
+    PreparedBeam,
+    ScoreTable,
+    admission_sweep,
+    batch_dependence,
+    batch_similarity,
+    partition_presence,
+    prepare_beam,
+    presence_ready,
+    score_table,
+    supported_model,
+)
 from .slca import slca_columns, slca_ranges  # noqa: F401
 
 __all__ = [
     "BlockedListColumns",
     "ListColumns",
+    "PreparedBeam",
     "PresenceBoundCache",
+    "ScoreTable",
+    "admission_sweep",
     "backend_name",
+    "batch_dependence",
+    "batch_similarity",
     "columns_for",
     "columns_of_labels",
     "compiled",
     "merged_lcp",
+    "merged_lcp_runs",
+    "partition_presence",
     "partition_view",
+    "partition_view_masked",
+    "prepare_beam",
+    "presence_ready",
+    "score_table",
     "slca_columns",
     "slca_ranges",
+    "supported_model",
 ]

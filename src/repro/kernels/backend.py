@@ -42,9 +42,23 @@ void repro_slca_fold(const int64_t *a_flat, const int64_t *a_offs,
                      const int64_t *m_flat, const int64_t *m_offs,
                      int64_t m_lo, int64_t m_hi,
                      int64_t *depths);
+void repro_slca_all(const int64_t *a_flat, const int64_t *a_offs,
+                    int64_t a_lo, int64_t a_hi,
+                    const int64_t **m_flats, const int64_t **m_offs,
+                    const int64_t *m_los, const int64_t *m_his,
+                    int64_t nmatchers, int64_t *depths);
 void repro_merge_lcp(const int64_t **flats, const int64_t **offs,
                      const int64_t *lens, int64_t nlists,
                      int32_t *lanes, int64_t *lcps);
+void repro_merge_lcp_runs(const int64_t **flats, const int64_t **offs,
+                          const int64_t *lens, int64_t nlists,
+                          int32_t *lanes, int64_t *lcps, int64_t *ends);
+void repro_partition_presence(const int64_t *a_pids, int64_t a_count,
+                              const int64_t **pid_arrs,
+                              const int64_t **lo_arrs,
+                              const int64_t **hi_arrs,
+                              const int64_t *counts, int64_t nlanes,
+                              int64_t *masks, int64_t *spans);
 """
 
 _C_SOURCE = r"""
@@ -144,6 +158,25 @@ void repro_slca_fold(const int64_t *a_flat, const int64_t *a_offs,
     }
 }
 
+/* One-call batch SLCA: initialize every anchor's candidate depth to
+ * its own length, then fold every matcher range with repro_slca_fold's
+ * loop — a single entry point, so the per-matcher FFI crossings and
+ * the Python-side depth initialization disappear from the hot path. */
+void repro_slca_all(const int64_t *a_flat, const int64_t *a_offs,
+                    int64_t a_lo, int64_t a_hi,
+                    const int64_t **m_flats, const int64_t **m_offs,
+                    const int64_t *m_los, const int64_t *m_his,
+                    int64_t nmatchers, int64_t *depths)
+{
+    int64_t i, m;
+    for (i = a_lo; i < a_hi; i++)
+        depths[i - a_lo] = a_offs[i + 1] - a_offs[i];
+    for (m = 0; m < nmatchers; m++)
+        repro_slca_fold(a_flat, a_offs, a_lo, a_hi,
+                        m_flats[m], m_offs[m], m_los[m], m_his[m],
+                        depths);
+}
+
 /* Merged document-order scan over nlists sorted key columns.  Emits,
  * per merged posting, the source lane and the LCP against the
  * previous merged key (0 for the first) — the precomputed table the
@@ -189,6 +222,112 @@ void repro_merge_lcp(const int64_t **flats, const int64_t **offs,
         prev_key = best_key;
         prev_len = best_len;
         out++;
+    }
+}
+
+/* repro_merge_lcp plus a sibling-leaf run table: ends[i] is the last
+ * index of the maximal chain starting at i in which every entry comes
+ * from the same lane as its predecessor, has the same key length, and
+ * shares all but the final component (lcp == len - 1).  Such chains
+ * are runs of sibling leaves in the merged stream: the stack route's
+ * pop for each is a single-frame pop whose effect is statically known,
+ * so the consumer can retire a whole run in O(1) instead of per frame.
+ */
+void repro_merge_lcp_runs(const int64_t **flats, const int64_t **offs,
+                          const int64_t *lens, int64_t nlists,
+                          int32_t *lanes, int64_t *lcps, int64_t *ends)
+{
+    int64_t pos[64];
+    const int64_t *prev_key = 0;
+    int64_t prev_len = 0;
+    int64_t prev_lane = -1;
+    int64_t out = 0;
+    int64_t l, i, next_flag;
+    for (l = 0; l < nlists; l++)
+        pos[l] = 0;
+    for (;;) {
+        int64_t best = -1;
+        const int64_t *best_key = 0;
+        int64_t best_len = 0;
+        int64_t lcp;
+        for (l = 0; l < nlists; l++) {
+            const int64_t *key;
+            int64_t klen;
+            if (pos[l] >= lens[l])
+                continue;
+            key = flats[l] + offs[l][pos[l]];
+            klen = offs[l][pos[l] + 1] - offs[l][pos[l]];
+            if (best < 0 || key_cmp(key, klen, best_key, best_len) < 0) {
+                best = l;
+                best_key = key;
+                best_len = klen;
+            }
+        }
+        if (best < 0)
+            break;
+        pos[best]++;
+        lcp = prev_key ? key_lcp(prev_key, prev_len, best_key, best_len) : 0;
+        lanes[out] = (int32_t)best;
+        lcps[out] = lcp;
+        /* Stash the chain flag; the backward pass rewrites it below. */
+        ends[out] = (prev_lane == best && prev_len == best_len
+                     && lcp == best_len - 1) ? 1 : 0;
+        prev_key = best_key;
+        prev_len = best_len;
+        prev_lane = best;
+        out++;
+    }
+    next_flag = 0;
+    for (i = out - 1; i >= 0; i--) {
+        int64_t flag = ends[i];
+        ends[i] = (i + 1 < out && next_flag) ? ends[i + 1] : i;
+        next_flag = flag;
+    }
+}
+
+/* Batch partition presence: merge-join every lane's sorted partition
+ * table ((p0, p1) pid pairs with [lo, hi) posting spans) against the
+ * anchor lane's pid pairs.  For anchor partition index i, masks[i]
+ * collects one presence bit per matching lane and
+ * spans[(i * nlanes + lane) * 2 .. +1] its posting range (-1, -1 when
+ * the lane has no postings there) — the whole random-access probe
+ * phase of the short-list route in one pass over flat arrays. */
+void repro_partition_presence(const int64_t *a_pids, int64_t a_count,
+                              const int64_t **pid_arrs,
+                              const int64_t **lo_arrs,
+                              const int64_t **hi_arrs,
+                              const int64_t *counts, int64_t nlanes,
+                              int64_t *masks, int64_t *spans)
+{
+    int64_t i, lane;
+    for (i = 0; i < a_count; i++) {
+        masks[i] = 0;
+        for (lane = 0; lane < nlanes; lane++) {
+            spans[(i * nlanes + lane) * 2] = -1;
+            spans[(i * nlanes + lane) * 2 + 1] = -1;
+        }
+    }
+    for (lane = 0; lane < nlanes; lane++) {
+        const int64_t *pids = pid_arrs[lane];
+        const int64_t *los = lo_arrs[lane];
+        const int64_t *his = hi_arrs[lane];
+        int64_t count = counts[lane];
+        int64_t ai = 0, li = 0;
+        while (ai < a_count && li < count) {
+            int64_t a0 = a_pids[ai * 2], a1 = a_pids[ai * 2 + 1];
+            int64_t l0 = pids[li * 2], l1 = pids[li * 2 + 1];
+            if (a0 < l0 || (a0 == l0 && a1 < l1)) {
+                ai++;
+            } else if (l0 < a0 || (l0 == a0 && l1 < a1)) {
+                li++;
+            } else {
+                masks[ai] |= (int64_t)1 << lane;
+                spans[(ai * nlanes + lane) * 2] = los[li];
+                spans[(ai * nlanes + lane) * 2 + 1] = his[li];
+                ai++;
+                li++;
+            }
+        }
     }
 }
 """
@@ -243,6 +382,25 @@ class _CompiledKernels:
     def i64(self, buffer):
         """Borrow a Python buffer as ``const int64_t *`` (zero copy)."""
         return self.ffi.from_buffer("int64_t[]", buffer)
+
+
+def column_handles(lib, column):
+    """Cached ``(flat, offs)`` C pointers for a column's key arrays.
+
+    ``ffi.from_buffer`` casts are cheap but not free, and the hot path
+    re-casts the same immutable arrays thousands of times per run; the
+    cast pair is memoized on the column itself (``_c``), keyed by the
+    backend handle so a monkeypatched backend never sees stale
+    pointers.  The cdata objects pin the underlying buffers, which the
+    column owns anyway.
+    """
+    cached = column._c
+    if cached is not None and cached[0] is lib:
+        return cached[1], cached[2]
+    flat, offs = column.flat_offs()
+    handles = (lib, lib.i64(flat), lib.i64(offs))
+    column._c = handles
+    return handles[1], handles[2]
 
 
 #: The active compiled backend, or None for pure Python.  Selected once

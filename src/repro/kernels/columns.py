@@ -36,7 +36,12 @@ class ListColumns:
     """Partition table + flat component arrays for one key column."""
 
     __slots__ = ("keys", "size", "pids", "starts", "ends", "pid_range",
-                 "root_count", "_flat", "_offs")
+                 "root_count", "_flat", "_offs", "_pid_cols", "_c")
+
+    #: Eager columns always have their partition tables materialized;
+    #: the batch presence kernel keys off this to avoid forcing a
+    #: blocked column's lazy decode.
+    tables_ready = True
 
     def __init__(self, keys):
         #: Document-ordered component tuples (shared, read-only).
@@ -71,6 +76,28 @@ class ListColumns:
         self.root_count = root_count
         self._flat = None
         self._offs = None
+        self._pid_cols = None
+        self._c = None
+
+    def pid_cols(self):
+        """``(pid_flat, lo, hi)`` int64 arrays of the partition table.
+
+        ``pid_flat`` holds the two components of every pid back to
+        back; the batch presence kernel merge-joins these against
+        another column's.  Built on first use, cached for the column's
+        lifetime (the tables are immutable once constructed).
+        """
+        cols = self._pid_cols
+        if cols is None:
+            from array import array
+
+            pid_flat = array("q")
+            for pid in self.pids:
+                pid_flat.extend(pid)
+            cols = (pid_flat, array("q", self.starts),
+                    array("q", self.ends))
+            self._pid_cols = cols
+        return cols
 
     def flat_offs(self):
         """``(flat, offs)`` int64 arrays for the compiled kernels.
@@ -156,7 +183,7 @@ class BlockedListColumns:
 
     __slots__ = ("keys", "size", "pid_range", "_firsts", "_lasts",
                  "_pids", "_starts", "_ends", "_root_count",
-                 "_flat", "_offs")
+                 "_flat", "_offs", "_pid_cols", "_c")
 
     def __init__(self, blocked_list):
         self.keys = blocked_list.dewey_keys
@@ -169,6 +196,33 @@ class BlockedListColumns:
         self._root_count = 0
         self._flat = None
         self._offs = None
+        self._pid_cols = None
+        self._c = None
+
+    @property
+    def tables_ready(self):
+        """True only once the lazy partition table has materialized.
+
+        The batch presence path must never be the thing that forces a
+        blocked column resident — paging's sub-linear RSS depends on
+        header-first probes — so it only engages when a whole-list
+        consumer already paid for the table.
+        """
+        return self._pids is not None
+
+    def pid_cols(self):
+        """Same contract as :meth:`ListColumns.pid_cols` (full decode)."""
+        cols = self._pid_cols
+        if cols is None:
+            from array import array
+
+            pid_flat = array("q")
+            for pid in self.pids:
+                pid_flat.extend(pid)
+            cols = (pid_flat, array("q", self.starts),
+                    array("q", self.ends))
+            self._pid_cols = cols
+        return cols
 
     def may_contain(self, pid):
         """Header-only presence test — a superset of the truth.
@@ -295,14 +349,37 @@ def partition_view(columns):
     exactly the partitions a merged cursor scan would visit and the
     sublists it would slice, at per-partition-entry cost.
     """
+    return [
+        (pid, spans) for pid, spans, _mask, _n in
+        partition_view_masked(columns)
+    ]
+
+
+def partition_view_masked(columns):
+    """:func:`partition_view` plus per-partition presence summaries.
+
+    Returns ``[(pid, ranges, mask, postings), ...]`` where ``mask``
+    sets bit ``lane`` when ``ranges[lane]`` is present and ``postings``
+    is the total posting count across lanes — the two aggregates the
+    partition kernel previously recomputed per partition in Python,
+    now built during the same merge pass at no extra cost.
+    """
     lanes = len(columns)
     table = {}
     for lane, column in enumerate(columns):
         starts = column.starts
         ends = column.ends
+        bit = 1 << lane
         for i, pid in enumerate(column.pids):
             entry = table.get(pid)
             if entry is None:
-                entry = table[pid] = [None] * lanes
-            entry[lane] = (starts[i], ends[i])
-    return sorted(table.items())
+                entry = table[pid] = [[None] * lanes, 0, 0]
+            lo = starts[i]
+            hi = ends[i]
+            entry[0][lane] = (lo, hi)
+            entry[1] |= bit
+            entry[2] += hi - lo
+    return [
+        (pid, spans, mask, postings)
+        for pid, (spans, mask, postings) in sorted(table.items())
+    ]

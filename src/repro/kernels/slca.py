@@ -101,20 +101,30 @@ def slca_ranges(column_ranges):
     if lib is not None:
         from array import array
 
-        depths = array(
-            "q", (len(anchor_keys[i]) for i in range(a_lo, a_hi))
+        # One FFI crossing for the whole SLCA: depth initialization
+        # and every matcher fold happen inside repro_slca_all, with the
+        # per-column pointer casts memoized on the columns themselves.
+        depths = array("q", bytes(8 * count))
+        a_flat_c, a_offs_c = backend.column_handles(lib, anchor_columns)
+        ffi = lib.ffi
+        nmatchers = len(matchers)
+        m_flats = []
+        m_offs = []
+        m_los = array("q", bytes(8 * max(nmatchers, 1)))
+        m_his = array("q", bytes(8 * max(nmatchers, 1)))
+        for j, (column, m_lo, m_hi) in enumerate(matchers):
+            flat_c, offs_c = backend.column_handles(lib, column)
+            m_flats.append(flat_c)
+            m_offs.append(offs_c)
+            m_los[j] = m_lo
+            m_his[j] = m_hi
+        lib.lib.repro_slca_all(
+            a_flat_c, a_offs_c, a_lo, a_hi,
+            ffi.new("const int64_t *[]", m_flats),
+            ffi.new("const int64_t *[]", m_offs),
+            lib.i64(m_los), lib.i64(m_his), nmatchers,
+            lib.i64(depths),
         )
-        out = lib.i64(depths)
-        a_flat, a_offs = anchor_columns.flat_offs()
-        a_flat_c = lib.i64(a_flat)
-        a_offs_c = lib.i64(a_offs)
-        for column, m_lo, m_hi in matchers:
-            m_flat, m_offs = column.flat_offs()
-            lib.lib.repro_slca_fold(
-                a_flat_c, a_offs_c, a_lo, a_hi,
-                lib.i64(m_flat), lib.i64(m_offs), m_lo, m_hi,
-                out,
-            )
     else:
         depths = [len(anchor_keys[i]) for i in range(a_lo, a_hi)]
         for column, m_lo, m_hi in matchers:

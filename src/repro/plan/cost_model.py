@@ -15,11 +15,20 @@ Calibrations are persisted into frozen snapshots (format version 2;
 see :mod:`repro.index.frozen`) so a serving process starts with the
 constants measured at freeze time instead of paying the measurement
 cost itself.  The record carries its own one-byte version:
-:func:`decode_calibration` returns ``None`` for unknown record
-versions, and every consumer falls back to :data:`DEFAULT_CALIBRATION`
-/ on-the-fly micro-calibration, so snapshot/version skew degrades
-routing quality, never correctness — the planner's answers are
-byte-identical regardless of which calibration is loaded.
+:func:`decode_calibration` returns ``None`` for any version other
+than the current one, and every consumer falls back to
+:data:`DEFAULT_CALIBRATION` / on-the-fly micro-calibration, so
+snapshot/version skew degrades routing quality, never correctness —
+the planner's answers are byte-identical regardless of which
+calibration is loaded.
+
+Record version 3 re-pointed the measured primitives at the batch
+kernels (masked partition views, batch partition presence, the
+LCP-run merged scan) and added the ``batch_score`` per-candidate
+ranking cost.  Version-1/2 records measured the *old* primitives —
+their constants misprice the batch hot path — so they intentionally
+decode to ``None``, triggering one lazy micro-calibration instead of
+planning on stale numbers.
 """
 
 from __future__ import annotations
@@ -29,40 +38,39 @@ import time
 
 #: Field order is the wire order of the snapshot record — append only.
 _FIELDS = (
-    "scan_posting",     # partition-table build + merged view, per posting
-    "probe",            # one partition-table dict probe (SLE random access)
+    "scan_posting",     # partition-table build + masked view, per posting
+    "probe",            # batch partition presence, per lane-partition pair
     "dp_partial",       # refinement DP, per dp_units() unit
     "slca_posting",     # columnar batch SLCA kernel, per posting
-    "partition_visit",  # per-partition span/mask setup (Partition/SLE loop)
-    "stack_posting",    # merged-LCP scan (stack route), per posting
+    "partition_visit",  # per-partition work over the masked view
+    "stack_posting",    # LCP-run merged scan (stack route), per posting
     "dispatch",         # per-worker scatter/gather overhead (sharded path)
     "stack_push_pop",   # one stack frame push+pop pair (stack route)
+    "batch_score",      # batch ranking (Formulas 2-9), per candidate
 )
-
-#: The record-version-1 field prefix (snapshots frozen before the
-#: ``stack_push_pop`` field existed) — decodable forever.
-_FIELDS_V1 = _FIELDS[:7]
 
 #: Uncalibrated defaults (seconds) — conservative CPython estimates
 #: used when no measurement is available (version-skewed snapshot
 #: record, measurement failure).  Routing stays sane, just less sharp.
 _DEFAULTS = {
     "scan_posting": 1.2e-6,
-    "probe": 8.0e-7,
+    "probe": 4.0e-7,
     "dp_partial": 1.5e-6,
     "slca_posting": 1.5e-6,
-    "partition_visit": 3.0e-6,
+    "partition_visit": 1.5e-6,
     "stack_posting": 2.5e-6,
     "dispatch": 2.0e-4,
     "stack_push_pop": 4.0e-7,
+    "batch_score": 6.0e-6,
 }
 
 #: One-byte record version inside the snapshot's statistics section.
-#: Version 2 appended ``stack_push_pop``; version-1 records (older
-#: snapshots) still decode, with the new field at its default.
-_RECORD_VERSION = 2
+#: Version 3 re-pointed the measured loops at the batch kernels and
+#: appended ``batch_score``; version-1/2 records measured primitives
+#: the hot path no longer runs, so they decode to ``None`` and the
+#: loader re-measures lazily (see the module docstring).
+_RECORD_VERSION = 3
 _RECORD = struct.Struct("<B%dd" % len(_FIELDS))
-_RECORD_V1 = struct.Struct("<B%dd" % len(_FIELDS_V1))
 
 
 class Calibration:
@@ -129,24 +137,19 @@ def encode_calibration(calibration):
 def decode_calibration(raw):
     """Unpack a snapshot calibration record.
 
-    Returns ``None`` (→ caller falls back to defaults) when the record
-    version or size is unknown — the forward-compatibility valve for
-    snapshots written by newer builds.  Version-1 records (written
-    before ``stack_push_pop`` was measured) decode with the missing
-    field at its default, so older snapshots keep their measured
-    constants instead of losing them all to version skew.
+    Returns ``None`` (→ caller falls back to defaults, or lazily
+    re-measures) for any version or size other than the current
+    record's — both the forward-compatibility valve for snapshots
+    written by newer builds and the deliberate invalidation of
+    version-1/2 records, whose constants were measured against
+    pre-batch primitives and would misprice the current hot path.
     """
-    if len(raw) == _RECORD.size:
-        version, *values = _RECORD.unpack(raw)
-        if version == _RECORD_VERSION:
-            return Calibration("snapshot", **dict(zip(_FIELDS, values)))
+    if len(raw) != _RECORD.size:
         return None
-    if len(raw) == _RECORD_V1.size:
-        version, *values = _RECORD_V1.unpack(raw)
-        if version == 1:
-            return Calibration("snapshot", **dict(zip(_FIELDS_V1, values)))
+    version, *values = _RECORD.unpack(raw)
+    if version != _RECORD_VERSION:
         return None
-    return None
+    return Calibration("snapshot", **dict(zip(_FIELDS, values)))
 
 
 # ----------------------------------------------------------------------
@@ -169,17 +172,19 @@ def micro_calibrate(repeats=3):
 
     Total cost is a few milliseconds; the loops exercise the exact
     batch primitives the scan kernels run (cold partition-table builds
-    plus the merged partition view, ``pid_range`` dict probes, the
-    real refinement DP, the columnar batch SLCA kernel, the merged-LCP
-    scan with its stack-depth walk) so relative magnitudes track both
-    the machine *and the active kernel backend* actually serving
-    queries — a compiled fast path calibrates to its own speed.
+    plus the masked partition view, the batch presence merge-join, the
+    real refinement DP, the columnar batch SLCA kernel, the LCP-run
+    merged scan with its stack-depth walk, the warm-memo batch scorer)
+    so relative magnitudes track both the machine *and the active
+    kernel backend* actually serving queries — a compiled fast path
+    calibrates to its own speed.
     """
     from ..core.dp import get_top_optimal_rqs
     from ..kernels import (
         ListColumns,
-        merged_lcp,
-        partition_view,
+        merged_lcp_runs,
+        partition_presence,
+        partition_view_masked,
         slca_ranges,
     )
     from ..lexicon.rules import RuleSet
@@ -196,32 +201,29 @@ def micro_calibrate(repeats=3):
     def run_partition_scan():
         # Cold columns each run: the partition-table build is the
         # kernels' only per-list pass over the postings, and the
-        # merged view is the scan Algorithm 2 consumes.
-        partition_view([ListColumns(keys) for keys in lists])
+        # masked view is the merge Algorithm 2 consumes.
+        partition_view_masked([ListColumns(keys) for keys in lists])
 
     scan_posting = _best_of(repeats, run_partition_scan) / scan_total
 
-    table = columns[0].pid_range
-    probe_pids = [(0, p) for p in range(32)] * 8
+    # SLE's probe phase is the batch presence merge-join; one "probe"
+    # is one lane-partition pair of its output.
+    presence_pairs = len(columns[0].pids) * len(columns)
 
     def run_probes():
-        get = table.get
-        for pid in probe_pids:
-            get(pid)
+        partition_presence(columns[0], columns)
 
-    probe = _best_of(repeats, run_probes) / len(probe_pids)
+    probe = _best_of(repeats, run_probes) / presence_pairs
 
-    view = partition_view(columns)
+    view = partition_view_masked(columns)
 
     def run_partition_visits():
-        for _pid, spans in view:
-            sublists = {}
-            mask = 0
-            for lane, span in enumerate(spans):
-                if span is None:
-                    continue
-                sublists[lane] = span
-                mask |= 1 << lane
+        # The per-partition work left in the Algorithm-2 loop: consume
+        # the precomputed mask/posting aggregates and test presence.
+        query_mask = 0b11
+        for _pid, _spans, mask, postings in view:
+            _covered = mask & query_mask == query_mask
+            _total = postings
 
     partition_visit = _best_of(repeats, run_partition_visits) / len(view)
 
@@ -248,9 +250,9 @@ def micro_calibrate(repeats=3):
     slca_posting = _best_of(repeats, run_slca) / (4 * slca_total)
 
     def run_stack():
-        # The merged-LCP table plus the per-posting stack-depth walk
-        # that consumes it — the stack route's whole scan.
-        _lanes, lcps = merged_lcp(columns)
+        # The LCP-run table plus the per-posting stack-depth walk that
+        # consumes it — the stack route's whole scan.
+        _lanes, lcps, _ends = merged_lcp_runs(columns)
         depth = 0
         for lcp in lcps:
             if lcp < depth:
@@ -277,6 +279,49 @@ def micro_calibrate(repeats=3):
 
     stack_push_pop = _best_of(repeats, run_push_pop) / pair_count
 
+    # Warm-memo batch ranking: score synthetic candidates through the
+    # real Formula 2-9 replay with every lookup column prefilled —
+    # exactly the steady state rank_candidates runs in.
+    from ..core.candidates import RefinedQuery
+    from ..core.ranking.model import RankingModel
+    from ..kernels.scoring import (
+        ScoreTable,
+        batch_dependence,
+        batch_similarity,
+    )
+
+    class _SearchFor:
+        __slots__ = ("node_type", "confidence")
+
+        def __init__(self, node_type, confidence):
+            self.node_type = node_type
+            self.confidence = confidence
+
+    model = RankingModel()
+    search_for = [_SearchFor("article", 0.7), _SearchFor("book", 0.3)]
+    score_keywords = ("alpha", "beta", "gamma")
+    candidates = [
+        RefinedQuery(score_keywords[: 1 + (i % 3)], i % 4)
+        for i in range(16)
+    ]
+    table = ScoreTable(0)
+    for sf in search_for:
+        table.g[sf.node_type] = 64
+        for k in score_keywords:
+            table.tf[(k, sf.node_type)] = 3
+            table.ki[(k, sf.node_type)] = 0.5
+            for ki in score_keywords:
+                table.pair[(ki, k, sf.node_type)] = 0.25
+
+    def run_batch_score():
+        for rq in candidates:
+            batch_similarity(
+                table, None, model, rq, score_keywords, search_for
+            )
+            batch_dependence(table, None, model, rq, search_for)
+
+    batch_score = _best_of(repeats, run_batch_score) / len(candidates)
+
     return Calibration(
         "measured",
         scan_posting=scan_posting,
@@ -287,6 +332,7 @@ def micro_calibrate(repeats=3):
         stack_posting=stack_posting,
         dispatch=_DEFAULTS["dispatch"],
         stack_push_pop=stack_push_pop,
+        batch_score=batch_score,
     )
 
 

@@ -262,6 +262,10 @@ class QueryPlanner:
     #: direct hits, which saturates the clamped drift correction), so a
     #: narrow predicted win over SLE is more often model error than a
     #: real one — and SLE's actuals track its estimate closely.
+    #: Re-swept after the v3 recalibration (batch-score term, stack
+    #: costed from the LCP-run scan): 0.7-0.8 tie for the best routing
+    #: accuracy on the pinned bench pool while 0.9-1.0 lose several
+    #: points — the stack tail persists, so the margin stays.
     STACK_VS_SLE_MARGIN = 0.7
     #: Learned per-route corrections: the static model's systematic
     #: bias (e.g. SLE's step 2 running ~1.5x its estimate on a given
@@ -421,11 +425,16 @@ class QueryPlanner:
         # steady-state bound on how many such improvements remain.
         full_beams = min(partitions, 2 * beam)
 
+        # Every serial route finishes with one batch-ranking pass over
+        # the kept candidates (at most the list capacity).
+        ranking = cal.batch_score * beam
+
         partition = (
             cal.scan_posting * features.total_postings
             + partitions * (cal.partition_visit + dp1)
             + full_beams * dp_beam
             + cal.slca_posting * features.total_postings
+            + ranking
         )
         if features.direct_hit_predicted and partitions:
             # A direct hit collapses the global bound to dSim = 0 at
@@ -447,6 +456,7 @@ class QueryPlanner:
                 + (partitions - prefix) * cal.probe
                 + min(prefix, full_beams) * dp_beam
                 + cal.slca_posting * features.total_postings * fraction
+                + ranking
             )
         estimates = {"partition": partition}
 
@@ -462,6 +472,7 @@ class QueryPlanner:
                 * cal.slca_posting
                 * features.avg_list_length
                 * max(1, query_len - 1)
+                + ranking
             )
 
         if features.direct_hit_predicted:
@@ -473,6 +484,7 @@ class QueryPlanner:
                 * features.total_postings
                 + dp1 * min(partitions, 16)
                 + cal.slca_posting * features.query_postings
+                + ranking
             )
 
         if parallelism > 1:

@@ -38,10 +38,12 @@ path that must agree:
   diffed against a per-node recomputation of the same answer: the
   columnar SLCA kernel against the classic forward-pointer scan, the
   merged-LCP table against a naive sort-and-compare pass, the
-  partition view against a posting-by-posting regrouping, and the
+  partition view against a posting-by-posting regrouping, the
   mask-memoized presence bound against
   :class:`~repro.core.dp.MissingKeywordBound` over every presence
-  subset.
+  subset, and the batch Formula 2-9 scorer against the per-node
+  ranking model's ``similarity_score`` / ``dependence_score`` (exact
+  float equality — the byte-identity contract).
 
 A failed comparison is a :class:`Divergence` — a plain record carrying
 enough context for the shrinker to reproduce and reduce it.
@@ -59,6 +61,9 @@ from ..core.short_list_eager import short_list_eager
 from ..core.stack_refine import stack_refine
 from ..kernels import (
     PresenceBoundCache,
+    ScoreTable,
+    batch_dependence,
+    batch_similarity,
     columns_for,
     merged_lcp,
     partition_view,
@@ -825,6 +830,60 @@ class DocumentOracle:
             "mask-memoized presence bound != MissingKeywordBound",
             expected_bounds, actual_bounds,
         )
+
+        # Batch Formula 2-9 scoring vs the per-node ranking model: the
+        # vectorized scorer promises byte-identical floats, so every DP
+        # beam candidate's (similarity, dependence) pair is recomputed
+        # through the reference ``model.*_score`` methods and compared
+        # with ``==`` — no tolerance.
+        from ..core.common import QueryContext
+        from ..core.dp import get_top_optimal_rqs
+        from ..core.ranking.model import full_model
+
+        context = QueryContext(self.index, terms, rules)
+        present = {
+            keyword
+            for keyword in context.keyword_space
+            if len(context.lists[keyword]) > 0
+        }
+        candidates = (
+            get_top_optimal_rqs(
+                context.query, present, rules, max(2 * self.k, 2)
+            )
+            if present
+            else []
+        )
+        if candidates:
+            model = full_model()
+            table = ScoreTable(0)
+            expected_scores = [
+                (
+                    model.similarity_score(
+                        self.index, rq, context.query, context.search_for
+                    ),
+                    model.dependence_score(
+                        self.index, rq, context.search_for
+                    ),
+                )
+                for rq in candidates
+            ]
+            actual_scores = [
+                (
+                    batch_similarity(
+                        table, self.index, model, rq, context.query,
+                        context.search_for,
+                    ),
+                    batch_dependence(
+                        table, self.index, model, rq, context.search_for
+                    ),
+                )
+                for rq in candidates
+            ]
+            diff(
+                "kernel:batch_score",
+                "batch Formula 2-9 scoring != per-node ranking model",
+                expected_scores, actual_scores,
+            )
         return divergences
 
     def check_query(self, query):

@@ -83,6 +83,41 @@ class TestVersionSkew:
         index = load_frozen_index(path)
         assert index.calibration is None
 
+    def test_pre_batch_record_versions_degrade_to_none(
+        self, tmp_path, figure1_index, monkeypatch
+    ):
+        """v1/v2 records predate the batch-score term: recalibrate.
+
+        Their constants were measured against the pre-batch scoring
+        loops, so carrying them forward would mis-cost every route.
+        Decoding must reject them outright; the planner then lazily
+        recalibrates on first use.
+        """
+        import struct
+
+        from repro.index.frozen import CALIBRATION_KEY
+        from repro.plan.cost_model import decode_calibration
+
+        v1 = struct.pack("<B7d", 1, *([1e-6] * 7))
+        v2 = struct.pack("<B8d", 2, *([1e-6] * 8))
+        assert decode_calibration(v1) is None
+        assert decode_calibration(v2) is None
+
+        monkeypatch.setattr(
+            frozen_module,
+            "_calibration_pairs",
+            lambda index: [(CALIBRATION_KEY, v2)],
+        )
+        path = tmp_path / "prebatch.frz"
+        freeze_index(figure1_index, path)
+
+        index = load_frozen_index(path)
+        assert index.calibration is None
+        engine = XRefine(index)
+        engine.search("databse systems", algorithm="auto")
+        stats = engine.cache_stats()["planner"]
+        assert stats["calibration"]["source"] != "snapshot"
+
     def test_future_format_version_is_rejected(
         self, tmp_path, figure1_index, monkeypatch
     ):
