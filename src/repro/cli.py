@@ -254,6 +254,10 @@ def _cmd_serve(args, out):
         host=args.host,
         port=args.port,
         cache_size=args.cache_size,
+        cache_policy=args.cache_policy,
+        cache_ttl=args.cache_ttl,
+        subresult_size=args.subresult_size,
+        plan_cache_size=args.plan_cache_size,
         parallelism=args.parallelism,
         max_inflight=args.max_inflight,
         ready_callback=ready,
@@ -504,7 +508,25 @@ def build_parser():
     )
     serve.add_argument(
         "--cache-size", type=int, default=512,
-        help="query-result LRU capacity (0 disables)",
+        help="query-result cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--cache-policy", choices=("tinylfu", "lru"), default="tinylfu",
+        help="result-cache replacement policy (tinylfu = frequency-"
+        "gated admission; lru = plain recency)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="optional result-cache entry time-to-live",
+    )
+    serve.add_argument(
+        "--subresult-size", type=int, default=None, metavar="N",
+        help="term-signature sub-result cache capacity "
+        "(default scales with --cache-size; 0 disables)",
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=int, default=None, metavar="N",
+        help="cost-based planner's plan cache capacity",
     )
     serve.add_argument(
         "--max-inflight", type=int, default=64,

@@ -23,12 +23,20 @@ Typical use::
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+
 from ..errors import QueryError
 from ..index.builder import build_document_index
 from ..index.tokenize_text import query_terms
 from ..lexicon.mining import RuleMiner
 from ..perf.packed import PackedListStore
 from ..perf.result_cache import DEFAULT_CAPACITY, QueryResultCache
+from ..perf.subresult import (
+    DEFAULT_SUBRESULT_CAPACITY,
+    SubResultCache,
+    term_signature,
+)
 from ..plan.planner import QueryPlanner
 from ..slca.elca import elca
 from ..slca.indexed_lookup import indexed_lookup_slca
@@ -39,7 +47,7 @@ from ..xmltree.parser import parse
 from .common import QueryContext
 from .partition_refine import partition_refine
 from .ranking.model import full_model
-from .result import RefinementResponse
+from .result import RefinementResponse, ScanStats
 from .short_list_eager import short_list_eager
 from .stack_refine import stack_refine
 
@@ -145,11 +153,33 @@ class XRefine:
         changes (partition appends/removals alter the vocabulary); a
         caller-supplied miner is never replaced.
     cache_size:
-        Capacity of the query-result LRU cache
+        Capacity of the query-result cache
         (:class:`~repro.perf.result_cache.QueryResultCache`); ``0``
         disables result caching.  Cached answers are version-checked
         against the index, so partition updates can never serve stale
         results.
+    cache_policy:
+        Result-cache replacement policy: ``"tinylfu"`` (default,
+        W-TinyLFU frequency-gated admission — the sustained-throughput
+        winner under skewed traffic, see ``benchmarks/bench_replay.py``)
+        or ``"lru"`` (the plain recency baseline).
+    cache_ttl:
+        Optional result-cache entry lifetime in seconds.
+    subresult_size:
+        Capacity of the term-signature sub-result cache
+        (:class:`~repro.perf.subresult.SubResultCache`) that lets
+        reformulation chains reuse refined queries' meaningful-SLCA
+        lists.  ``None`` (default) ties it to result caching: the
+        default capacity when ``cache_size > 0``, disabled otherwise;
+        ``0`` disables it explicitly.
+    plan_cache_size:
+        Capacity override for the planner's plan cache (``None`` keeps
+        the planner default).
+    rules_memo_size:
+        Distinct queries whose auto-mined rule sets stay memoized
+        (LRU); ``None`` keeps the engine default.  Size it at or above
+        the distinct-query working set when replaying large logs —
+        re-mining is the dominant repeated-miss cost.
     parallelism:
         Default worker count for cache-miss evaluation of
         ``algorithm="partition"`` queries (``repro.shard``).  ``1``
@@ -161,7 +191,10 @@ class XRefine:
     """
 
     def __init__(self, index, model=None, miner=None,
-                 cache_size=DEFAULT_CAPACITY, parallelism=1):
+                 cache_size=DEFAULT_CAPACITY, parallelism=1,
+                 cache_policy="tinylfu", cache_ttl=None,
+                 subresult_size=None, plan_cache_size=None,
+                 rules_memo_size=None):
         self.index = index
         self.model = model if model is not None else full_model()
         self._auto_miner = miner is None
@@ -171,13 +204,36 @@ class XRefine:
         self._miner_version = getattr(index, "version", 0)
         #: Per-engine packed posting arrays (repro.perf.packed).
         self.packed = PackedListStore(index)
-        #: Complete-answer LRU cache (repro.perf.result_cache).
-        self.result_cache = QueryResultCache(cache_size)
+        #: Complete-answer cache (repro.perf.result_cache).
+        self.result_cache = QueryResultCache(
+            cache_size, policy=cache_policy, ttl=cache_ttl
+        )
+        #: Term-signature sub-result cache (repro.perf.subresult); tied
+        #: to result caching by default so cold-path measurements with
+        #: ``cache_size=0`` stay genuinely cold.
+        if subresult_size is None:
+            subresult_size = (
+                DEFAULT_SUBRESULT_CAPACITY if cache_size > 0 else 0
+            )
+        self.subresult_cache = SubResultCache(subresult_size)
+        #: Plan-cache capacity override (None = planner default).
+        self._plan_cache_size = plan_cache_size
         #: Default shard fan-out for cache misses (repro.shard).
         self.parallelism = _validate_parallelism(parallelism)
         self._shard_runtime = None
-        #: Auto-mined rule sets per query (pure function of the miner).
-        self._rules_memo = {}
+        #: Auto-mined rule sets per query (pure function of the miner),
+        #: LRU-bounded — evicting one stale entry at a time instead of
+        #: the old wholesale clear, which re-mined the entire hot set
+        #: whenever the distinct-query universe exceeded the limit.
+        self._rules_memo = OrderedDict()
+        if rules_memo_size is not None and rules_memo_size < 1:
+            raise ValueError(
+                f"rules_memo_size must be >= 1, got {rules_memo_size}"
+            )
+        self._rules_memo_limit = (
+            rules_memo_size if rules_memo_size is not None
+            else self._RULES_MEMO_LIMIT
+        )
         #: Lazily built cost-based query planner (repro.plan).
         self._planner = None
 
@@ -244,6 +300,7 @@ class XRefine:
     def clear_caches(self):
         """Explicitly drop the engine-level caches (results + packed)."""
         self.result_cache.clear()
+        self.subresult_cache.clear()
         self.packed.clear()
 
     def cache_stats(self):
@@ -251,6 +308,7 @@ class XRefine:
         planner = self._planner
         return {
             "results": self.result_cache.stats(),
+            "subresults": self.subresult_cache.stats(),
             "packed_keywords": len(self.packed),
             "index_version": getattr(self.index, "version", 0),
             #: Routing counters, plan-cache hit rate, cost-model ratio
@@ -264,7 +322,10 @@ class XRefine:
         """The engine's :class:`~repro.plan.planner.QueryPlanner`."""
         planner = self._planner
         if planner is None:
-            planner = QueryPlanner(self.index, packed=self.packed)
+            planner = QueryPlanner(
+                self.index, packed=self.packed,
+                plan_cache_size=self._plan_cache_size,
+            )
             self._planner = planner
         return planner
 
@@ -421,6 +482,10 @@ class XRefine:
             self.index = new_index
             self.packed = new_packed
             self.result_cache.purge_other_versions(new_index.version)
+            # Sub-results obey the same generation contract: purged
+            # atomically with the flip so no old-generation SLCA list
+            # can assemble a post-swap answer.
+            self.subresult_cache.purge_other_versions(new_index.version)
         # The auto-miner lags one _refresh_miner() call behind by
         # design; dropping the memo here keeps no rule set mined from
         # the old vocabulary reachable in the meantime.
@@ -469,11 +534,13 @@ class XRefine:
             return self.miner.mine(terms)
         cached = self._rules_memo.get(terms)
         if cached is not None and cached[0] is self.miner:
+            self._rules_memo.move_to_end(terms)
             return cached[1]
         rules = self.miner.mine(terms)
-        if len(self._rules_memo) >= self._RULES_MEMO_LIMIT:
-            self._rules_memo.clear()
         self._rules_memo[terms] = (self.miner, rules)
+        self._rules_memo.move_to_end(terms)
+        while len(self._rules_memo) > self._rules_memo_limit:
+            self._rules_memo.popitem(last=False)
         return rules
 
     def search(self, query, k=1, algorithm="auto", rules=None,
@@ -559,6 +626,7 @@ class XRefine:
         # evaluation that straddles a swap stores an unreachable entry
         # instead of poisoning the new generation.
         version = getattr(self.index, "version", 0)
+        mined = rules is None
         if rules is None and self.result_cache.enabled:
             cache_key = (
                 "search",
@@ -575,6 +643,26 @@ class XRefine:
                 return cached
         if rules is None:
             rules = self.mine_rules(terms)
+        # Sub-result fast path: when an earlier evaluation (typically
+        # the corrupted head of this reformulation chain) already
+        # deposited this term set's meaningful SLCAs, assemble the
+        # direct-hit response from them instead of re-running the full
+        # algorithm.  Byte-identical to a cold evaluation — the verify
+        # oracle's cache-layer check holds it to that.
+        if (
+            mined
+            and not explain
+            and self.subresult_cache.enabled
+        ):
+            response = self._assemble_from_subresults(terms, rules, version)
+            if response is not None:
+                if rank_results:
+                    from .ranking.results import rank_response_results
+
+                    rank_response_results(self.index, response)
+                if cache_key is not None:
+                    self.result_cache.put(cache_key, response, version)
+                return response
         plan = None
         if algorithm == "auto":
             plan = self.planner.plan(terms, rules, k, parallelism)
@@ -616,6 +704,11 @@ class XRefine:
             plan.actual_seconds = response.stats.elapsed_seconds
         if plan is not None:
             response.plan = plan
+        if mined and self.subresult_cache.enabled:
+            # Deposit *before* rank_results mutates the result lists —
+            # sub-results must stay in the canonical document order a
+            # cold evaluation would produce.
+            self._deposit_subresults(response, version, algorithm)
         if rank_results:
             from .ranking.results import rank_response_results
 
@@ -623,6 +716,68 @@ class XRefine:
         if cache_key is not None:
             self.result_cache.put(cache_key, response, version)
         return response
+
+    def _assemble_from_subresults(self, terms, rules, version):
+        """A direct-hit response assembled from deposited sub-results.
+
+        Valid only when the consumer's inferred search-for types equal
+        the depositor's (meaningfulness is relative to them — see
+        :mod:`repro.perf.subresult`); the cache refuses to serve a
+        mismatch and the query falls back to full evaluation.  Returns
+        ``None`` on any miss.
+        """
+        signature = term_signature(terms)
+        if signature not in self.subresult_cache:
+            return None
+        started = time.perf_counter()
+        try:
+            context = QueryContext(self.index, terms, rules)
+        except QueryError:
+            return None
+        slcas = self.subresult_cache.get(
+            signature, version, tuple(context.search_for_types)
+        )
+        if slcas is None:
+            return None
+        original_results = sorted(slcas)
+        stats = ScanStats()
+        stats.lists_opened = len(context.keyword_space)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return RefinementResponse(
+            query=context.query,
+            needs_refinement=False,
+            original_results=original_results,
+            refinements=[],
+            candidates=[],
+            search_for=context.search_for,
+            stats=stats,
+        )
+
+    def _deposit_subresults(self, response, version, algorithm):
+        """Bank this evaluation's complete meaningful-SLCA lists.
+
+        Only oracle-fingerprinted surfaces are deposited: the original
+        query's results on a direct hit, and each surviving
+        refinement's accumulated list.  Top-1 stack responses skip the
+        refinement deposit — the cross-algorithm byte-identity
+        contract covers stack's flag/original-results only, not its
+        refinement result lists.
+        """
+        cache = self.subresult_cache
+        types = tuple(c.node_type for c in response.search_for)
+        if not response.needs_refinement:
+            cache.put(
+                term_signature(response.query), version, types,
+                response.original_results,
+            )
+            return
+        if algorithm == "stack":
+            return
+        for refinement in response.refinements:
+            cache.put(
+                term_signature(refinement.rq.keywords), version, types,
+                refinement.slcas,
+            )
 
     def _execute_plan(self, plan, terms, rules, k):
         """Run a planned route, with the stack→partition fallback.

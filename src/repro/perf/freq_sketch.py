@@ -1,0 +1,145 @@
+"""Count-Min frequency sketch with periodic halving (TinyLFU aging).
+
+The admission policy of :class:`~repro.perf.result_cache.QueryResultCache`
+needs an *approximate popularity contest*: "has this candidate been
+requested more often than the entry it wants to evict?".  Tracking exact
+per-key counters for every key ever requested would grow without bound
+— precisely what the cache is there to avoid — so the TinyLFU design
+[Einziger et al., 2017] keeps a fixed-size Count-Min sketch instead:
+``depth`` rows of ``width`` saturating counters, each request
+incrementing one counter per row, each estimate reading the row
+minimum.  Collisions only ever *overestimate* a frequency, and the
+error shrinks geometrically with the row count.
+
+Freshness comes from *halving*, not expiry: after ``sample_limit``
+increments (10x the cache capacity, the W-TinyLFU reset interval)
+every counter is divided by two.  Old traffic decays exponentially, so
+a key that dominated an earlier phase cannot hold the admission gate
+shut forever — after a drift the new head keys out-count the decayed
+old head within one sample window.  :attr:`age_resets` counts the
+halvings so replay experiments can confirm the aging actually ran.
+
+Hashing is **process-independent**: row indexes derive from a BLAKE2b
+digest of ``repr(key)``, never from :func:`hash`, so a replay produces
+the same admissions (and therefore the same hit rate) under every
+``PYTHONHASHSEED`` — the same determinism contract the workload
+generator keeps.
+"""
+
+from __future__ import annotations
+
+from array import array
+from hashlib import blake2b
+
+#: Counter rows; four keeps the overestimate negligible at our widths.
+DEFAULT_DEPTH = 4
+#: Increments between halvings, as a multiple of the sketch capacity.
+SAMPLE_FACTOR = 10
+#: Saturating counter ceiling (one unsigned byte per counter).
+_COUNTER_MAX = 255
+
+
+def _next_power_of_two(value):
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+class CountMinSketch:
+    """Approximate request-frequency counters for cache admission.
+
+    Parameters
+    ----------
+    capacity:
+        The cache capacity the sketch serves.  The table is sized to
+        ``4x`` that (rounded up to a power of two, at least 64
+        counters per row) and halved every ``SAMPLE_FACTOR * capacity``
+        increments.
+    depth:
+        Number of independent counter rows.
+    """
+
+    __slots__ = (
+        "depth", "width", "_mask", "_rows", "_samples", "sample_limit",
+        "age_resets", "_hash_memo",
+    )
+
+    def __init__(self, capacity, depth=DEFAULT_DEPTH):
+        if capacity < 1:
+            raise ValueError(f"sketch capacity must be >= 1, got {capacity}")
+        self.depth = depth
+        self.width = _next_power_of_two(max(64, 4 * capacity))
+        self._mask = self.width - 1
+        self._rows = [array("B", bytes(self.width)) for _ in range(depth)]
+        self._samples = 0
+        self.sample_limit = SAMPLE_FACTOR * capacity
+        self.age_resets = 0
+        # repr+digest costs ~1us per key; recurring keys (the whole
+        # point of a cache) are served from this bounded memo instead.
+        self._hash_memo = {}
+
+    # ------------------------------------------------------------------
+    def _indexes(self, key):
+        memo = self._hash_memo
+        pair = memo.get(key)
+        if pair is None:
+            digest = blake2b(repr(key).encode(), digest_size=16).digest()
+            value = int.from_bytes(digest, "little")
+            # Odd second hash: (h1 + i*h2) walks distinct row slots.
+            pair = (value & 0xFFFFFFFFFFFFFFFF, (value >> 64) | 1)
+            if len(memo) >= 4 * self.width:
+                memo.clear()
+            memo[key] = pair
+        h1, h2 = pair
+        mask = self._mask
+        return [(h1 + row * h2) & mask for row in range(self.depth)]
+
+    def increment(self, key):
+        """Record one request for ``key`` (saturating, with aging)."""
+        for row, index in zip(self._rows, self._indexes(key)):
+            count = row[index]
+            if count < _COUNTER_MAX:
+                row[index] = count + 1
+        self._samples += 1
+        if self._samples >= self.sample_limit:
+            self._halve()
+
+    def estimate(self, key):
+        """The (over-)estimated request count for ``key``."""
+        return min(
+            row[index]
+            for row, index in zip(self._rows, self._indexes(key))
+        )
+
+    def _halve(self):
+        """Age every counter by half — the TinyLFU reset operation."""
+        for row in self._rows:
+            for index in range(self.width):
+                row[index] >>= 1
+        self._samples >>= 1
+        self.age_resets += 1
+
+    def clear(self):
+        """Forget all frequency history (cache-wide invalidation)."""
+        for row in self._rows:
+            for index in range(self.width):
+                row[index] = 0
+        self._samples = 0
+        self._hash_memo.clear()
+
+    def stats(self):
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "samples": self._samples,
+            "sample_limit": self.sample_limit,
+            "age_resets": self.age_resets,
+        }
+
+    def __repr__(self):
+        return (
+            f"CountMinSketch({self.depth}x{self.width}, "
+            f"samples={self._samples}/{self.sample_limit}, "
+            f"resets={self.age_resets})"
+        )

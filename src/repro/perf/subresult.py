@@ -1,0 +1,165 @@
+"""Term-signature sub-result cache for reformulation chains.
+
+A refinement session is a *chain*: the user issues a corrupted query,
+the engine enumerates refined queries (RQs) — and the user's next
+submission is very often one of those RQs verbatim (the paper's
+query-log study is built on exactly these rewrite pairs).  Evaluating
+the corrupted query already computed each admitted RQ's meaningful
+SLCA result list; recomputing it from scratch when the RQ arrives as
+its own query wastes the dominant share of the miss cost.
+
+:class:`SubResultCache` keeps that work keyed by **term signature** —
+the sorted set of terms, so every presentation order of the same
+keyword set shares one entry — stamped with the index version it was
+computed against (same invalidation contract as
+:class:`~repro.perf.result_cache.QueryResultCache`).
+
+The invalidation contract has one subtlety beyond versioning:
+*meaningfulness is relative to the query's own search-for types*
+(Definition 3.3 filters SLCAs against the node types inferred from the
+query's keyword space, and the keyword space depends on the query's
+own mined rules).  A deposited result list is therefore only valid for
+a consumer whose inferred ``search_for_types`` equal the depositor's.
+Each entry records the types it was filtered under, and
+:meth:`SubResultCache.get` refuses to serve a consumer whose types
+differ (counted in :attr:`mismatches`) — the consumer falls back to a
+full evaluation.  Only *complete* result lists are deposited: the
+original query's meaningful SLCAs on a direct hit, and each surviving
+refinement's accumulated list (both oracle-fingerprinted surfaces);
+never the un-fingerprinted intermediate candidate pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: Default number of term signatures retained (``XRefine`` passes this
+#: when result caching is enabled; 0 disables the layer).
+DEFAULT_SUBRESULT_CAPACITY = 2048
+
+
+def term_signature(terms):
+    """Order-insensitive identity of a keyword set."""
+    return tuple(sorted(set(terms)))
+
+
+class SubResultCache:
+    """Versioned LRU from term signature to a meaningful-SLCA list."""
+
+    __slots__ = (
+        "maxsize", "hits", "misses", "mismatches", "invalidations",
+        "evictions", "deposits", "lock", "_entries",
+    )
+
+    def __init__(self, maxsize=DEFAULT_SUBRESULT_CAPACITY):
+        if maxsize < 0:
+            raise ValueError(f"cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        #: Lookups whose signature was present but filtered under
+        #: different search-for types — unusable for this consumer.
+        self.mismatches = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.deposits = 0
+        self.lock = threading.RLock()
+        # signature -> (version, search_for_types, slcas tuple)
+        self._entries = OrderedDict()
+
+    @property
+    def enabled(self):
+        return self.maxsize > 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, signature):
+        return signature in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, signature, version, search_for_types):
+        """The deposited SLCA tuple, or ``None``.
+
+        Misses on absent signatures and stale versions (dropped, as in
+        the result cache); a present entry whose recorded search-for
+        types differ from the consumer's is left in place but not
+        served — another consumer with the depositor's types may still
+        use it.
+        """
+        with self.lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached_version, cached_types, slcas = entry
+            if cached_version != version:
+                del self._entries[signature]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            if cached_types != search_for_types:
+                self.mismatches += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return slcas
+
+    def put(self, signature, version, search_for_types, slcas):
+        """Deposit a complete meaningful-SLCA list for a signature.
+
+        Empty lists are not deposited: an empty result cannot assemble
+        a direct-hit response, and "no meaningful result" is exactly
+        the verdict a later evaluation must re-derive for itself.
+        """
+        if not self.maxsize or not slcas:
+            return
+        with self.lock:
+            self._entries[signature] = (
+                version, tuple(search_for_types), tuple(slcas)
+            )
+            self._entries.move_to_end(signature)
+            self.deposits += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def purge_other_versions(self, version):
+        """Drop entries from other index generations (swap/update path)."""
+        with self.lock:
+            stale = [
+                signature
+                for signature, (cached_version, _, _) in self._entries.items()
+                if cached_version != version
+            ]
+            for signature in stale:
+                del self._entries[signature]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self):
+        with self.lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+
+    def stats(self):
+        with self.lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "mismatches": self.mismatches,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "deposits": self.deposits,
+            }
+
+    def __repr__(self):
+        return (
+            f"SubResultCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, deposits={self.deposits})"
+        )

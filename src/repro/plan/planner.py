@@ -303,13 +303,20 @@ class QueryPlanner:
         "_route_ratios",
     )
 
-    def __init__(self, index, packed=None, calibration=None):
+    def __init__(self, index, packed=None, calibration=None,
+                 plan_cache_size=None):
         self.index = index
         #: Optional PackedListStore — shares decoded columns with the
         #: engine's SLCA path and stays version-coherent by identity.
         self.packed = packed
         self._calibration = calibration
-        self.cache = PlanCache()
+        #: Plan cache, capacity tunable from replay measurements (size
+        #: it at or above the distinct-query working set; ``None``
+        #: keeps the PlanCache default).
+        self.cache = (
+            PlanCache() if plan_cache_size is None
+            else PlanCache(plan_cache_size)
+        )
         self._partition_counts = {}
         self._counts_version = None
         self._dp_memos = {}

@@ -104,11 +104,14 @@ class SnapshotManager:
     """The engine plus its current (and draining) snapshot generations."""
 
     def __init__(self, source, model=None, cache_size=DEFAULT_CAPACITY,
-                 parallelism=1):
+                 parallelism=1, cache_policy="tinylfu", cache_ttl=None,
+                 subresult_size=None, plan_cache_size=None):
         index = open_index_source(source)
         self.engine = XRefine(
             index, model=model, cache_size=cache_size,
-            parallelism=parallelism,
+            parallelism=parallelism, cache_policy=cache_policy,
+            cache_ttl=cache_ttl, subresult_size=subresult_size,
+            plan_cache_size=plan_cache_size,
         )
         self._lock = threading.Lock()
         self._current = SnapshotHandle(index, source, generation=0)

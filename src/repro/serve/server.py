@@ -91,10 +91,14 @@ class RefineServer:
 
     def __init__(self, source, host="127.0.0.1", port=0, model=None,
                  cache_size=DEFAULT_CAPACITY, parallelism=1,
-                 max_inflight=DEFAULT_MAX_INFLIGHT):
+                 max_inflight=DEFAULT_MAX_INFLIGHT,
+                 cache_policy="tinylfu", cache_ttl=None,
+                 subresult_size=None, plan_cache_size=None):
         self.manager = SnapshotManager(
             source, model=model, cache_size=cache_size,
-            parallelism=parallelism,
+            parallelism=parallelism, cache_policy=cache_policy,
+            cache_ttl=cache_ttl, subresult_size=subresult_size,
+            plan_cache_size=plan_cache_size,
         )
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -449,7 +453,9 @@ async def _amain(server, ready_callback, handle_signals):
 def run_server(source, host="127.0.0.1", port=DEFAULT_PORT, *,
                model=None, cache_size=DEFAULT_CAPACITY, parallelism=1,
                max_inflight=DEFAULT_MAX_INFLIGHT, ready_callback=None,
-               handle_signals=True):
+               handle_signals=True, cache_policy="tinylfu",
+               cache_ttl=None, subresult_size=None,
+               plan_cache_size=None):
     """Build a :class:`RefineServer` and serve until shutdown.
 
     ``ready_callback(server)`` fires once the socket is bound (the CLI
@@ -461,7 +467,9 @@ def run_server(source, host="127.0.0.1", port=DEFAULT_PORT, *,
     server = RefineServer(
         source, host=host, port=port, model=model,
         cache_size=cache_size, parallelism=parallelism,
-        max_inflight=max_inflight,
+        max_inflight=max_inflight, cache_policy=cache_policy,
+        cache_ttl=cache_ttl, subresult_size=subresult_size,
+        plan_cache_size=plan_cache_size,
     )
     asyncio.run(_amain(server, ready_callback, handle_signals))
     return server

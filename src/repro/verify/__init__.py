@@ -28,7 +28,12 @@ the "Correctness" section of the README.
 
 from .generate import DocumentGenerator, QueryGenerator
 from .invariants import check_invariants
-from .oracle import Divergence, response_fingerprint, run_oracle
+from .oracle import (
+    Divergence,
+    replay_cold_diff,
+    response_fingerprint,
+    run_oracle,
+)
 from .runner import VerifyReport, verify_diff
 from .shrink import shrink_divergence, write_fixture
 
@@ -36,6 +41,7 @@ __all__ = [
     "DocumentGenerator",
     "QueryGenerator",
     "Divergence",
+    "replay_cold_diff",
     "response_fingerprint",
     "run_oracle",
     "check_invariants",

@@ -34,6 +34,13 @@ path that must agree:
   indistinguishable from the eager decode.  Runs against whichever
   kernel backend is active, so the verify-diff sweep exercises both
   the compiled and pure-Python block consumers.
+* **Cache layer** — a refinable query's evaluation deposits its
+  refinements' SLCA sets into the term-signature sub-result cache;
+  each refinement is then issued as its own query with the result
+  cache emptied, so the answer must come through sub-result
+  *assembly*, and is diffed byte-for-byte against a cache-disabled
+  engine.  :func:`replay_cold_diff` applies the same contract to a
+  traffic replay's sampled answers.
 * **Kernel layer** — each batch primitive in :mod:`repro.kernels` is
   diffed against a per-node recomputation of the same answer: the
   columnar SLCA kernel against the classic forward-pointer scan, the
@@ -886,6 +893,50 @@ class DocumentOracle:
             )
         return divergences
 
+    # ------------------------------------------------------------------
+    # Cache layer
+    # ------------------------------------------------------------------
+    def check_cache_layers(self, query):
+        """The cache stack must never change an answer.
+
+        Drives the term-signature sub-result layer explicitly: the
+        query's evaluation deposits computed SLCA sets (its own, if it
+        direct-hits; its refinements', if it needs refinement); each
+        refinement plus the query itself is then re-issued with the
+        result cache *emptied*, so a deposited signature is served
+        through sub-result assembly rather than a plain result-cache
+        hit — and every answer is diffed byte-for-byte against a
+        cache-disabled engine.
+        """
+        divergences = []
+        terms = query_terms(query)
+        if not terms:
+            return divergences
+        k = self.k
+        warm = XRefine(self.index)
+        cold = XRefine(self.index, cache_size=0)
+        first = warm.search(terms, k=k, algorithm="auto")
+        followups = [list(r.rq.keywords) for r in first.refinements]
+        followups.append(list(terms))
+        warm.result_cache.clear()
+        for follow in followups:
+            assembled = response_fingerprint(
+                warm.search(follow, k=k, algorithm="auto")
+            )
+            reference = response_fingerprint(
+                cold.search(follow, k=k, algorithm="auto")
+            )
+            if assembled != reference:
+                divergences.append(
+                    Divergence(
+                        "cache:subresult-assembly",
+                        "answer through the sub-result cache differs "
+                        "from a cache-disabled engine",
+                        self.spec, follow, reference, assembled,
+                    )
+                )
+        return divergences
+
     def check_query(self, query):
         """Every oracle check for one query; list of divergences."""
         return (
@@ -894,6 +945,7 @@ class DocumentOracle:
             + self.check_auto(query)
             + self.check_frozen(query)
             + self.check_chain(query)
+            + self.check_cache_layers(query)
             + self.check_kernels(query)
         )
 
@@ -901,3 +953,32 @@ class DocumentOracle:
 def run_oracle(spec, query, k=2):
     """Build a fresh oracle for ``spec`` and check one query."""
     return DocumentOracle(spec, k=k).check_query(query)
+
+
+def replay_cold_diff(index, samples, model=None, miner=None):
+    """Diff replay-recorded answers against cold evaluation.
+
+    ``samples`` is a :class:`~repro.workload.replay.ReplayReport`'s
+    sample list — ``(query, k, algorithm, fingerprint)`` tuples
+    recorded while the replay was served through the full cache stack
+    (result cache, sub-result assembly, rules memo, plan cache).  A
+    fresh cache-disabled engine over the same index re-evaluates each
+    sampled query; any fingerprint difference means some cache layer
+    changed an answer during the replay.
+    """
+    cold = XRefine(index, model=model, miner=miner, cache_size=0)
+    divergences = []
+    for query, k, algorithm, fingerprint in samples:
+        fresh = response_fingerprint(
+            cold.search(list(query), k=k, algorithm=algorithm)
+        )
+        if fresh != fingerprint:
+            divergences.append(
+                Divergence(
+                    "replay:cold-diff",
+                    f"replayed answer (k={k}, {algorithm}) differs "
+                    "from a cold evaluation",
+                    None, query, fresh, fingerprint,
+                )
+            )
+    return divergences

@@ -79,9 +79,13 @@ def _check_document(oracle, queries, report):
         # invariants, the planner layer (auto cold/warm, the forced
         # stack route, the seeded sharded bound), the frozen-snapshot
         # layer (SLCA, four refinement algorithms, one sharded
-        # fan-out), and the kernel layer (batch SLCA, LCP table,
-        # partition view, presence bound vs per-node recomputation).
-        report.checks += 47
+        # fan-out), the kernel layer (batch SLCA, LCP table,
+        # partition view, presence bound vs per-node recomputation),
+        # and the cache layer (the query and each of its refinements
+        # re-issued through sub-result assembly and diffed against a
+        # cache-disabled engine — counted at its one-comparison
+        # floor; refinable queries contribute several more).
+        report.checks += 48
         found.extend(divergences)
     return found
 

@@ -23,6 +23,16 @@ from .corruption import (
     corrupt_typo,
 )
 from .generator import PoolQuery, WorkloadGenerator, pool_statistics
+from .replay import (
+    ReplayReport,
+    TrafficLog,
+    replay_traffic,
+    synthesize_traffic,
+)
+
+# Must come after ``from .replay import ...``: importing the submodule
+# binds ``repro.workload.replay`` to the module object, and this import
+# rebinds the name to the querylog function (the binding callers see).
 from .querylog import LogEntry, QueryLog, replay, simulate_log
 
 __all__ = [
@@ -33,6 +43,10 @@ __all__ = [
     "LogEntry",
     "replay",
     "simulate_log",
+    "TrafficLog",
+    "ReplayReport",
+    "synthesize_traffic",
+    "replay_traffic",
     "corrupt_split",
     "corrupt_merge",
     "corrupt_typo",

@@ -65,7 +65,12 @@ class WorkloadGenerator:
         Tags of the entity subtrees intents are sampled from (defaults
         suit the bundled DBLP/Baseball generators).
     seed:
-        Master seed; the generator is fully deterministic.
+        Master seed; the generator is fully deterministic (its output
+        never depends on ``PYTHONHASHSEED``).
+    rng:
+        A pre-seeded :class:`random.Random` to draw from instead of
+        building one from ``seed`` — lets a caller thread one master
+        RNG through every layer of a composite workload.
     """
 
     def __init__(
@@ -75,9 +80,10 @@ class WorkloadGenerator:
         seed=23,
         thesaurus=None,
         acronyms=None,
+        rng=None,
     ):
         self.index = index
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.thesaurus = thesaurus if thesaurus is not None else Thesaurus()
         self.acronyms = acronyms if acronyms is not None else AcronymTable()
         self.vocabulary = set(index.inverted.keywords())

@@ -80,15 +80,40 @@ def replay(engine, log, k=1, algorithm="auto", parallelism=None):
     )
 
 
-def simulate_log(index, sessions=200, rewrite_probability=0.6, seed=31):
+def simulate_log(index, sessions=200, rewrite_probability=0.6, seed=31,
+                 rng=None, generator=None):
     """Simulate ``sessions`` user sessions against a corpus.
 
-    Each session issues one query; with ``rewrite_probability`` the
-    query is a corrupted intent followed by the user's manual fix (the
-    clean intent), otherwise a clean query alone.
+    The session model: sessions are numbered ``0..sessions-1`` and laid
+    out on a shared clock — each session starts 1-90 ticks after the
+    previous one.  With ``rewrite_probability`` a session is a *rewrite
+    pair* — a corrupted intent (``is_rewrite=False``) followed 5-120
+    ticks later by the user's manual fix, the clean intent
+    (``is_rewrite=True``) — otherwise it is a single clean query.
+    Those pairs are exactly what :meth:`QueryLog.rewrite_pairs` feeds a
+    log-based rule miner.
+
+    Reproducibility: the whole log is a pure function of ``(index,
+    sessions, rewrite_probability, seed)`` — independent of
+    ``PYTHONHASHSEED``, like the generator's ``_rare_terms`` ordering.
+    Callers that interleave several simulations (e.g. the replay
+    harness) can instead pass their own seeded ``rng``
+    (:class:`random.Random`) end-to-end: it drives both the session
+    clock/rewrite draws *and* the intent sampling (through a
+    ``generator`` built on the same stream), so one master RNG
+    reproduces the composite workload.  An explicit ``generator``
+    overrides the auto-built one either way.
     """
-    generator = WorkloadGenerator(index, seed=seed)
-    rng = random.Random(seed * 7919 + 1)
+    if rng is None:
+        rng = random.Random(seed * 7919 + 1)
+        if generator is None:
+            generator = WorkloadGenerator(index, seed=seed)
+    elif generator is None:
+        # Derive the generator's stream from the caller's RNG so the
+        # pair (rng, generator) is reproducible from one seed.
+        generator = WorkloadGenerator(
+            index, seed=rng.randrange(2**31)
+        )
     entries = []
     timestamp = 0
     for session_id in range(sessions):
